@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation: Earth+'s individual techniques in isolation.
+ *
+ * Not a paper figure — DESIGN.md §6 calls for ablating the design
+ * choices: (a) illumination alignment before differencing (§5),
+ * (b) detection at the reference's low resolution vs full resolution
+ * (§4.3), and (c) the change threshold theta. Each row shows the
+ * downloaded-tile fraction and the false-negative rate against the
+ * full-resolution criterion on clear capture pairs.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "change/calibration.hh"
+#include "change/detector.hh"
+#include "raster/resample.hh"
+
+int
+main()
+{
+    using namespace epbench;
+    synth::DatasetSpec spec = benchPlanet();
+    synth::SceneConfig sc;
+    sc.width = spec.width;
+    sc.height = spec.height;
+    sc.bands = spec.bands;
+    synth::SceneModel scene(spec.locations[0], sc);
+    synth::WeatherProcess weather;
+    synth::CaptureSimulator sim(scene, weather);
+
+    // Clear pairs ~5 days apart (Earth+'s operating regime).
+    std::vector<std::pair<int, int>> pairs;
+    int last = -100;
+    for (int d = 0; d < 360 && pairs.size() < 10; ++d) {
+        if (weather.coverage(0, d) >= 0.01)
+            continue;
+        if (d - last >= 4 && d - last <= 9)
+            pairs.emplace_back(last, d);
+        last = d;
+    }
+
+    struct Config
+    {
+        const char *label;
+        bool align;
+        int factor;
+        double theta;
+    };
+    const Config configs[] = {
+        {"Earth+ (align, 16x, theta=0.01)", true, 16, 0.01},
+        {"w/o illumination alignment", false, 16, 0.01},
+        {"full-resolution reference", true, 1, 0.01},
+        {"64x-downsampled reference", true, 64, 0.01},
+        {"loose threshold (0.03)", true, 16, 0.03},
+        {"tight threshold (0.003)", true, 16, 0.003},
+    };
+
+    Table t("Ablation: change-detection techniques "
+            "(clear pairs, ~5-day reference age)");
+    t.setHeader({"Configuration", "Downloaded tiles", "Missed changed",
+                 "False positives"});
+
+    for (const Config &cfg : configs) {
+        std::vector<change::TileObservation> obs;
+        for (auto [d1, d2] : pairs) {
+            synth::Capture ref = sim.capture(d1, 0);
+            synth::Capture cap = sim.capture(d2, 1);
+            for (int b = 0; b < cap.image.bandCount(); ++b) {
+                change::ChangeDetectorParams fullP;
+                fullP.threshold = 0.01;
+                fullP.referenceFactor = 1;
+                auto truth = change::detectChanges(
+                    cap.image.band(b), ref.image.band(b), fullP);
+                change::ChangeDetectorParams p;
+                p.threshold = cfg.theta;
+                p.referenceFactor = cfg.factor;
+                p.alignIllumination = cfg.align;
+                auto low = change::detectChanges(
+                    cap.image.band(b),
+                    raster::downsample(ref.image.band(b), cfg.factor), p);
+                for (size_t i = 0; i < low.tileDiffs.size(); ++i) {
+                    change::TileObservation o;
+                    o.lowResDiff = low.tileDiffs[i];
+                    o.fullResDiff = truth.tileDiffs[i];
+                    obs.push_back(o);
+                }
+            }
+        }
+        auto q = change::evaluateThreshold(obs, cfg.theta, 0.01);
+        t.addRow({cfg.label, Table::pct(q.flaggedFraction),
+                  Table::pct(q.missedFraction),
+                  Table::pct(q.falsePositiveRate)});
+    }
+    t.print(std::cout);
+    std::cout << "Alignment suppresses illumination-driven false "
+                 "positives; downsampling trades a small miss rate for "
+                 "a ~256-4096x cheaper reference (Fig. 8); theta trades "
+                 "downloads against misses.\n";
+    return 0;
+}

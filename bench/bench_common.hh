@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ *
+ * Every bench prints the rows/series of one paper table or figure.
+ * Synthetic image sizes are shrunk relative to the real datasets so
+ * the whole harness finishes in minutes; downlink rates are scaled
+ * back to real image sizes where the paper reports absolute Mbps.
+ */
+
+#ifndef EARTHPLUS_BENCH_COMMON_HH
+#define EARTHPLUS_BENCH_COMMON_HH
+
+#include <iostream>
+
+#include "core/doves_spec.hh"
+#include "core/simulation.hh"
+#include "synth/dataset.hh"
+#include "util/table.hh"
+
+namespace epbench {
+
+using namespace earthplus;
+
+/** Evaluation image edge (pixels) used by the simulation benches. */
+constexpr int kBenchImageSize = 256;
+
+/**
+ * Scale factor from synthetic downlink bytes to real-image downlink
+ * bytes: the real Doves capture is 6600x4400x4 bands vs our
+ * width^2 x bands synthetic captures (both ~float-sized pixels after
+ * compression, so the pixel-count ratio is the right scale).
+ */
+inline double
+realByteScale(const synth::DatasetSpec &spec)
+{
+    core::DovesSpec doves;
+    double realPixels = static_cast<double>(doves.imageWidth) *
+                        doves.imageHeight * doves.imageChannels;
+    double ourPixels = static_cast<double>(spec.width) * spec.height *
+                       static_cast<double>(spec.bands.size());
+    return realPixels / ourPixels;
+}
+
+/** Sentinel-2-like spec shrunk for benching (RGB + SWIR bands). */
+inline synth::DatasetSpec
+benchSentinel(double days = 240.0)
+{
+    synth::DatasetSpec spec =
+        synth::richContentDataset(kBenchImageSize, kBenchImageSize);
+    // Spring-to-fall window: weather is seasonal, so a winter-only
+    // slice would see almost no cloud-free references.
+    spec.startDay = 60.0;
+    spec.endDay = 60.0 + days;
+    // Keep the change-detection-relevant bands: RGB + one SWIR (the
+    // cold-cloud channel the detectors need). Fig. 14's band sweep
+    // restores all 13.
+    spec.bands = {spec.bands[1], spec.bands[2], spec.bands[3],
+                  spec.bands[11]};
+    return spec;
+}
+
+/** Planet-like spec shrunk for benching. */
+inline synth::DatasetSpec
+benchPlanet(double days = 90.0)
+{
+    synth::DatasetSpec spec = synth::largeConstellationDataset(
+        kBenchImageSize, kBenchImageSize);
+    // Summer-centric window (see benchSentinel).
+    spec.startDay = 100.0;
+    spec.endDay = 100.0 + days;
+    return spec;
+}
+
+/** Run one location under one system with default parameters. */
+inline core::SimSummary
+runSim(const synth::DatasetSpec &spec, int locationIdx,
+       core::SystemKind kind, double gamma,
+       core::SimParams params = core::SimParams())
+{
+    params.system.gamma = gamma;
+    core::LocationSimulation sim(spec, locationIdx, kind, params);
+    return sim.run();
+}
+
+} // namespace epbench
+
+#endif // EARTHPLUS_BENCH_COMMON_HH

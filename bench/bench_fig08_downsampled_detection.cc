@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig. 8: undetected changed tiles vs. reference compression ratio, at
+ * a fixed downloaded-tile budget.
+ *
+ * Paper result: with the threshold re-tuned so ~40% of tiles are
+ * downloaded, even a 2601x-downsampled reference misses only ~1.7% of
+ * changed tiles.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "change/calibration.hh"
+#include "change/detector.hh"
+#include "raster/resample.hh"
+
+int
+main()
+{
+    using namespace epbench;
+    synth::DatasetSpec spec = benchPlanet();
+    spec.width = spec.height = 256;
+
+    synth::SceneConfig sc;
+    sc.width = spec.width;
+    sc.height = spec.height;
+    sc.bands = spec.bands;
+    sc.horizonDays = 460.0;
+    synth::SceneModel scene(spec.locations[0], sc);
+    synth::WeatherProcess weather;
+    synth::CaptureSimulator sim(scene, weather);
+
+    // Cloud-free capture pairs ~15 days apart (enough content change
+    // that the 40% budget is meaningful).
+    std::vector<std::pair<int, int>> pairs;
+    std::vector<int> clearDays;
+    for (int d = 0; d < 400; ++d)
+        if (weather.coverage(0, d) < 0.01)
+            clearDays.push_back(d);
+    for (size_t i = 0; i < clearDays.size() && pairs.size() < 10; ++i)
+        for (size_t j = i + 1; j < clearDays.size(); ++j)
+            if (clearDays[j] - clearDays[i] >= 10 &&
+                clearDays[j] - clearDays[i] <= 20) {
+                pairs.emplace_back(clearDays[i], clearDays[j]);
+                break;
+            }
+
+    const double budget = 0.40;      // fixed downloaded-tile fraction
+    const double fullResTheta = 0.01; // the paper's change criterion
+
+    Table t("Fig. 8: undetected changed tiles at a fixed 40% download "
+            "budget (paper: 1.7% missed at 2601x)");
+    t.setHeader({"Downsample", "Compression ratio", "Downloaded tiles",
+                 "Missed changed tiles"});
+
+    for (int factor : {1, 2, 4, 8, 16, 32, 64}) {
+        std::vector<change::TileObservation> obs;
+        for (auto [d1, d2] : pairs) {
+            synth::Capture ref = sim.capture(d1, 0);
+            synth::Capture cap = sim.capture(d2, 1);
+            for (int b = 0; b < cap.image.bandCount(); ++b) {
+                // Full-resolution truth criterion.
+                change::ChangeDetectorParams fullP;
+                fullP.threshold = fullResTheta;
+                fullP.tileSize = 64;
+                fullP.referenceFactor = 1;
+                auto full = change::detectChanges(
+                    cap.image.band(b), ref.image.band(b), fullP);
+                // Low-resolution measurement.
+                change::ChangeDetectorParams lowP = fullP;
+                lowP.referenceFactor = factor;
+                auto low = change::detectChanges(
+                    cap.image.band(b),
+                    raster::downsample(ref.image.band(b), factor), lowP);
+                for (size_t i = 0; i < low.tileDiffs.size(); ++i) {
+                    change::TileObservation o;
+                    o.lowResDiff = low.tileDiffs[i];
+                    o.fullResDiff = full.tileDiffs[i];
+                    obs.push_back(o);
+                }
+            }
+        }
+        double theta = change::thresholdForBudget(obs, budget);
+        auto q = change::evaluateThreshold(obs, theta, fullResTheta);
+        t.addRow({Table::num(factor, 0) + "x",
+                  Table::num(static_cast<double>(factor) * factor, 0) +
+                      "x",
+                  Table::pct(q.flaggedFraction),
+                  Table::pct(q.missedFraction)});
+    }
+    t.print(std::cout);
+    std::cout << "The x-axis ratio is resolution-only (factor^2), "
+                 "matching the paper's definition; 2601x corresponds "
+                 "to a 51x per-dimension factor on 6600x4400 images.\n";
+    return 0;
+}

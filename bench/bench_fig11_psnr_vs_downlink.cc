@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fig. 11: PSNR vs. downlink bandwidth trade-off on both datasets.
+ *
+ * Paper result: Earth+ needs 1.3-2.0x less downlink than the strongest
+ * baseline at equal PSNR on Sentinel-2, and 2.8-3.3x less on Planet
+ * (more satellites -> fresher references -> larger savings).
+ *
+ * The bit-per-tile budget gamma is swept to trace each system's
+ * trade-off curve; downlink rates are scaled to real image sizes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace epbench;
+
+void
+runDataset(const synth::DatasetSpec &spec, const std::vector<int> &locs,
+           const char *title)
+{
+    double scale = realByteScale(spec);
+    Table t(title);
+    t.setHeader({"System", "gamma (bpp)", "Downlink (Mbps)",
+                 "PSNR (dB)", "Tiles downloaded"});
+
+    struct Point
+    {
+        double mbps = 0.0;
+        double psnr = 0.0;
+    };
+    std::map<core::SystemKind, std::vector<Point>> curves;
+
+    for (auto kind : {core::SystemKind::EarthPlus,
+                      core::SystemKind::Kodan, core::SystemKind::SatRoI}) {
+        for (double gamma : {0.75, 1.5, 3.0}) {
+            double bytes = 0.0, psnr = 0.0, tiles = 0.0;
+            int n = 0;
+            for (int loc : locs) {
+                core::SimSummary s = runSim(spec, loc, kind, gamma);
+                if (s.processedCount == 0)
+                    continue;
+                bytes += s.totalDownlinkBytes /
+                         static_cast<double>(s.processedCount);
+                psnr += s.meanPsnr;
+                tiles += s.meanDownloadedFraction;
+                ++n;
+            }
+            if (n == 0)
+                continue;
+            Point p;
+            p.mbps = units::bytesOverSecondsToMbps(bytes / n * scale,
+                                                   600.0);
+            p.psnr = psnr / n;
+            curves[kind].push_back(p);
+            t.addRow({core::systemName(kind), Table::num(gamma, 2),
+                      Table::num(p.mbps, 2), Table::num(p.psnr, 2),
+                      Table::pct(tiles / n)});
+        }
+    }
+    t.print(std::cout);
+
+    // Downlink saving at matched quality: for each Earth+ point, find
+    // the cheapest baseline point with at least that PSNR (linear
+    // interpolation along each baseline curve).
+    auto bandwidthAtPsnr = [](const std::vector<Point> &curve,
+                              double target) {
+        double best = -1.0;
+        for (size_t i = 0; i < curve.size(); ++i) {
+            if (curve[i].psnr >= target &&
+                (best < 0.0 || curve[i].mbps < best))
+                best = curve[i].mbps;
+            if (i + 1 < curve.size() && curve[i].psnr < target &&
+                curve[i + 1].psnr >= target) {
+                double f = (target - curve[i].psnr) /
+                           (curve[i + 1].psnr - curve[i].psnr);
+                double mbps = curve[i].mbps +
+                              f * (curve[i + 1].mbps - curve[i].mbps);
+                if (best < 0.0 || mbps < best)
+                    best = mbps;
+            }
+        }
+        return best;
+    };
+
+    Table sav("Downlink saving vs strongest baseline at equal PSNR");
+    sav.setHeader({"Earth+ PSNR", "Earth+ Mbps", "Best baseline Mbps",
+                   "Saving"});
+    for (const Point &p : curves[core::SystemKind::EarthPlus]) {
+        double kodan =
+            bandwidthAtPsnr(curves[core::SystemKind::Kodan], p.psnr);
+        double satroi =
+            bandwidthAtPsnr(curves[core::SystemKind::SatRoI], p.psnr);
+        double best = -1.0;
+        if (kodan > 0.0)
+            best = kodan;
+        if (satroi > 0.0 && (best < 0.0 || satroi < best))
+            best = satroi;
+        if (best < 0.0)
+            continue;
+        sav.addRow({Table::num(p.psnr, 2), Table::num(p.mbps, 2),
+                    Table::num(best, 2),
+                    Table::num(best / p.mbps, 2) + "x"});
+    }
+    sav.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace epbench;
+
+    synth::DatasetSpec sentinel = benchSentinel();
+    std::vector<int> allLocs;
+    for (int i = 0; i < static_cast<int>(sentinel.locations.size()); ++i)
+        allLocs.push_back(i);
+    runDataset(sentinel, allLocs,
+               "Fig. 11a: Sentinel-2-like dataset "
+               "(paper: Earth+ saves 1.3-2.0x)");
+
+    synth::DatasetSpec planet = benchPlanet();
+    runDataset(planet, {0},
+               "Fig. 11b: Planet-like dataset "
+               "(paper: Earth+ saves 2.8-3.3x)");
+    return 0;
+}

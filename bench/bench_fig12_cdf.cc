@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 12: CDFs of the per-capture downloaded-tile percentage and of
+ * the per-capture PSNR, per system.
+ *
+ * Paper result: Earth+ downloads <20% of tiles for >60% of images
+ * while the baselines need >80% of tiles for >70% of images; the
+ * Earth+ PSNR CDF sits at or right of the baselines'. ~20% of Earth+
+ * images are full downloads (the guaranteed-download mechanism).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/stats.hh"
+
+int
+main()
+{
+    using namespace epbench;
+    synth::DatasetSpec spec = benchSentinel();
+    const double gamma = 1.5;
+
+    std::map<core::SystemKind, EmpiricalDistribution> tileCdf, psnrCdf;
+    std::map<core::SystemKind, int> fullCount, total;
+
+    for (auto kind : {core::SystemKind::EarthPlus,
+                      core::SystemKind::Kodan, core::SystemKind::SatRoI}) {
+        for (int loc = 0; loc < static_cast<int>(spec.locations.size());
+             ++loc) {
+            core::SimSummary s = runSim(spec, loc, kind, gamma);
+            for (const auto &c : s.captures) {
+                if (c.dropped)
+                    continue;
+                tileCdf[kind].add(c.downloadedTileFraction);
+                psnrCdf[kind].add(c.psnr);
+                fullCount[kind] += c.fullDownload ? 1 : 0;
+                ++total[kind];
+            }
+        }
+    }
+
+    Table t1("Fig. 12 (left): CDF of downloaded-tile percentage");
+    t1.setHeader({"Downloaded tiles <=", "SatRoI", "Kodan", "Earth+"});
+    for (double x : {0.1, 0.2, 0.4, 0.6, 0.8, 0.999})
+        t1.addRow({Table::pct(x, 0),
+                   Table::num(tileCdf[core::SystemKind::SatRoI].cdf(x), 2),
+                   Table::num(tileCdf[core::SystemKind::Kodan].cdf(x), 2),
+                   Table::num(tileCdf[core::SystemKind::EarthPlus].cdf(x),
+                              2)});
+    t1.print(std::cout);
+
+    Table t2("Fig. 12 (right): CDF of PSNR");
+    t2.setHeader({"PSNR <= (dB)", "SatRoI", "Kodan", "Earth+"});
+    for (double x : {25.0, 30.0, 33.0, 36.0, 40.0, 45.0})
+        t2.addRow({Table::num(x, 0),
+                   Table::num(psnrCdf[core::SystemKind::SatRoI].cdf(x), 2),
+                   Table::num(psnrCdf[core::SystemKind::Kodan].cdf(x), 2),
+                   Table::num(psnrCdf[core::SystemKind::EarthPlus].cdf(x),
+                              2)});
+    t2.print(std::cout);
+
+    Table t3("Summary");
+    t3.setHeader({"System", "Median tiles", "Median PSNR",
+                  "Full downloads"});
+    for (auto kind : {core::SystemKind::SatRoI, core::SystemKind::Kodan,
+                      core::SystemKind::EarthPlus}) {
+        double fullFrac =
+            total[kind] ? static_cast<double>(fullCount[kind]) /
+                          total[kind] : 0.0;
+        t3.addRow({core::systemName(kind),
+                   Table::pct(tileCdf[kind].quantile(0.5)),
+                   Table::num(psnrCdf[kind].quantile(0.5), 2),
+                   Table::pct(fullFrac)});
+    }
+    t3.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 1: Doves constellation specification used by every link /
+ * storage model in the evaluation.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "orbit/links.hh"
+
+int
+main()
+{
+    using namespace epbench;
+    core::DovesSpec spec = core::dovesSpec();
+    core::printSpecTable(spec, std::cout);
+
+    orbit::LinkBudget uplink(spec.uplink);
+    orbit::LinkBudget downlink(spec.downlink);
+    Table t("Derived link budgets");
+    t.setHeader({"Link", "Bytes/contact", "Bytes/day"});
+    t.addRow({"Uplink (250 kbps)",
+              Table::num(uplink.bytesPerContact() / 1e6, 2) + " MB",
+              Table::num(uplink.bytesPerDay() / 1e6, 2) + " MB"});
+    t.addRow({"Downlink (200 Mbps)",
+              Table::num(downlink.bytesPerContact() / 1e9, 2) + " GB",
+              Table::num(downlink.bytesPerDay() / 1e9, 2) + " GB"});
+    t.print(std::cout);
+    return 0;
+}

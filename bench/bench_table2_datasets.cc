@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 2: the two evaluation datasets (synthetic stand-ins; see
+ * DESIGN.md for the substitution rationale).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace epbench;
+    synth::DatasetSpec planet = synth::largeConstellationDataset();
+    synth::DatasetSpec sentinel = synth::richContentDataset();
+
+    Table t("Table 2: evaluation datasets (synthetic reproductions)");
+    t.setHeader({"Dataset", "Satellites", "Locations", "Coverage/loc",
+                 "GSD", "Duration", "Bands", "Cloud coverage"});
+    t.addRow({"Planet", Table::num(planet.satelliteCount, 0),
+              Table::num(planet.locations.size(), 0),
+              Table::num(planet.locationAreaKm2, 0) + " km2",
+              Table::num(planet.gsdMeters, 1) + " m",
+              Table::num((planet.endDay - planet.startDay) / 30.0, 0) +
+                  " months",
+              Table::num(planet.bands.size(), 0),
+              "<" + Table::pct(planet.maxCloudCoverage, 0)});
+    t.addRow({"Sentinel-2", Table::num(sentinel.satelliteCount, 0),
+              Table::num(sentinel.locations.size(), 0),
+              Table::num(sentinel.locationAreaKm2, 0) + " km2",
+              Table::num(sentinel.gsdMeters, 0) + " m",
+              Table::num((sentinel.endDay - sentinel.startDay) / 365.0,
+                         0) + " year",
+              Table::num(sentinel.bands.size(), 0),
+              "<=" + Table::pct(sentinel.maxCloudCoverage, 0)});
+    t.print(std::cout);
+
+    Table locs("Rich-content locations (Fig. 10 analogues)");
+    locs.setHeader({"Location", "Snowy", "Dominant mixture"});
+    const char *classNames[] = {"water", "forest", "mountain",
+                                "agriculture", "urban", "coastal"};
+    for (const auto &loc : sentinel.locations) {
+        size_t best = 0;
+        for (size_t c = 1; c < loc.mix.size(); ++c)
+            if (loc.mix[c] > loc.mix[best])
+                best = c;
+        locs.addRow({loc.name, loc.snowy ? "yes" : "no",
+                     classNames[best]});
+    }
+    locs.print(std::cout);
+    return 0;
+}

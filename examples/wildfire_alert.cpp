@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Wildfire-alert scenario (the paper's motivating application, §1):
+ * how quickly does a sudden ground change reach the analysts?
+ *
+ * A "fire" is injected as a burst of scene change; each system's alert
+ * latency is the time from the event until the capture containing the
+ * burned tiles has been fully transferred over a downlink whose
+ * per-contact budget is shared with the system's other queued imagery.
+ * Earth+'s smaller payloads drain the queue faster, cutting reaction
+ * delay (paper: up to 3x).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include <algorithm>
+
+#include "core/doves_spec.hh"
+#include "orbit/contact.hh"
+#include "orbit/links.hh"
+#include "core/simulation.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace earthplus;
+
+int
+main()
+{
+    // Daily-revisit constellation over a fire-prone location; the
+    // scene's own Poisson events play the role of fire outbreaks (any
+    // abrupt change is detected the same way).
+    synth::DatasetSpec spec = synth::largeConstellationDataset(256, 256);
+    spec.startDay = 150.0;
+    spec.endDay = 240.0;
+    const int forest = 0;
+
+    core::DovesSpec doves;
+    // Downlink budget available to THIS location per contact: the
+    // satellite shares each contact across the ~130 locations captured
+    // between contacts.
+    // A Dove images ~18,000 locations between two contacts; each
+    // location's fair share of the 15 GB contact is therefore small,
+    // and payload size directly sets how many contacts a capture
+    // queues through.
+    double perLocationContactBytes =
+        orbit::LinkBudget(doves.downlink).bytesPerContact() / 1800.0;
+    // Scale synthetic image bytes to real-image bytes.
+    double scale = static_cast<double>(doves.imageWidth) *
+                   doves.imageHeight * doves.imageChannels /
+                   (256.0 * 256.0 * 4.0);
+    orbit::ContactSchedule contacts(doves.contactsPerDay);
+
+    Table t("Wildfire alert latency (event -> imagery on the ground)");
+    t.setHeader({"System", "Mean latency (h)", "Capture wait (h)",
+                 "Downlink wait (h)", "Events"});
+
+    for (auto kind : {core::SystemKind::EarthPlus,
+                      core::SystemKind::SatRoI, core::SystemKind::Kodan}) {
+        core::SimParams params;
+        params.system.gamma = 1.5;
+        core::LocationSimulation sim(spec, forest, kind, params);
+        core::SimSummary s = sim.run();
+
+        // Alert latency per event: the event is visible in the first
+        // processed capture after it; the capture reaches the ground
+        // once the preceding queue plus its own payload have drained
+        // through this location's downlink share.
+        double latency = 0.0, captureWait = 0.0, linkWait = 0.0;
+        int events = 0;
+        for (double eventDay = spec.startDay + 5.0;
+             eventDay < spec.endDay - 10.0; eventDay += 11.0) {
+            const core::CaptureMetrics *first = nullptr;
+            for (const auto &c : s.captures)
+                if (!c.dropped && c.day >= eventDay) {
+                    first = &c;
+                    break;
+                }
+            if (!first)
+                continue;
+            ++events;
+            double wait = first->day - eventDay;
+            // Transmission: contacts after the capture, each moving
+            // perLocationContactBytes of this system's payload.
+            double payload = static_cast<double>(first->downlinkBytes) *
+                             scale;
+            double contactsNeeded =
+                std::max(1.0, payload / perLocationContactBytes);
+            double doneContact = contacts.nextContactAtOrAfter(
+                first->day) + (contactsNeeded - 1.0) /
+                doves.contactsPerDay;
+            double link = doneContact - first->day;
+            captureWait += wait;
+            linkWait += link;
+            latency += wait + link;
+        }
+        if (events == 0)
+            continue;
+        t.addRow({core::systemName(kind),
+                  Table::num(latency / events * 24.0, 1),
+                  Table::num(captureWait / events * 24.0, 1),
+                  Table::num(linkWait / events * 24.0, 1),
+                  Table::num(events, 0)});
+    }
+    t.print(std::cout);
+    std::printf("Smaller payloads need fewer ground-contact slots, so "
+                "fresh imagery lands sooner —\nthe paper reports up to "
+                "3x faster reaction for ground applications.\n");
+    return 0;
+}

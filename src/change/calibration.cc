@@ -1,0 +1,57 @@
+#include "change/calibration.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace earthplus::change {
+
+double
+thresholdForBudget(const std::vector<TileObservation> &obs,
+                   double targetFraction)
+{
+    EP_ASSERT(targetFraction >= 0.0 && targetFraction <= 1.0,
+              "target fraction %f out of range", targetFraction);
+    if (obs.empty())
+        return 0.0;
+    std::vector<double> diffs;
+    diffs.reserve(obs.size());
+    for (const auto &o : obs)
+        diffs.push_back(o.lowResDiff);
+    std::sort(diffs.begin(), diffs.end(), std::greater<>());
+    size_t want = static_cast<size_t>(
+        targetFraction * static_cast<double>(diffs.size()));
+    if (want == 0)
+        return diffs.front(); // flag nothing: threshold at the max
+    if (want >= diffs.size())
+        return 0.0;
+    // Tiles with diff strictly above the threshold are flagged; pick
+    // the want-th largest value so exactly ~want tiles exceed it.
+    return diffs[want];
+}
+
+ThresholdQuality
+evaluateThreshold(const std::vector<TileObservation> &obs,
+                  double lowThreshold, double fullResThreshold)
+{
+    ThresholdQuality q;
+    if (obs.empty())
+        return q;
+    size_t flagged = 0, missed = 0, falsePos = 0;
+    for (const auto &o : obs) {
+        bool flag = o.lowResDiff > lowThreshold;
+        bool truly = o.fullResDiff > fullResThreshold;
+        flagged += flag ? 1 : 0;
+        missed += (truly && !flag) ? 1 : 0;
+        falsePos += (flag && !truly) ? 1 : 0;
+    }
+    double n = static_cast<double>(obs.size());
+    q.flaggedFraction = static_cast<double>(flagged) / n;
+    q.missedFraction = static_cast<double>(missed) / n;
+    q.falsePositiveRate =
+        flagged ? static_cast<double>(falsePos) /
+                  static_cast<double>(flagged) : 0.0;
+    return q;
+}
+
+} // namespace earthplus::change

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Threshold calibration for change detection.
+ *
+ * Earth+ chooses a static threshold theta by profiling the previous
+ * year's data on one location and applies it to the next year
+ * everywhere (§5). Two calibration targets are supported:
+ *
+ *  - a downloaded-tile budget (Fig. 8 fixes the total number of
+ *    downloaded tiles while sweeping the reference compression ratio),
+ *  - a false-positive cap (label more tiles changed at low resolution
+ *    "without misclassifying an unchanged tile as changed", §4.3).
+ */
+
+#ifndef EARTHPLUS_CHANGE_CALIBRATION_HH
+#define EARTHPLUS_CHANGE_CALIBRATION_HH
+
+#include <vector>
+
+namespace earthplus::change {
+
+/** One tile's profiling observation. */
+struct TileObservation
+{
+    /** Mean abs difference at the analysis (low) resolution. */
+    double lowResDiff = 0.0;
+    /** Mean abs difference at full resolution (the ground criterion). */
+    double fullResDiff = 0.0;
+};
+
+/**
+ * Largest threshold marking at least `targetFraction` of observed tiles
+ * as changed (descending sweep). Returns 0 when even threshold 0 cannot
+ * reach the target.
+ */
+double thresholdForBudget(const std::vector<TileObservation> &obs,
+                          double targetFraction);
+
+/**
+ * Quality of a candidate threshold against full-resolution truth.
+ */
+struct ThresholdQuality
+{
+    /** Fraction of tiles flagged changed (download budget used). */
+    double flaggedFraction = 0.0;
+    /**
+     * Fraction of all tiles that are truly changed (full-res diff above
+     * `fullResThreshold`) but not flagged — Fig. 8's "changed tiles
+     * that are not detected".
+     */
+    double missedFraction = 0.0;
+    /** Fraction of flagged tiles that are truly unchanged. */
+    double falsePositiveRate = 0.0;
+};
+
+/**
+ * Evaluate a low-resolution threshold against full-resolution truth.
+ *
+ * @param obs Profiling observations.
+ * @param lowThreshold Candidate low-resolution threshold.
+ * @param fullResThreshold The paper's full-resolution criterion (0.01).
+ */
+ThresholdQuality evaluateThreshold(const std::vector<TileObservation> &obs,
+                                   double lowThreshold,
+                                   double fullResThreshold = 0.01);
+
+} // namespace earthplus::change
+
+#endif // EARTHPLUS_CHANGE_CALIBRATION_HH

@@ -1,0 +1,81 @@
+#include "change/detector.hh"
+
+#include <cmath>
+
+#include "raster/resample.hh"
+#include "util/logging.hh"
+
+namespace earthplus::change {
+
+std::vector<double>
+tileMeanAbsDiff(const raster::Plane &a, const raster::Plane &b,
+                int tileSizePx, const raster::Bitmap *valid)
+{
+    EP_ASSERT(a.sameShape(b), "tile diff on mismatched planes");
+    EP_ASSERT(tileSizePx >= 1, "invalid tile size %d", tileSizePx);
+    raster::TileGrid grid(a.width(), a.height(), tileSizePx);
+    std::vector<double> diffs(static_cast<size_t>(grid.tileCount()), 0.0);
+    for (int t = 0; t < grid.tileCount(); ++t) {
+        raster::TileRect r = grid.rect(t);
+        double sum = 0.0;
+        size_t n = 0;
+        for (int y = r.y0; y < r.y0 + r.height; ++y) {
+            const float *ra = a.row(y);
+            const float *rb = b.row(y);
+            for (int x = r.x0; x < r.x0 + r.width; ++x) {
+                if (valid && !valid->get(x, y))
+                    continue;
+                sum += std::abs(static_cast<double>(ra[x]) - rb[x]);
+                ++n;
+            }
+        }
+        diffs[static_cast<size_t>(t)] =
+            n ? sum / static_cast<double>(n) : 0.0;
+    }
+    return diffs;
+}
+
+ChangeDetection
+detectChanges(const raster::Plane &capture,
+              const raster::Plane &referenceLow,
+              const ChangeDetectorParams &params,
+              const raster::Bitmap *validLow)
+{
+    EP_ASSERT(params.referenceFactor >= 1, "invalid reference factor %d",
+              params.referenceFactor);
+    EP_ASSERT(params.tileSize % params.referenceFactor == 0,
+              "tile size %d not divisible by reference factor %d",
+              params.tileSize, params.referenceFactor);
+
+    raster::Plane captureLow =
+        raster::downsample(capture, params.referenceFactor);
+    EP_ASSERT(captureLow.sameShape(referenceLow),
+              "reference (%dx%d) does not match downsampled capture "
+              "(%dx%d)", referenceLow.width(), referenceLow.height(),
+              captureLow.width(), captureLow.height());
+
+    ChangeDetection det;
+    raster::Plane aligned = referenceLow;
+    if (params.alignIllumination) {
+        det.illumination =
+            fitIllumination(referenceLow, captureLow, validLow);
+        if (det.illumination.valid)
+            applyIllumination(aligned, det.illumination);
+    }
+
+    int tileLow = params.tileSize / params.referenceFactor;
+    det.tileDiffs = tileMeanAbsDiff(captureLow, aligned, tileLow, validLow);
+
+    raster::TileGrid grid(capture.width(), capture.height(),
+                          params.tileSize);
+    EP_ASSERT(static_cast<int>(det.tileDiffs.size()) == grid.tileCount(),
+              "tile accounting mismatch: %zu low-res vs %d full-res",
+              det.tileDiffs.size(), grid.tileCount());
+    det.changedTiles = raster::TileMask(grid);
+    for (int t = 0; t < grid.tileCount(); ++t)
+        det.changedTiles.set(
+            t, det.tileDiffs[static_cast<size_t>(t)] > params.threshold);
+    return det;
+}
+
+} // namespace earthplus::change

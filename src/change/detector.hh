@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tile-level change detection against (possibly downsampled)
+ * reference images.
+ *
+ * A tile is changed when its mean absolute pixel difference against the
+ * illumination-aligned reference exceeds a threshold theta (§3, §4.3).
+ * Earth+ runs this at the reference's low resolution: unchanged tiles
+ * stay low-difference when downsampled, so with a low theta only a few
+ * changed tiles are missed (false negatives; Fig. 8).
+ */
+
+#ifndef EARTHPLUS_CHANGE_DETECTOR_HH
+#define EARTHPLUS_CHANGE_DETECTOR_HH
+
+#include <vector>
+
+#include "change/illumination.hh"
+#include "raster/bitmap.hh"
+#include "raster/plane.hh"
+#include "raster/tile.hh"
+
+namespace earthplus::change {
+
+/** Change-detection configuration. */
+struct ChangeDetectorParams
+{
+    /** Mean-abs-difference threshold marking a tile changed. */
+    double threshold = 0.01;
+    /** Tile size in full-resolution pixels. */
+    int tileSize = raster::kDefaultTileSize;
+    /**
+     * Downsampling factor of the reference (1 = full resolution). The
+     * capture is downsampled by the same factor before differencing.
+     */
+    int referenceFactor = 1;
+    /** Run the linear illumination alignment before differencing. */
+    bool alignIllumination = true;
+};
+
+/** Result of change detection on one capture/reference pair. */
+struct ChangeDetection
+{
+    /** Tiles flagged changed. */
+    raster::TileMask changedTiles;
+    /** Per-tile mean absolute difference (flat tile index order). */
+    std::vector<double> tileDiffs;
+    /** The illumination fit that was applied (identity if disabled). */
+    IlluminationFit illumination;
+};
+
+/**
+ * Per-tile mean absolute difference between two same-sized planes.
+ *
+ * @param a First plane.
+ * @param b Second plane.
+ * @param tileSizePx Tile size in *these planes'* pixels (i.e. already
+ *                   divided by any downsampling factor).
+ * @param valid Optional per-pixel validity mask; tiles with no valid
+ *              pixels get a difference of 0.
+ */
+std::vector<double> tileMeanAbsDiff(const raster::Plane &a,
+                                    const raster::Plane &b, int tileSizePx,
+                                    const raster::Bitmap *valid = nullptr);
+
+/**
+ * Detect changed tiles in a capture against a low-resolution reference.
+ *
+ * @param capture Full-resolution captured plane.
+ * @param referenceLow Reference already downsampled by
+ *                     params.referenceFactor (pass the full-resolution
+ *                     reference when the factor is 1).
+ * @param params Detector configuration.
+ * @param validLow Optional validity mask at the low resolution (e.g.
+ *                 union of cloud-free areas in both images).
+ */
+ChangeDetection detectChanges(const raster::Plane &capture,
+                              const raster::Plane &referenceLow,
+                              const ChangeDetectorParams &params,
+                              const raster::Bitmap *validLow = nullptr);
+
+} // namespace earthplus::change
+
+#endif // EARTHPLUS_CHANGE_DETECTOR_HH

@@ -1,0 +1,70 @@
+#include "change/illumination.hh"
+
+#include "util/logging.hh"
+
+namespace earthplus::change {
+
+namespace {
+
+/** Minimum usable pixels for a stable regression. */
+constexpr size_t kMinSamples = 16;
+/** Minimum reference variance to avoid a degenerate slope. */
+constexpr double kMinVariance = 1e-8;
+
+} // anonymous namespace
+
+IlluminationFit
+fitIllumination(const raster::Plane &reference,
+                const raster::Plane &capture, const raster::Bitmap *valid)
+{
+    EP_ASSERT(reference.sameShape(capture),
+              "illumination fit on mismatched planes");
+    if (valid) {
+        EP_ASSERT(valid->width() == reference.width() &&
+                  valid->height() == reference.height(),
+                  "validity mask shape mismatch");
+    }
+
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    size_t n = 0;
+    for (int y = 0; y < reference.height(); ++y) {
+        const float *rx = reference.row(y);
+        const float *ry = capture.row(y);
+        for (int x = 0; x < reference.width(); ++x) {
+            if (valid && !valid->get(x, y))
+                continue;
+            double vx = rx[x];
+            double vy = ry[x];
+            sx += vx;
+            sy += vy;
+            sxx += vx * vx;
+            sxy += vx * vy;
+            ++n;
+        }
+    }
+
+    IlluminationFit fit;
+    fit.samples = n;
+    if (n < kMinSamples)
+        return fit;
+    double dn = static_cast<double>(n);
+    double var = sxx / dn - (sx / dn) * (sx / dn);
+    if (var < kMinVariance)
+        return fit;
+    fit.gain = (sxy / dn - (sx / dn) * (sy / dn)) / var;
+    fit.bias = sy / dn - fit.gain * (sx / dn);
+    fit.valid = true;
+    return fit;
+}
+
+void
+applyIllumination(raster::Plane &p, const IlluminationFit &fit)
+{
+    float g = static_cast<float>(fit.gain);
+    float b = static_cast<float>(fit.bias);
+    for (auto &v : p.data())
+        v = g * v + b;
+    p.clampTo(0.0f, 1.0f);
+}
+
+} // namespace earthplus::change

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Illumination alignment between a capture and its reference.
+ *
+ * Illumination affects pixel values approximately linearly ([72], §5),
+ * so Earth+ fits y = gain * x + bias by least squares over pixels that
+ * are valid (non-cloudy) in both images, then maps the reference into
+ * the capture's illumination before differencing.
+ */
+
+#ifndef EARTHPLUS_CHANGE_ILLUMINATION_HH
+#define EARTHPLUS_CHANGE_ILLUMINATION_HH
+
+#include "raster/bitmap.hh"
+#include "raster/plane.hh"
+
+namespace earthplus::change {
+
+/** A fitted linear illumination map y = gain * x + bias. */
+struct IlluminationFit
+{
+    double gain = 1.0;
+    double bias = 0.0;
+    /** Number of pixels the fit used. */
+    size_t samples = 0;
+    /** True when enough valid pixels existed for a stable fit. */
+    bool valid = false;
+};
+
+/**
+ * Least-squares fit of capture = gain * reference + bias.
+ *
+ * @param reference Reference pixels (x variable).
+ * @param capture Captured pixels (y variable), same size.
+ * @param valid Optional mask; only set pixels participate.
+ * @return Fit with valid=false (identity) when fewer than 16 pixels
+ *         are usable or the reference is constant.
+ */
+IlluminationFit fitIllumination(const raster::Plane &reference,
+                                const raster::Plane &capture,
+                                const raster::Bitmap *valid = nullptr);
+
+/** Apply a fit in place: p = gain * p + bias, then clamp to [0, 1]. */
+void applyIllumination(raster::Plane &p, const IlluminationFit &fit);
+
+} // namespace earthplus::change
+
+#endif // EARTHPLUS_CHANGE_ILLUMINATION_HH

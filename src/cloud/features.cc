@@ -1,0 +1,132 @@
+#include "cloud/features.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace earthplus::cloud {
+
+BandRoles
+rolesFor(const std::vector<synth::BandSpec> &bands)
+{
+    BandRoles roles;
+    for (int b = 0; b < static_cast<int>(bands.size()); ++b) {
+        const auto &spec = bands[static_cast<size_t>(b)];
+        if (spec.coldClouds)
+            roles.infrared.push_back(b);
+        else if (spec.atmosphere < 0.3)
+            roles.visible.push_back(b);
+    }
+    if (roles.visible.empty()) {
+        // Degenerate single-band datasets: use whatever exists.
+        for (int b = 0; b < static_cast<int>(bands.size()); ++b)
+            roles.visible.push_back(b);
+    }
+    return roles;
+}
+
+raster::Plane
+bandMean(const raster::Image &img, const std::vector<int> &bandIdx)
+{
+    raster::Plane out(img.width(), img.height(), 0.0f);
+    if (bandIdx.empty())
+        return out;
+    for (int b : bandIdx) {
+        const raster::Plane &src = img.band(b);
+        for (size_t i = 0; i < out.data().size(); ++i)
+            out.data()[i] += src.data()[i];
+    }
+    float inv = 1.0f / static_cast<float>(bandIdx.size());
+    for (auto &v : out.data())
+        v *= inv;
+    return out;
+}
+
+namespace {
+
+/**
+ * Summed-area table over the plane, (w+1)x(h+1), for O(1) box sums.
+ */
+std::vector<double>
+integralImage(const raster::Plane &p)
+{
+    int w = p.width();
+    int h = p.height();
+    std::vector<double> sat(static_cast<size_t>(w + 1) *
+                            static_cast<size_t>(h + 1), 0.0);
+    for (int y = 0; y < h; ++y) {
+        const float *row = p.row(y);
+        double rowsum = 0.0;
+        for (int x = 0; x < w; ++x) {
+            rowsum += row[x];
+            sat[static_cast<size_t>(y + 1) * (w + 1) + (x + 1)] =
+                sat[static_cast<size_t>(y) * (w + 1) + (x + 1)] + rowsum;
+        }
+    }
+    return sat;
+}
+
+double
+boxSum(const std::vector<double> &sat, int w, int x0, int y0, int x1,
+       int y1)
+{
+    // Sum over [x0, x1) x [y0, y1).
+    return sat[static_cast<size_t>(y1) * (w + 1) + x1] -
+           sat[static_cast<size_t>(y0) * (w + 1) + x1] -
+           sat[static_cast<size_t>(y1) * (w + 1) + x0] +
+           sat[static_cast<size_t>(y0) * (w + 1) + x0];
+}
+
+} // anonymous namespace
+
+raster::Plane
+boxBlur(const raster::Plane &p, int radius)
+{
+    EP_ASSERT(radius >= 0, "negative blur radius");
+    int w = p.width();
+    int h = p.height();
+    raster::Plane out(w, h);
+    auto sat = integralImage(p);
+    for (int y = 0; y < h; ++y) {
+        int y0 = std::max(0, y - radius);
+        int y1 = std::min(h, y + radius + 1);
+        float *row = out.row(y);
+        for (int x = 0; x < w; ++x) {
+            int x0 = std::max(0, x - radius);
+            int x1 = std::min(w, x + radius + 1);
+            double n = static_cast<double>((x1 - x0) * (y1 - y0));
+            row[x] = static_cast<float>(boxSum(sat, w, x0, y0, x1, y1) / n);
+        }
+    }
+    return out;
+}
+
+raster::Plane
+localStddev(const raster::Plane &p, int radius)
+{
+    EP_ASSERT(radius >= 0, "negative window radius");
+    int w = p.width();
+    int h = p.height();
+    raster::Plane sq(w, h);
+    for (size_t i = 0; i < p.data().size(); ++i)
+        sq.data()[i] = p.data()[i] * p.data()[i];
+    auto sat = integralImage(p);
+    auto sat2 = integralImage(sq);
+    raster::Plane out(w, h);
+    for (int y = 0; y < h; ++y) {
+        int y0 = std::max(0, y - radius);
+        int y1 = std::min(h, y + radius + 1);
+        float *row = out.row(y);
+        for (int x = 0; x < w; ++x) {
+            int x0 = std::max(0, x - radius);
+            int x1 = std::min(w, x + radius + 1);
+            double n = static_cast<double>((x1 - x0) * (y1 - y0));
+            double mean = boxSum(sat, w, x0, y0, x1, y1) / n;
+            double var = boxSum(sat2, w, x0, y0, x1, y1) / n - mean * mean;
+            row[x] = static_cast<float>(std::sqrt(std::max(var, 0.0)));
+        }
+    }
+    return out;
+}
+
+} // namespace earthplus::cloud

@@ -1,0 +1,299 @@
+#include "codec/codec.hh"
+
+#include <algorithm>
+#include <climits>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace earthplus::codec {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x31435045; // "EPC1"
+
+/** Fixed serialized header size in bytes. */
+constexpr size_t kFixedHeader =
+    4 +          // magic
+    6 * 4 +      // width, height, tileSize, dwtLevels, layers, flags
+    8 +          // quantStep
+    4;           // tile count
+
+template <typename T>
+void
+appendPod(std::vector<uint8_t> &out, const T &v)
+{
+    const auto *p = reinterpret_cast<const uint8_t *>(&v);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T
+readPod(const std::vector<uint8_t> &in, size_t &pos)
+{
+    if (pos + sizeof(T) > in.size())
+        fatal("encoded image stream truncated");
+    T v;
+    std::memcpy(&v, in.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+}
+
+} // anonymous namespace
+
+size_t
+EncodedImage::payloadBytes() const
+{
+    size_t total = 0;
+    for (const auto &chunk : layerChunks)
+        total += chunk.size();
+    return total;
+}
+
+size_t
+EncodedImage::headerBytes() const
+{
+    // Fixed header + packed coded-tile bitmap + per-layer length fields.
+    return kFixedHeader + (tileCoded.size() + 7) / 8 +
+           4 * layerChunks.size();
+}
+
+size_t
+EncodedImage::totalBytes() const
+{
+    return headerBytes() + payloadBytes();
+}
+
+size_t
+EncodedImage::totalBytesForLayers(int layerCount) const
+{
+    if (layerCount < 0 ||
+        layerCount > static_cast<int>(layerChunks.size()))
+        layerCount = static_cast<int>(layerChunks.size());
+    size_t total = kFixedHeader + (tileCoded.size() + 7) / 8 +
+                   4 * static_cast<size_t>(layerCount);
+    for (int l = 0; l < layerCount; ++l)
+        total += layerChunks[static_cast<size_t>(l)].size();
+    return total;
+}
+
+double
+EncodedImage::codedTileFraction() const
+{
+    if (tileCoded.empty())
+        return 0.0;
+    size_t set = 0;
+    for (uint8_t f : tileCoded)
+        set += f;
+    return static_cast<double>(set) /
+           static_cast<double>(tileCoded.size());
+}
+
+std::vector<uint8_t>
+EncodedImage::serialize() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(totalBytes());
+    appendPod(out, kMagic);
+    appendPod(out, static_cast<uint32_t>(width));
+    appendPod(out, static_cast<uint32_t>(height));
+    appendPod(out, static_cast<uint32_t>(tileSize));
+    appendPod(out, static_cast<uint32_t>(dwtLevels));
+    appendPod(out, static_cast<uint32_t>(layers));
+    uint32_t flags = (wavelet == Wavelet::LeGall53 ? 1u : 0u) |
+                     (lossless ? 2u : 0u) |
+                     (static_cast<uint32_t>(losslessDepth) << 8);
+    appendPod(out, flags);
+    appendPod(out, quantStep);
+    appendPod(out, static_cast<uint32_t>(tileCoded.size()));
+    // Packed coded-tile bitmap.
+    for (size_t i = 0; i < tileCoded.size(); i += 8) {
+        uint8_t b = 0;
+        for (size_t j = 0; j < 8 && i + j < tileCoded.size(); ++j)
+            b |= static_cast<uint8_t>((tileCoded[i + j] ? 1 : 0) << j);
+        out.push_back(b);
+    }
+    for (const auto &chunk : layerChunks) {
+        appendPod(out, static_cast<uint32_t>(chunk.size()));
+        out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+    return out;
+}
+
+EncodedImage
+EncodedImage::deserialize(const std::vector<uint8_t> &bytes)
+{
+    size_t pos = 0;
+    if (readPod<uint32_t>(bytes, pos) != kMagic)
+        fatal("bad encoded-image magic");
+    EncodedImage e;
+    e.width = static_cast<int>(readPod<uint32_t>(bytes, pos));
+    e.height = static_cast<int>(readPod<uint32_t>(bytes, pos));
+    e.tileSize = static_cast<int>(readPod<uint32_t>(bytes, pos));
+    e.dwtLevels = static_cast<int>(readPod<uint32_t>(bytes, pos));
+    e.layers = static_cast<int>(readPod<uint32_t>(bytes, pos));
+    uint32_t flags = readPod<uint32_t>(bytes, pos);
+    e.wavelet = (flags & 1u) ? Wavelet::LeGall53 : Wavelet::CDF97;
+    e.lossless = (flags & 2u) != 0;
+    e.losslessDepth = static_cast<int>((flags >> 8) & 0xFFu);
+    e.quantStep = readPod<double>(bytes, pos);
+    uint32_t tiles = readPod<uint32_t>(bytes, pos);
+    e.tileCoded.resize(tiles);
+    size_t packed = (static_cast<size_t>(tiles) + 7) / 8;
+    if (pos + packed > bytes.size())
+        fatal("encoded image stream truncated in tile bitmap");
+    for (size_t i = 0; i < tiles; ++i)
+        e.tileCoded[i] = (bytes[pos + i / 8] >> (i % 8)) & 1u;
+    pos += packed;
+    for (int l = 0; l < e.layers; ++l) {
+        uint32_t size = readPod<uint32_t>(bytes, pos);
+        if (pos + size > bytes.size())
+            fatal("encoded image stream truncated in layer %d", l);
+        e.layerChunks.emplace_back(bytes.begin() +
+                                       static_cast<ptrdiff_t>(pos),
+                                   bytes.begin() +
+                                       static_cast<ptrdiff_t>(pos + size));
+        pos += size;
+    }
+    return e;
+}
+
+EncodedImage
+encode(const raster::Plane &img, const EncodeParams &params)
+{
+    EP_ASSERT(params.layers >= 1, "need at least one quality layer");
+    EP_ASSERT(params.bitsPerPixel > 0.0 || params.lossless,
+              "non-positive bit budget");
+    EP_ASSERT(!params.lossless || params.wavelet == Wavelet::LeGall53,
+              "lossless coding requires the LeGall 5/3 wavelet");
+
+    raster::TileGrid grid(img.width(), img.height(), params.tileSize);
+    if (params.roi) {
+        EP_ASSERT(params.roi->tilesX() == grid.tilesX() &&
+                  params.roi->tilesY() == grid.tilesY(),
+                  "ROI mask (%dx%d tiles) does not match grid (%dx%d)",
+                  params.roi->tilesX(), params.roi->tilesY(),
+                  grid.tilesX(), grid.tilesY());
+    }
+
+    EncodedImage out;
+    out.width = img.width();
+    out.height = img.height();
+    out.tileSize = params.tileSize;
+    out.dwtLevels = params.dwtLevels;
+    out.layers = params.layers;
+    out.wavelet = params.wavelet;
+    out.lossless = params.lossless;
+    out.losslessDepth = params.losslessDepth;
+    out.quantStep = params.quantStep;
+    out.tileCoded.assign(static_cast<size_t>(grid.tileCount()), 0);
+
+    TileCoderParams tp;
+    tp.dwtLevels = params.dwtLevels;
+    tp.wavelet = params.wavelet;
+    tp.lossless = params.lossless;
+    tp.losslessDepth = params.losslessDepth;
+    tp.quantStep = params.quantStep;
+
+    struct TileState
+    {
+        TileEncoder coder;
+        size_t budget;   // total byte budget across all layers
+        size_t spent;    // bytes consumed so far
+    };
+    std::vector<TileState> states;
+    std::vector<int> codedTiles;
+    for (int t = 0; t < grid.tileCount(); ++t) {
+        if (params.roi && !params.roi->get(t))
+            continue;
+        out.tileCoded[static_cast<size_t>(t)] = 1;
+        codedTiles.push_back(t);
+        raster::TileRect r = grid.rect(t);
+        raster::Plane tile = img.crop(r.x0, r.y0, r.width, r.height);
+        size_t pixels = static_cast<size_t>(r.width) *
+                        static_cast<size_t>(r.height);
+        size_t budget = params.lossless
+            ? SIZE_MAX / 2
+            : static_cast<size_t>(params.bitsPerPixel *
+                                  static_cast<double>(pixels) / 8.0);
+        states.push_back(TileState{TileEncoder(tile, tp), budget, 0});
+    }
+
+    for (int layer = 0; layer < params.layers; ++layer) {
+        std::vector<uint8_t> chunk;
+        RangeEncoder enc(chunk);
+        for (size_t s = 0; s < states.size(); ++s) {
+            TileState &st = states[s];
+            size_t before = enc.bytesWritten();
+            if (layer == 0)
+                st.coder.encodeHeader(enc);
+            // Cumulative budget through this layer grows linearly so
+            // each layer carries a roughly equal share of the bits.
+            size_t cumBudget = params.lossless
+                ? SIZE_MAX / 2
+                : st.budget * static_cast<size_t>(layer + 1) /
+                      static_cast<size_t>(params.layers);
+            size_t remaining =
+                cumBudget > st.spent ? cumBudget - st.spent : 0;
+            int maxPlanes = INT_MAX;
+            if (params.lossless) {
+                // Spread bitplanes evenly across layers.
+                int total = st.coder.maxPlane() + 1;
+                maxPlanes = (total + params.layers - 1) / params.layers;
+            }
+            st.coder.encodePlanes(enc, enc.bytesWritten() + remaining,
+                                  maxPlanes);
+            st.spent += enc.bytesWritten() - before;
+        }
+        enc.flush();
+        out.layerChunks.push_back(std::move(chunk));
+    }
+    return out;
+}
+
+raster::Plane
+decode(const EncodedImage &e, int maxLayers)
+{
+    raster::TileGrid grid(e.width, e.height, e.tileSize);
+    EP_ASSERT(static_cast<int>(e.tileCoded.size()) == grid.tileCount(),
+              "coded-tile flags (%zu) do not match grid (%d)",
+              e.tileCoded.size(), grid.tileCount());
+    if (maxLayers < 0 || maxLayers > static_cast<int>(e.layerChunks.size()))
+        maxLayers = static_cast<int>(e.layerChunks.size());
+
+    TileCoderParams tp;
+    tp.dwtLevels = e.dwtLevels;
+    tp.wavelet = e.wavelet;
+    tp.lossless = e.lossless;
+    tp.losslessDepth = e.losslessDepth;
+    tp.quantStep = e.quantStep;
+
+    std::vector<TileDecoder> decoders;
+    std::vector<int> codedTiles;
+    for (int t = 0; t < grid.tileCount(); ++t) {
+        if (!e.tileCoded[static_cast<size_t>(t)])
+            continue;
+        codedTiles.push_back(t);
+        raster::TileRect r = grid.rect(t);
+        decoders.emplace_back(r.width, r.height, tp);
+    }
+
+    for (int layer = 0; layer < maxLayers; ++layer) {
+        const auto &chunk = e.layerChunks[static_cast<size_t>(layer)];
+        RangeDecoder dec(chunk.data(), chunk.size());
+        for (size_t s = 0; s < decoders.size(); ++s) {
+            if (layer == 0)
+                decoders[s].decodeHeader(dec);
+            decoders[s].decodePlanes(dec);
+        }
+    }
+
+    raster::Plane out(e.width, e.height, 0.0f);
+    for (size_t s = 0; s < decoders.size(); ++s) {
+        raster::TileRect r = grid.rect(codedTiles[s]);
+        out.paste(decoders[s].reconstruct(), r.x0, r.y0);
+    }
+    return out;
+}
+
+} // namespace earthplus::codec

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Image-level codec front-end.
+ *
+ * Plays the role of the paper's JPEG-2000 encoder (Kakadu, §5): encodes
+ * one image plane tile-by-tile with a bits-per-pixel budget, an optional
+ * region-of-interest mask (only ROI tiles are coded, as in Earth+'s
+ * changed-tile encoding), and SNR-progressive quality layers (used for
+ * downlink-bandwidth adaptation, §5 "Handling bandwidth fluctuation").
+ */
+
+#ifndef EARTHPLUS_CODEC_CODEC_HH
+#define EARTHPLUS_CODEC_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/tile_coder.hh"
+#include "raster/plane.hh"
+#include "raster/tile.hh"
+
+namespace earthplus::codec {
+
+/** Encoding configuration. */
+struct EncodeParams
+{
+    /**
+     * Bit budget per coded (ROI) pixel. Image-level rate equals
+     * bitsPerPixel x (ROI fraction), matching §5: each encoded tile
+     * receives a constant budget gamma.
+     */
+    double bitsPerPixel = 2.0;
+    /** Dyadic DWT levels per tile. */
+    int dwtLevels = 4;
+    /** Wavelet filter. */
+    Wavelet wavelet = Wavelet::CDF97;
+    /** Exact reconstruction (forces LeGall53 + full bitplanes). */
+    bool lossless = false;
+    /** Integer depth for the lossless mapping. */
+    int losslessDepth = 8;
+    /** Deadzone quantizer step for the lossy path. */
+    double quantStep = 1.0 / 512.0;
+    /** Tile edge length in pixels. */
+    int tileSize = raster::kDefaultTileSize;
+    /** Optional region of interest; null encodes every tile. */
+    const raster::TileMask *roi = nullptr;
+    /** Number of SNR-progressive quality layers (>= 1). */
+    int layers = 1;
+};
+
+/**
+ * An encoded plane: container header, coded-tile flags and one byte
+ * chunk per quality layer.
+ */
+struct EncodedImage
+{
+    int width = 0;
+    int height = 0;
+    int tileSize = raster::kDefaultTileSize;
+    int dwtLevels = 4;
+    int layers = 1;
+    Wavelet wavelet = Wavelet::CDF97;
+    bool lossless = false;
+    int losslessDepth = 8;
+    double quantStep = 1.0 / 512.0;
+    /** Per-tile coded flag, flat tile index order. */
+    std::vector<uint8_t> tileCoded;
+    /** One entropy-coded chunk per quality layer. */
+    std::vector<std::vector<uint8_t>> layerChunks;
+
+    /** Sum of layer chunk sizes in bytes. */
+    size_t payloadBytes() const;
+
+    /** Container + coded-tile-bitmap overhead in bytes. */
+    size_t headerBytes() const;
+
+    /** Total wire size (what a downlink must carry). */
+    size_t totalBytes() const;
+
+    /** Wire size when only the first `layerCount` layers are sent. */
+    size_t totalBytesForLayers(int layerCount) const;
+
+    /** Fraction of tiles that were coded. */
+    double codedTileFraction() const;
+
+    /** Serialize to a self-describing byte stream. */
+    std::vector<uint8_t> serialize() const;
+
+    /** Parse a stream produced by serialize(); fatal() on corruption. */
+    static EncodedImage deserialize(const std::vector<uint8_t> &bytes);
+};
+
+/**
+ * Encode one plane.
+ *
+ * @param img Pixel data in [0, 1].
+ * @param params Encoding configuration; params.roi, when set, must match
+ *               the plane's tile grid.
+ */
+EncodedImage encode(const raster::Plane &img, const EncodeParams &params);
+
+/**
+ * Decode an encoded plane.
+ *
+ * Tiles outside the encoded ROI are filled with zeros — Earth+ overlays
+ * decoded changed tiles onto the ground's reference copy.
+ *
+ * @param maxLayers Decode only the first maxLayers quality layers
+ *                  (-1 = all). Fewer layers = lower quality, fewer bytes.
+ */
+raster::Plane decode(const EncodedImage &enc, int maxLayers = -1);
+
+} // namespace earthplus::codec
+
+#endif // EARTHPLUS_CODEC_CODEC_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Adaptive binary range coder (arithmetic coding backend).
+ *
+ * LZMA-style binary range coder with 11-bit adaptive probability models.
+ * This is the entropy-coding engine underneath the tile bitplane coder;
+ * together they play the role JPEG-2000's MQ-coder plays for Kakadu in
+ * the paper.
+ */
+
+#ifndef EARTHPLUS_CODEC_RANGECODER_HH
+#define EARTHPLUS_CODEC_RANGECODER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace earthplus::codec {
+
+/**
+ * Adaptive probability state for one binary context.
+ *
+ * 11-bit probability of the next bit being 0, updated with shift-5
+ * exponential decay (the LZMA adaptation rule).
+ */
+class BitModel
+{
+  public:
+    BitModel() : prob_(kOneHalf) {}
+
+    /** Probability numerator (out of 2^11) that the next bit is 0. */
+    uint16_t prob() const { return prob_; }
+
+    /** Move probability toward "bit was 0". */
+    void
+    update0()
+    {
+        prob_ += static_cast<uint16_t>((kOne - prob_) >> kMoveBits);
+    }
+
+    /** Move probability toward "bit was 1". */
+    void update1() { prob_ -= static_cast<uint16_t>(prob_ >> kMoveBits); }
+
+    /** Total probability denominator exponent. */
+    static constexpr int kModelBits = 11;
+    /** Probability denominator (2^11). */
+    static constexpr uint16_t kOne = 1u << kModelBits;
+    /** Initial (maximum-entropy) probability. */
+    static constexpr uint16_t kOneHalf = kOne / 2;
+    /** Adaptation rate exponent. */
+    static constexpr int kMoveBits = 5;
+
+  private:
+    uint16_t prob_;
+};
+
+/**
+ * Binary range encoder writing to a byte vector.
+ */
+class RangeEncoder
+{
+  public:
+    /** @param out Destination byte stream (appended to). */
+    explicit RangeEncoder(std::vector<uint8_t> &out);
+
+    /** Encode one bit under an adaptive model. */
+    void encodeBit(BitModel &model, int bit);
+
+    /** Encode one bit with fixed probability 1/2 (no model). */
+    void encodeBitRaw(int bit);
+
+    /** Encode `nbits` raw bits of `value`, most significant first. */
+    void encodeBitsRaw(uint32_t value, int nbits);
+
+    /**
+     * Flush the coder state. Must be called exactly once at the end of a
+     * chunk; after flushing, the encoder must not be reused.
+     */
+    void flush();
+
+    /** Bytes emitted so far (grows as the stream is produced). */
+    size_t bytesWritten() const { return out_.size() - start_; }
+
+  private:
+    std::vector<uint8_t> &out_;
+    size_t start_;
+    uint64_t low_;
+    uint32_t range_;
+    uint8_t cache_;
+    uint64_t cacheSize_;
+    bool flushed_;
+
+    void shiftLow();
+    void normalize();
+};
+
+/**
+ * Binary range decoder reading from a byte buffer.
+ *
+ * Reads past the end of the buffer yield zero bytes, so decoding a
+ * truncated stream degrades gracefully instead of crashing.
+ */
+class RangeDecoder
+{
+  public:
+    /**
+     * @param data Pointer to the chunk produced by RangeEncoder.
+     * @param size Chunk size in bytes.
+     */
+    RangeDecoder(const uint8_t *data, size_t size);
+
+    /** Decode one bit under an adaptive model. */
+    int decodeBit(BitModel &model);
+
+    /** Decode one raw (probability 1/2) bit. */
+    int decodeBitRaw();
+
+    /** Decode `nbits` raw bits, most significant first. */
+    uint32_t decodeBitsRaw(int nbits);
+
+    /** Bytes consumed so far. */
+    size_t bytesRead() const { return pos_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_;
+    uint32_t range_;
+    uint32_t code_;
+
+    uint8_t nextByte();
+    void normalize();
+};
+
+} // namespace earthplus::codec
+
+#endif // EARTHPLUS_CODEC_RANGECODER_HH

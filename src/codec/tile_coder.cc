@@ -1,0 +1,416 @@
+#include "codec/tile_coder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace earthplus::codec {
+
+namespace {
+
+/** Highest usable magnitude bitplane (5-bit header limit). */
+constexpr int kMaxPlaneLimit = 30;
+
+/** Sentinel for "not yet significant" in the significance-plane map. */
+constexpr uint8_t kNeverSignificant = 0xFF;
+
+int
+highestBit(uint32_t v)
+{
+    int p = -1;
+    while (v) {
+        ++p;
+        v >>= 1;
+    }
+    return p;
+}
+
+} // anonymous namespace
+
+TileEncoder::TileEncoder(const raster::Plane &tile,
+                         const TileCoderParams &params)
+    : params_(params), width_(tile.width()), height_(tile.height()),
+      maxPlane_(-1), planesCoded_(0), headerDone_(false)
+{
+    EP_ASSERT(width_ > 0 && height_ > 0, "empty tile");
+    size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
+    magnitude_.assign(n, 0);
+    sign_.assign(n, 0);
+    significant_.assign(n, 0);
+    sigPlane_.assign(n, kNeverSignificant);
+    visited_.assign(n, 0);
+    orient_ = subbandOrientation(width_, height_, params_.dwtLevels);
+
+    if (params_.lossless) {
+        EP_ASSERT(params_.wavelet == Wavelet::LeGall53,
+                  "lossless coding requires the 5/3 wavelet");
+        double scale = static_cast<double>((1 << params_.losslessDepth) - 1);
+        int32_t offset = 1 << (params_.losslessDepth - 1);
+        std::vector<int32_t> coeffs(n);
+        for (int y = 0; y < height_; ++y) {
+            const float *row = tile.row(y);
+            for (int x = 0; x < width_; ++x) {
+                double v = std::clamp(static_cast<double>(row[x]), 0.0, 1.0);
+                coeffs[static_cast<size_t>(y) * width_ + x] =
+                    static_cast<int32_t>(std::lround(v * scale)) - offset;
+            }
+        }
+        forwardDwt53(coeffs, width_, height_, params_.dwtLevels);
+        for (size_t i = 0; i < n; ++i) {
+            int32_t c = coeffs[i];
+            magnitude_[i] = static_cast<uint32_t>(c < 0 ? -c : c);
+            sign_[i] = c < 0 ? 1 : 0;
+        }
+    } else if (params_.wavelet == Wavelet::CDF97) {
+        std::vector<float> coeffs(n);
+        for (int y = 0; y < height_; ++y) {
+            const float *row = tile.row(y);
+            for (int x = 0; x < width_; ++x)
+                coeffs[static_cast<size_t>(y) * width_ + x] = row[x] - 0.5f;
+        }
+        forwardDwt97(coeffs, width_, height_, params_.dwtLevels);
+        double inv = 1.0 / params_.quantStep;
+        for (size_t i = 0; i < n; ++i) {
+            double c = coeffs[i];
+            // Deadzone scalar quantizer.
+            magnitude_[i] =
+                static_cast<uint32_t>(std::floor(std::abs(c) * inv));
+            sign_[i] = c < 0 ? 1 : 0;
+        }
+    } else {
+        // Lossy 5/3: integer transform of 8-bit-scaled pixels, then the
+        // same deadzone quantizer in 1/255 units.
+        std::vector<int32_t> icoeffs(n);
+        for (int y = 0; y < height_; ++y) {
+            const float *row = tile.row(y);
+            for (int x = 0; x < width_; ++x)
+                icoeffs[static_cast<size_t>(y) * width_ + x] =
+                    static_cast<int32_t>(
+                        std::lround((row[x] - 0.5f) * 255.0f));
+        }
+        forwardDwt53(icoeffs, width_, height_, params_.dwtLevels);
+        double inv = 1.0 / (params_.quantStep * 255.0);
+        for (size_t i = 0; i < n; ++i) {
+            double c = icoeffs[i];
+            magnitude_[i] =
+                static_cast<uint32_t>(std::floor(std::abs(c) * inv));
+            sign_[i] = c < 0 ? 1 : 0;
+        }
+    }
+
+    for (size_t i = 0; i < n; ++i)
+        maxPlane_ = std::max(maxPlane_, highestBit(magnitude_[i]));
+    EP_ASSERT(maxPlane_ <= kMaxPlaneLimit,
+              "coefficient magnitude overflows bitplane header (%d)",
+              maxPlane_);
+    nextPlane_ = maxPlane_;
+    nextPass_ = 0;
+}
+
+void
+TileEncoder::encodeHeader(RangeEncoder &enc)
+{
+    EP_ASSERT(!headerDone_, "tile header already coded");
+    enc.encodeBitsRaw(static_cast<uint32_t>(maxPlane_ + 1), 5);
+    headerDone_ = true;
+}
+
+bool
+TileEncoder::done() const
+{
+    return nextPlane_ < 0;
+}
+
+int
+TileEncoder::significantNeighbors(int x, int y) const
+{
+    int n = 0;
+    auto sig = [&](int nx, int ny) {
+        if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
+            return 0;
+        return static_cast<int>(
+            significant_[static_cast<size_t>(ny) * width_ + nx]);
+    };
+    n += sig(x - 1, y);
+    n += sig(x + 1, y);
+    n += sig(x, y - 1);
+    n += sig(x, y + 1);
+    return n;
+}
+
+void
+TileEncoder::encodePass(RangeEncoder &enc, int plane, int pass)
+{
+    if (pass == 0)
+        std::fill(visited_.begin(), visited_.end(), 0);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            size_t i = static_cast<size_t>(y) * width_ + x;
+            int bit = static_cast<int>((magnitude_[i] >> plane) & 1u);
+            if (pass == 0) {
+                // Significance propagation: insignificant coefficients
+                // with at least one significant neighbor.
+                if (significant_[i])
+                    continue;
+                int nn = significantNeighbors(x, y);
+                if (nn == 0)
+                    continue;
+                visited_[i] = 1;
+                enc.encodeBit(
+                    ctx_.significance[orient_[i]]
+                                     [static_cast<size_t>(std::min(nn, 3))],
+                    bit);
+                if (bit) {
+                    enc.encodeBitRaw(sign_[i]);
+                    significant_[i] = 1;
+                    sigPlane_[i] = static_cast<uint8_t>(plane);
+                }
+            } else if (pass == 1) {
+                // Refinement of coefficients significant before this
+                // plane (sigPlane > plane because planes count down).
+                if (!significant_[i] ||
+                    sigPlane_[i] <= static_cast<uint8_t>(plane))
+                    continue;
+                enc.encodeBit(ctx_.refinement, bit);
+            } else {
+                // Cleanup: everything still insignificant and unvisited.
+                if (significant_[i] || visited_[i])
+                    continue;
+                int nn = significantNeighbors(x, y);
+                enc.encodeBit(
+                    ctx_.significance[orient_[i]]
+                                     [static_cast<size_t>(std::min(nn, 3))],
+                    bit);
+                if (bit) {
+                    enc.encodeBitRaw(sign_[i]);
+                    significant_[i] = 1;
+                    sigPlane_[i] = static_cast<uint8_t>(plane);
+                }
+            }
+        }
+    }
+}
+
+int
+TileEncoder::encodePlanes(RangeEncoder &enc, size_t byteLimit,
+                          int maxPlanes)
+{
+    EP_ASSERT(headerDone_, "encodePlanes before encodeHeader");
+    if (done())
+        return 0;
+    int planesThisCall = 0;
+    // Every pass is preceded by a continue bit so the decoder needs no
+    // side information about where the budget ran out. Once the final
+    // pass of plane 0 is emitted no terminator is needed: the decoder
+    // stops by itself when nextPlane_ goes negative.
+    while (nextPlane_ >= 0 && planesThisCall < maxPlanes &&
+           enc.bytesWritten() < byteLimit) {
+        enc.encodeBitRaw(1);
+        encodePass(enc, nextPlane_, nextPass_);
+        ++nextPass_;
+        if (nextPass_ == 3) {
+            nextPass_ = 0;
+            --nextPlane_;
+            ++planesCoded_;
+            ++planesThisCall;
+        }
+    }
+    if (nextPlane_ >= 0)
+        enc.encodeBitRaw(0);
+    return planesThisCall;
+}
+
+TileDecoder::TileDecoder(int width, int height,
+                         const TileCoderParams &params)
+    : params_(params), width_(width), height_(height), maxPlane_(-1),
+      nextPlane_(-1), nextPass_(0), planesCoded_(0)
+{
+    EP_ASSERT(width_ > 0 && height_ > 0, "empty tile");
+    size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
+    magnitude_.assign(n, 0);
+    sign_.assign(n, 0);
+    significant_.assign(n, 0);
+    sigPlane_.assign(n, kNeverSignificant);
+    visited_.assign(n, 0);
+    lowPlane_.assign(n, 0);
+    orient_ = subbandOrientation(width_, height_, params_.dwtLevels);
+}
+
+void
+TileDecoder::decodeHeader(RangeDecoder &dec)
+{
+    uint32_t v = dec.decodeBitsRaw(5);
+    maxPlane_ = static_cast<int>(v) - 1;
+    nextPlane_ = maxPlane_;
+    nextPass_ = 0;
+    // Until any bit of a coefficient is seen, its uncertainty spans all
+    // coded planes.
+    std::fill(lowPlane_.begin(), lowPlane_.end(),
+              static_cast<uint8_t>(std::max(maxPlane_ + 1, 0)));
+}
+
+int
+TileDecoder::significantNeighbors(int x, int y) const
+{
+    int n = 0;
+    auto sig = [&](int nx, int ny) {
+        if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
+            return 0;
+        return static_cast<int>(
+            significant_[static_cast<size_t>(ny) * width_ + nx]);
+    };
+    n += sig(x - 1, y);
+    n += sig(x + 1, y);
+    n += sig(x, y - 1);
+    n += sig(x, y + 1);
+    return n;
+}
+
+void
+TileDecoder::decodePass(RangeDecoder &dec, int plane, int pass)
+{
+    if (pass == 0)
+        std::fill(visited_.begin(), visited_.end(), 0);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            size_t i = static_cast<size_t>(y) * width_ + x;
+            if (pass == 0) {
+                if (significant_[i])
+                    continue;
+                int nn = significantNeighbors(x, y);
+                if (nn == 0)
+                    continue;
+                visited_[i] = 1;
+                int bit = dec.decodeBit(
+                    ctx_.significance[orient_[i]]
+                                     [static_cast<size_t>(std::min(nn, 3))]);
+                lowPlane_[i] = static_cast<uint8_t>(plane);
+                if (bit) {
+                    magnitude_[i] |= 1u << plane;
+                    sign_[i] = static_cast<uint8_t>(dec.decodeBitRaw());
+                    significant_[i] = 1;
+                    sigPlane_[i] = static_cast<uint8_t>(plane);
+                }
+            } else if (pass == 1) {
+                if (!significant_[i] ||
+                    sigPlane_[i] <= static_cast<uint8_t>(plane))
+                    continue;
+                int bit = dec.decodeBit(ctx_.refinement);
+                lowPlane_[i] = static_cast<uint8_t>(plane);
+                if (bit)
+                    magnitude_[i] |= 1u << plane;
+            } else {
+                if (significant_[i] || visited_[i])
+                    continue;
+                int nn = significantNeighbors(x, y);
+                int bit = dec.decodeBit(
+                    ctx_.significance[orient_[i]]
+                                     [static_cast<size_t>(std::min(nn, 3))]);
+                lowPlane_[i] = static_cast<uint8_t>(plane);
+                if (bit) {
+                    magnitude_[i] |= 1u << plane;
+                    sign_[i] = static_cast<uint8_t>(dec.decodeBitRaw());
+                    significant_[i] = 1;
+                    sigPlane_[i] = static_cast<uint8_t>(plane);
+                }
+            }
+        }
+    }
+}
+
+void
+TileDecoder::decodePlanes(RangeDecoder &dec)
+{
+    while (nextPlane_ >= 0 && dec.decodeBitRaw() == 1) {
+        decodePass(dec, nextPlane_, nextPass_);
+        ++nextPass_;
+        if (nextPass_ == 3) {
+            nextPass_ = 0;
+            --nextPlane_;
+            ++planesCoded_;
+        }
+    }
+}
+
+raster::Plane
+TileDecoder::reconstruct() const
+{
+    size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
+    raster::Plane out(width_, height_);
+    bool fullyDecoded = nextPlane_ < 0;
+
+    if (params_.lossless && fullyDecoded) {
+        std::vector<int32_t> coeffs(n);
+        for (size_t i = 0; i < n; ++i) {
+            int32_t m = static_cast<int32_t>(magnitude_[i]);
+            coeffs[i] = sign_[i] ? -m : m;
+        }
+        inverseDwt53(coeffs, width_, height_, params_.dwtLevels);
+        double scale = static_cast<double>((1 << params_.losslessDepth) - 1);
+        int32_t offset = 1 << (params_.losslessDepth - 1);
+        for (int y = 0; y < height_; ++y) {
+            float *row = out.row(y);
+            for (int x = 0; x < width_; ++x) {
+                int32_t v = coeffs[static_cast<size_t>(y) * width_ + x] +
+                            offset;
+                row[x] = static_cast<float>(v / scale);
+            }
+        }
+        return out;
+    }
+
+    // Midpoint reconstruction: for coefficient i the bits above
+    // lowPlane_[i] are exact, so |c| lies in [m, m + 2^lowPlane[i])
+    // quantizer steps; add half of that uncertainty when significant.
+    auto midpoint = [&](size_t i) {
+        double m = static_cast<double>(magnitude_[i]);
+        if (m <= 0.0)
+            return 0.0;
+        double mag = m + std::ldexp(0.5, lowPlane_[i]);
+        return sign_[i] ? -mag : mag;
+    };
+
+    if (params_.wavelet == Wavelet::CDF97) {
+        std::vector<float> coeffs(n);
+        for (size_t i = 0; i < n; ++i)
+            coeffs[i] = static_cast<float>(midpoint(i) * params_.quantStep);
+        inverseDwt97(coeffs, width_, height_, params_.dwtLevels);
+        for (int y = 0; y < height_; ++y) {
+            float *row = out.row(y);
+            for (int x = 0; x < width_; ++x)
+                row[x] = coeffs[static_cast<size_t>(y) * width_ + x] + 0.5f;
+        }
+        out.clampTo(0.0f, 1.0f);
+        return out;
+    }
+
+    // 5/3 integer path: lossy 5/3 (quantizer in 1/255 units) or a
+    // truncated lossless stream (quantizer step 1).
+    std::vector<int32_t> coeffs(n);
+    double toInt = params_.lossless ? 1.0 : params_.quantStep * 255.0;
+    for (size_t i = 0; i < n; ++i)
+        coeffs[i] = static_cast<int32_t>(std::lround(midpoint(i) * toInt));
+    inverseDwt53(coeffs, width_, height_, params_.dwtLevels);
+
+    double scale;
+    double offset;
+    if (params_.lossless) {
+        scale = static_cast<double>((1 << params_.losslessDepth) - 1);
+        offset = static_cast<double>(1 << (params_.losslessDepth - 1));
+    } else {
+        scale = 255.0;
+        offset = 0.5 * 255.0;
+    }
+    for (int y = 0; y < height_; ++y) {
+        float *row = out.row(y);
+        for (int x = 0; x < width_; ++x) {
+            double v = coeffs[static_cast<size_t>(y) * width_ + x];
+            row[x] = static_cast<float>((v + offset) / scale);
+        }
+    }
+    out.clampTo(0.0f, 1.0f);
+    return out;
+}
+
+} // namespace earthplus::codec

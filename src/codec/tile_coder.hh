@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Embedded bitplane coder for one image tile.
+ *
+ * Quantized wavelet coefficients are coded magnitude-bitplane by
+ * magnitude-bitplane (MSB first) with context-adaptive binary range
+ * coding, so a prefix of the coded planes is a lower-quality version of
+ * the tile. This provides the three codec properties Earth+ relies on:
+ * bit-budget rate control (stop emitting planes when the tile budget is
+ * exhausted), SNR-progressive quality layers (plane groups), and
+ * graceful truncation for the layered downlink (§5, "Handling bandwidth
+ * fluctuation").
+ */
+
+#ifndef EARTHPLUS_CODEC_TILE_CODER_HH
+#define EARTHPLUS_CODEC_TILE_CODER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "codec/dwt.hh"
+#include "codec/rangecoder.hh"
+#include "raster/plane.hh"
+
+namespace earthplus::codec {
+
+/** Tunables shared by the tile encoder and decoder. */
+struct TileCoderParams
+{
+    /** Dyadic decomposition levels. */
+    int dwtLevels = 4;
+    /** Wavelet filter; LeGall53 is required for lossless. */
+    Wavelet wavelet = Wavelet::CDF97;
+    /**
+     * True for exact reconstruction: pixels are mapped to integers with
+     * `losslessDepth` bits, transformed with the reversible 5/3 filter,
+     * and every bitplane is coded.
+     */
+    bool lossless = false;
+    /** Bit depth of the integer mapping in lossless mode. */
+    int losslessDepth = 8;
+    /** Deadzone quantizer step for the lossy path. */
+    double quantStep = 1.0 / 512.0;
+};
+
+/**
+ * Context model set shared by encoder and decoder.
+ *
+ * Significance contexts are selected by subband orientation and the
+ * number of already-significant 4-neighbors; refinement bits use a
+ * single model. Models persist across quality layers, mirroring the
+ * decoder exactly.
+ */
+struct TileContexts
+{
+    /** [orientation 0..3][min(#significant neighbors,3)]. */
+    std::array<std::array<BitModel, 4>, 4> significance;
+    /** Magnitude refinement bits. */
+    BitModel refinement;
+};
+
+/**
+ * Encoder for a single tile.
+ *
+ * Usage: construct (runs the DWT and quantization), call encodeHeader()
+ * once, then call encodePlanes() one or more times (once per quality
+ * layer) until done() or the byte budget runs out.
+ */
+class TileEncoder
+{
+  public:
+    /**
+     * @param tile Pixel data, values in [0, 1].
+     * @param params Coder configuration.
+     */
+    TileEncoder(const raster::Plane &tile, const TileCoderParams &params);
+
+    /** Emit the tile header (max magnitude bitplane). */
+    void encodeHeader(RangeEncoder &enc);
+
+    /**
+     * Encode remaining bitplanes into `enc` until either all planes are
+     * coded, `maxPlanes` planes have been coded by this call, or the
+     * encoder's bytesWritten() reaches `byteLimit`.
+     *
+     * The number of planes produced is coded into the stream itself, so
+     * the decoder needs no side information.
+     *
+     * @return Number of planes coded by this call.
+     */
+    int encodePlanes(RangeEncoder &enc, size_t byteLimit, int maxPlanes);
+
+    /** True once every bitplane has been emitted. */
+    bool done() const;
+
+    /** Planes coded so far across all calls. */
+    int planesCoded() const { return planesCoded_; }
+
+    /** Highest magnitude bitplane present (-1 for an all-zero tile). */
+    int maxPlane() const { return maxPlane_; }
+
+  private:
+    TileCoderParams params_;
+    int width_;
+    int height_;
+    std::vector<uint32_t> magnitude_;
+    std::vector<uint8_t> sign_;
+    std::vector<uint8_t> significant_;
+    std::vector<uint8_t> sigPlane_;  ///< Plane where coeff turned significant.
+    std::vector<uint8_t> visited_;   ///< Coded in pass 0 of current plane.
+    std::vector<uint8_t> orient_;
+    TileContexts ctx_;
+    int maxPlane_;
+    int nextPlane_;
+    int nextPass_; ///< 0 = sig-propagation, 1 = refinement, 2 = cleanup.
+    int planesCoded_;
+    bool headerDone_;
+
+    void encodePass(RangeEncoder &enc, int plane, int pass);
+    int significantNeighbors(int x, int y) const;
+};
+
+/**
+ * Decoder mirroring TileEncoder.
+ *
+ * Usage: construct, call decodeHeader() once, call decodePlanes() once
+ * per encoded layer chunk, then reconstruct().
+ */
+class TileDecoder
+{
+  public:
+    /**
+     * @param width Tile width in pixels.
+     * @param height Tile height in pixels.
+     * @param params Must match the encoder's parameters.
+     */
+    TileDecoder(int width, int height, const TileCoderParams &params);
+
+    /** Read the tile header. */
+    void decodeHeader(RangeDecoder &dec);
+
+    /** Decode the next group of bitplanes (one encodePlanes() call). */
+    void decodePlanes(RangeDecoder &dec);
+
+    /** Dequantize + inverse DWT into pixel space. */
+    raster::Plane reconstruct() const;
+
+    /** Planes decoded so far. */
+    int planesCoded() const { return planesCoded_; }
+
+  private:
+    TileCoderParams params_;
+    int width_;
+    int height_;
+    std::vector<uint32_t> magnitude_;
+    std::vector<uint8_t> sign_;
+    std::vector<uint8_t> significant_;
+    std::vector<uint8_t> sigPlane_;
+    std::vector<uint8_t> visited_;
+    std::vector<uint8_t> lowPlane_; ///< Lowest plane with a decoded bit.
+    std::vector<uint8_t> orient_;
+    TileContexts ctx_;
+    int maxPlane_;
+    int nextPlane_;
+    int nextPass_;
+    int planesCoded_;
+
+    void decodePass(RangeDecoder &dec, int plane, int pass);
+    int significantNeighbors(int x, int y) const;
+};
+
+} // namespace earthplus::codec
+
+#endif // EARTHPLUS_CODEC_TILE_CODER_HH

@@ -1,0 +1,39 @@
+#include "core/doves_spec.hh"
+
+#include "util/table.hh"
+
+namespace earthplus::core {
+
+DovesSpec
+dovesSpec()
+{
+    return DovesSpec{};
+}
+
+void
+printSpecTable(const DovesSpec &spec, std::ostream &os)
+{
+    Table t("Table 1: Doves constellation specification (2017-2018)");
+    t.setHeader({"Section", "Property", "Value"});
+    t.addRow({"Connectivity", "Ground contact duration",
+              Table::num(spec.contactMinutes, 0) + " minutes"});
+    t.addRow({"", "Ground contacts per day",
+              Table::num(spec.contactsPerDay, 0)});
+    t.addRow({"", "Uplink bandwidth",
+              Table::num(spec.uplink.bitsPerSecond / 1e3, 0) + " kbps"});
+    t.addRow({"", "Downlink bandwidth",
+              Table::num(spec.downlink.bitsPerSecond / 1e6, 0) + " Mbps"});
+    t.addRow({"Hardware", "On-board storage",
+              Table::num(spec.onboardStorageGB, 0) + " GB"});
+    t.addRow({"Image", "Image resolution",
+              Table::num(spec.imageWidth, 0) + "x" +
+                  Table::num(spec.imageHeight, 0)});
+    t.addRow({"", "Image channels", "RGB + InfraRed"});
+    t.addRow({"", "Raw image file size",
+              Table::num(spec.rawImageMB, 0) + " MB"});
+    t.addRow({"", "Ground sampling distance",
+              Table::num(spec.gsdMeters, 1) + " meters"});
+    t.print(os);
+}
+
+} // namespace earthplus::core

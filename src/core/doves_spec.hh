@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Real-world satellite constants (paper Table 1: Doves constellation,
+ * 2017-2018).
+ */
+
+#ifndef EARTHPLUS_CORE_DOVES_SPEC_HH
+#define EARTHPLUS_CORE_DOVES_SPEC_HH
+
+#include <ostream>
+
+#include "orbit/links.hh"
+
+namespace earthplus::core {
+
+/** Table 1 of the paper. */
+struct DovesSpec
+{
+    /** Uplink: 250 kbps S-band. */
+    orbit::LinkSpec uplink{250e3, 600.0, 7};
+    /** Downlink: 200 Mbps X-band. */
+    orbit::LinkSpec downlink{200e6, 600.0, 7};
+    /** Ground contact duration (minutes). */
+    double contactMinutes = 10.0;
+    /** Ground contacts per day. */
+    int contactsPerDay = 7;
+    /** On-board storage (GB). */
+    double onboardStorageGB = 360.0;
+    /** Capture resolution. */
+    int imageWidth = 6600;
+    int imageHeight = 4400;
+    /** Bands: RGB + InfraRed. */
+    int imageChannels = 4;
+    /** Raw image file size (MB). */
+    double rawImageMB = 150.0;
+    /** Ground sampling distance (metres). */
+    double gsdMeters = 3.7;
+    /** Days for one satellite to revisit a location. */
+    double revisitDays = 12.0;
+};
+
+/** The paper's Table 1 values. */
+DovesSpec dovesSpec();
+
+/** Print Table 1 (used by bench_table1_specs). */
+void printSpecTable(const DovesSpec &spec, std::ostream &os);
+
+} // namespace earthplus::core
+
+#endif // EARTHPLUS_CORE_DOVES_SPEC_HH

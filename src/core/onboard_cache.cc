@@ -1,0 +1,83 @@
+#include "core/onboard_cache.hh"
+
+#include "util/logging.hh"
+
+namespace earthplus::core {
+
+OnboardCache::OnboardCache(int downsampleFactor)
+    : factor_(downsampleFactor)
+{
+    EP_ASSERT(downsampleFactor >= 1, "invalid downsample factor %d",
+              downsampleFactor);
+}
+
+bool
+OnboardCache::has(int locationId) const
+{
+    return cache_.count(locationId) != 0;
+}
+
+const raster::Image &
+OnboardCache::reference(int locationId) const
+{
+    auto it = cache_.find(locationId);
+    EP_ASSERT(it != cache_.end(), "no cached reference for location %d",
+              locationId);
+    return it->second;
+}
+
+double
+OnboardCache::referenceDay(int locationId) const
+{
+    return reference(locationId).info().captureDay;
+}
+
+void
+OnboardCache::install(int locationId, raster::Image lowRes)
+{
+    cache_[locationId] = std::move(lowRes);
+}
+
+void
+OnboardCache::updateTiles(int locationId, const raster::Image &newLowRes,
+                          const raster::TileMask &tiles, int tileSizeLow)
+{
+    auto it = cache_.find(locationId);
+    EP_ASSERT(it != cache_.end(),
+              "delta update for uncached location %d", locationId);
+    raster::Image &cached = it->second;
+    EP_ASSERT(cached.width() == newLowRes.width() &&
+              cached.height() == newLowRes.height() &&
+              cached.bandCount() == newLowRes.bandCount(),
+              "delta update shape mismatch");
+    raster::TileGrid grid(cached.width(), cached.height(), tileSizeLow);
+    EP_ASSERT(grid.tilesX() == tiles.tilesX() &&
+              grid.tilesY() == tiles.tilesY(),
+              "delta update tile mask mismatch (%dx%d vs %dx%d)",
+              tiles.tilesX(), tiles.tilesY(), grid.tilesX(),
+              grid.tilesY());
+    for (int t = 0; t < grid.tileCount(); ++t) {
+        if (!tiles.get(t))
+            continue;
+        raster::TileRect r = grid.rect(t);
+        for (int b = 0; b < cached.bandCount(); ++b) {
+            raster::Plane patch =
+                newLowRes.band(b).crop(r.x0, r.y0, r.width, r.height);
+            cached.band(b).paste(patch, r.x0, r.y0);
+        }
+    }
+    cached.info() = newLowRes.info();
+}
+
+size_t
+OnboardCache::storageBytes() const
+{
+    size_t total = 0;
+    for (const auto &[loc, img] : cache_) {
+        (void)loc;
+        total += img.pixelBytes();
+    }
+    return total;
+}
+
+} // namespace earthplus::core

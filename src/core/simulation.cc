@@ -1,0 +1,186 @@
+#include "core/simulation.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace earthplus::core {
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::EarthPlus:
+        return "Earth+";
+      case SystemKind::Kodan:
+        return "Kodan";
+      case SystemKind::SatRoI:
+        return "SatRoI";
+      case SystemKind::DownloadAll:
+        return "DownloadAll";
+    }
+    return "?";
+}
+
+double
+SimSummary::requiredDownlinkMbps(double contactSeconds,
+                                 double scaleToRealBytes) const
+{
+    if (processedCount == 0)
+        return 0.0;
+    double meanBytes =
+        totalDownlinkBytes / static_cast<double>(processedCount);
+    return units::bytesOverSecondsToMbps(meanBytes * scaleToRealBytes,
+                                         contactSeconds);
+}
+
+LocationSimulation::LocationSimulation(const synth::DatasetSpec &spec,
+                                       int locationIdx, SystemKind kind,
+                                       const SimParams &params)
+    : spec_(spec), locationIdx_(locationIdx), kind_(kind), params_(params)
+{
+    EP_ASSERT(locationIdx >= 0 &&
+              locationIdx < static_cast<int>(spec.locations.size()),
+              "location index %d out of range", locationIdx);
+
+    synth::SceneConfig sc;
+    sc.width = spec.width;
+    sc.height = spec.height;
+    sc.tileSize = spec.tileSize;
+    sc.bands = spec.bands;
+    sc.historyStartDay = spec.startDay - 120.0;
+    sc.horizonDays = spec.endDay + 30.0;
+    scene_ = std::make_unique<synth::SceneModel>(
+        spec.locations[static_cast<size_t>(locationIdx)], sc);
+
+    synth::WeatherParams wp;
+    wp.seed = spec.seed ^ 0x77ea77e5ULL;
+    weather_ = std::make_unique<synth::WeatherProcess>(wp);
+
+    synth::SensorParams sp;
+    sp.seed = spec.seed ^ 0x5e45042ULL;
+    captureSim_ = std::make_unique<synth::CaptureSimulator>(
+        *scene_, *weather_, sp);
+
+    ground_ = std::make_unique<ReferenceStore>(params.maxCloudForReference);
+
+    switch (kind) {
+      case SystemKind::EarthPlus: {
+        auto sys = std::make_unique<EarthPlusSystem>(
+            spec.bands, params.system, params.uplink, *ground_);
+        earthPlus_ = sys.get();
+        system_ = std::move(sys);
+        break;
+      }
+      case SystemKind::Kodan:
+        system_ = std::make_unique<KodanSystem>(spec.bands, params.system);
+        break;
+      case SystemKind::SatRoI:
+        system_ = std::make_unique<SatRoISystem>(spec.bands,
+                                                 params.system);
+        break;
+      case SystemKind::DownloadAll:
+        system_ = std::make_unique<DownloadAllSystem>(spec.bands,
+                                                      params.system);
+        break;
+    }
+}
+
+LocationSimulation::~LocationSimulation() = default;
+
+SimSummary
+LocationSimulation::run()
+{
+    SimSummary summary;
+    int locationId =
+        spec_.locations[static_cast<size_t>(locationIdx_)].locationId;
+    auto schedule = synth::constellationSchedule(spec_, locationId);
+
+    orbit::DailyByteBudget uplinkBudget(params_.uplinkBytesPerDay);
+    double currentDay = std::floor(spec_.startDay) - 1.0;
+
+    int processed = 0;
+    for (const auto &[day, satelliteId] : schedule) {
+        if (params_.maxCaptures > 0 &&
+            processed >= params_.maxCaptures)
+            break;
+        ++processed;
+
+        // Renew the uplink allowance at day boundaries.
+        if (std::floor(day) > currentDay) {
+            currentDay = std::floor(day);
+            uplinkBudget.startDay();
+        }
+
+        // Dataset-level cloud filter (Table 2): captures cloudier than
+        // the dataset admits simply do not exist in it.
+        if (spec_.maxCloudCoverage < 1.0) {
+            int dayIdx = static_cast<int>(std::floor(day));
+            if (weather_->coverage(locationId, dayIdx) >
+                spec_.maxCloudCoverage)
+                continue;
+        }
+
+        CaptureMetrics m;
+        m.day = day;
+        m.satelliteId = satelliteId;
+
+        // Ground contact before the pass: push a reference update.
+        if (earthPlus_) {
+            UplinkPlan plan = earthPlus_->prepareCapture(
+                locationId, satelliteId, uplinkBudget);
+            m.uplinkBytes = plan.bytes;
+            summary.totalUplinkBytes += plan.bytes;
+        }
+
+        synth::Capture cap = captureSim_->capture(day, satelliteId);
+        ProcessResult res = system_->process(cap);
+
+        m.dropped = res.dropped;
+        m.fullDownload = res.fullDownload;
+        m.downlinkBytes = res.downlinkBytes;
+        m.downloadedTileFraction = res.downloadedTileFraction;
+        m.psnr = res.psnr;
+        m.referenceAgeDays = res.referenceAgeDays;
+        m.cloudDetectSec = res.cloudDetectSec;
+        m.changeDetectSec = res.changeDetectSec;
+        m.encodeSec = res.encodeSec;
+        summary.captures.push_back(m);
+
+        if (res.dropped) {
+            ++summary.droppedCount;
+            continue;
+        }
+        ++summary.processedCount;
+        summary.totalDownlinkBytes +=
+            static_cast<double>(res.downlinkBytes);
+        if (summary.bandDownlinkBytes.size() <
+            res.bandDownlinkBytes.size())
+            summary.bandDownlinkBytes.resize(
+                res.bandDownlinkBytes.size(), 0.0);
+        for (size_t b = 0; b < res.bandDownlinkBytes.size(); ++b)
+            summary.bandDownlinkBytes[b] +=
+                static_cast<double>(res.bandDownlinkBytes[b]);
+        summary.meanPsnr += res.psnr;
+        summary.meanDownloadedFraction += res.downloadedTileFraction;
+        if (std::isfinite(res.referenceAgeDays)) {
+            summary.meanReferenceAgeDays += res.referenceAgeDays;
+            ++summary.referencedCount;
+        }
+        if (res.fullDownload)
+            ++summary.fullDownloadCount;
+    }
+
+    if (summary.processedCount > 0) {
+        double n = static_cast<double>(summary.processedCount);
+        summary.meanPsnr /= n;
+        summary.meanDownloadedFraction /= n;
+    }
+    if (summary.referencedCount > 0)
+        summary.meanReferenceAgeDays /=
+            static_cast<double>(summary.referencedCount);
+    return summary;
+}
+
+} // namespace earthplus::core

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * End-to-end simulation of one location under one compression system.
+ *
+ * Drives the full loop of Fig. 7(b): for every scheduled capture of a
+ * location by any satellite of the constellation — uplink reference
+ * update (Earth+ only, within the daily uplink budget) -> capture ->
+ * on-board processing -> downlink -> ground reconstruction ->
+ * reference-store refresh — and aggregates the per-capture metrics the
+ * paper's evaluation reports.
+ */
+
+#ifndef EARTHPLUS_CORE_SIMULATION_HH
+#define EARTHPLUS_CORE_SIMULATION_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/systems.hh"
+#include "synth/dataset.hh"
+#include "synth/scene.hh"
+#include "synth/sensor.hh"
+#include "synth/weather.hh"
+
+namespace earthplus::core {
+
+/** Which system a simulation runs. */
+enum class SystemKind
+{
+    EarthPlus,
+    Kodan,
+    SatRoI,
+    DownloadAll,
+};
+
+/** Display name of a system kind. */
+const char *systemName(SystemKind kind);
+
+/** Simulation configuration. */
+struct SimParams
+{
+    /** Shared on-board system parameters. */
+    SystemParams system;
+    /** Earth+ uplink planning parameters. */
+    UplinkPlanner::Params uplink;
+    /**
+     * Daily uplink byte allowance available for this location's
+     * reference updates (the per-location share of the 250 kbps
+     * uplink). Large by default; Fig. 18 sweeps it.
+     */
+    double uplinkBytesPerDay = 1e12;
+    /** Cloud threshold for accepting ground references (§4.2). */
+    double maxCloudForReference = 0.01;
+    /** Cap on captures processed (0 = all) for quick runs. */
+    int maxCaptures = 0;
+};
+
+/** Metrics of one processed capture. */
+struct CaptureMetrics
+{
+    double day = 0.0;
+    int satelliteId = 0;
+    bool dropped = false;
+    bool fullDownload = false;
+    size_t downlinkBytes = 0;
+    double downloadedTileFraction = 0.0;
+    double psnr = 0.0;
+    double referenceAgeDays = 0.0;
+    double uplinkBytes = 0.0;
+    double cloudDetectSec = 0.0;
+    double changeDetectSec = 0.0;
+    double encodeSec = 0.0;
+};
+
+/** Aggregated results of one simulation run. */
+struct SimSummary
+{
+    std::vector<CaptureMetrics> captures;
+    double totalDownlinkBytes = 0.0;
+    double totalUplinkBytes = 0.0;
+    /** Total downlink bytes per band (empty until the first capture). */
+    std::vector<double> bandDownlinkBytes;
+    /** Means over processed (non-dropped) captures. */
+    double meanPsnr = 0.0;
+    double meanDownloadedFraction = 0.0;
+    /** Mean reference age over captures that had a reference. */
+    double meanReferenceAgeDays = 0.0;
+    int processedCount = 0;
+    int droppedCount = 0;
+    int fullDownloadCount = 0;
+    /** Captures processed while holding a (finite-age) reference. */
+    int referencedCount = 0;
+
+    /**
+     * Downlink rate (Mbps) needed to stream the mean per-capture
+     * payload within one ground contact, scaled from the synthetic
+     * image size to a real image size.
+     *
+     * @param contactSeconds Ground contact duration.
+     * @param scaleToRealBytes Ratio real-image-bytes /
+     *        synthetic-image-bytes (1 = report raw synthetic rate).
+     */
+    double requiredDownlinkMbps(double contactSeconds,
+                                double scaleToRealBytes = 1.0) const;
+};
+
+/**
+ * Simulates one location of a dataset under one system.
+ */
+class LocationSimulation
+{
+  public:
+    /**
+     * @param spec Dataset description.
+     * @param locationIdx Index into spec.locations.
+     * @param kind System to run.
+     * @param params Simulation parameters.
+     */
+    LocationSimulation(const synth::DatasetSpec &spec, int locationIdx,
+                       SystemKind kind, const SimParams &params);
+
+    ~LocationSimulation();
+
+    /** Run the full capture schedule and aggregate metrics. */
+    SimSummary run();
+
+    /** The scene backing this simulation. */
+    const synth::SceneModel &scene() const { return *scene_; }
+
+    /** The system under simulation. */
+    OnboardSystem &system() { return *system_; }
+
+  private:
+    synth::DatasetSpec spec_;
+    int locationIdx_;
+    SystemKind kind_;
+    SimParams params_;
+    std::unique_ptr<synth::SceneModel> scene_;
+    std::unique_ptr<synth::WeatherProcess> weather_;
+    std::unique_ptr<synth::CaptureSimulator> captureSim_;
+    std::unique_ptr<ReferenceStore> ground_;
+    std::unique_ptr<OnboardSystem> system_;
+    EarthPlusSystem *earthPlus_ = nullptr; // non-owning view when kind matches
+};
+
+} // namespace earthplus::core
+
+#endif // EARTHPLUS_CORE_SIMULATION_HH

@@ -1,0 +1,119 @@
+#include "core/uplink_planner.hh"
+
+#include "change/detector.hh"
+#include "raster/resample.hh"
+#include "util/logging.hh"
+
+namespace earthplus::core {
+
+UplinkPlanner::UplinkPlanner() = default;
+
+UplinkPlanner::UplinkPlanner(const Params &params)
+    : params_(params)
+{
+    EP_ASSERT(params.downsampleFactor >= 1, "invalid downsample factor");
+    EP_ASSERT(params.tileSize % params.downsampleFactor == 0,
+              "tile size %d not divisible by downsample factor %d",
+              params.tileSize, params.downsampleFactor);
+}
+
+double
+UplinkPlanner::encodedBytes(const raster::Image &lowRes,
+                            const raster::TileMask *tiles) const
+{
+    int tileLow = std::max(params_.tileSize / params_.downsampleFactor, 1);
+    double total = 0.0;
+    for (int b = 0; b < lowRes.bandCount(); ++b) {
+        codec::EncodeParams ep;
+        ep.bitsPerPixel = params_.bitsPerPixel;
+        ep.tileSize = tileLow;
+        ep.dwtLevels = 3;
+        ep.roi = tiles;
+        codec::EncodedImage enc = codec::encode(lowRes.band(b), ep);
+        total += static_cast<double>(enc.totalBytes());
+    }
+    return total;
+}
+
+UplinkPlan
+UplinkPlanner::planUpdate(const ReferenceStore &ground, OnboardCache &cache,
+                          int locationId,
+                          orbit::DailyByteBudget &budget) const
+{
+    UplinkPlan plan;
+    if (!ground.has(locationId))
+        return plan; // nothing downloaded for this location yet
+
+    double groundDay = ground.referenceDay(locationId);
+    if (cache.has(locationId) &&
+        cache.referenceDay(locationId) >= groundDay)
+        return plan; // cache is already fresh
+
+    const raster::Image &full = ground.reference(locationId);
+    raster::Image lowRes;
+    for (int b = 0; b < full.bandCount(); ++b)
+        lowRes.addBand(
+            raster::downsample(full.band(b), params_.downsampleFactor));
+    lowRes.info() = full.info();
+
+    double rawBytes = static_cast<double>(full.pixelBytes());
+    int tileLow = std::max(params_.tileSize / params_.downsampleFactor, 1);
+
+    if (!cache.has(locationId)) {
+        // First contact with this location: install the whole low-res
+        // reference.
+        double bytes = encodedBytes(lowRes, nullptr);
+        if (!budget.tryConsume(bytes)) {
+            plan.skippedForBudget = true;
+            return plan;
+        }
+        cache.install(locationId, std::move(lowRes));
+        plan.sent = true;
+        plan.fullInstall = true;
+        plan.bytes = bytes;
+        plan.updatedTileFraction = 1.0;
+        plan.compressionRatio = bytes > 0.0 ? rawBytes / bytes : 0.0;
+        return plan;
+    }
+
+    // Delta update: find low-res tiles that differ from the satellite's
+    // cached copy (the ground mirrors the cache content exactly, since
+    // every applied update is deterministic).
+    const raster::Image &cached = cache.reference(locationId);
+    raster::TileGrid grid(lowRes.width(), lowRes.height(), tileLow);
+    raster::TileMask changed(grid);
+    for (int b = 0; b < lowRes.bandCount(); ++b) {
+        auto diffs = change::tileMeanAbsDiff(lowRes.band(b),
+                                             cached.band(b), tileLow);
+        for (int t = 0; t < grid.tileCount(); ++t) {
+            if (diffs[static_cast<size_t>(t)] > params_.deltaThreshold)
+                changed.set(t, true);
+        }
+    }
+    if (changed.countSet() == 0) {
+        // Content identical; just refresh the timestamp so age
+        // accounting reflects the newer observation.
+        raster::Image refreshed = cached;
+        refreshed.info() = lowRes.info();
+        cache.install(locationId, std::move(refreshed));
+        plan.sent = true;
+        plan.bytes = 0.0;
+        plan.compressionRatio = 0.0;
+        return plan;
+    }
+
+    double bytes = encodedBytes(lowRes, &changed);
+    if (!budget.tryConsume(bytes)) {
+        plan.skippedForBudget = true;
+        return plan;
+    }
+    plan.updatedTileFraction = changed.fractionSet();
+    cache.updateTiles(locationId, lowRes, changed, tileLow);
+    plan.sent = true;
+    plan.updatedTiles = changed;
+    plan.bytes = bytes;
+    plan.compressionRatio = bytes > 0.0 ? rawBytes / bytes : 0.0;
+    return plan;
+}
+
+} // namespace earthplus::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ground-contact scheduling.
+ *
+ * A LEO satellite sees a ground station for ~10 minutes, ~7 times per
+ * day (§6.1). Contacts gate when reference images can be uplinked and
+ * when encoded changes come down: a reference uploaded at contact k is
+ * usable for captures after k; captures are downloaded at the next
+ * contact after the capture.
+ */
+
+#ifndef EARTHPLUS_ORBIT_CONTACT_HH
+#define EARTHPLUS_ORBIT_CONTACT_HH
+
+#include <vector>
+
+namespace earthplus::orbit {
+
+/**
+ * Evenly spaced daily contact windows for one satellite.
+ */
+class ContactSchedule
+{
+  public:
+    /**
+     * @param contactsPerDay Contacts per day (> 0).
+     * @param phaseDays Offset of this satellite's first daily contact.
+     */
+    explicit ContactSchedule(int contactsPerDay, double phaseDays = 0.0);
+
+    /** Time (days) of the first contact at or after `day`. */
+    double nextContactAtOrAfter(double day) const;
+
+    /** Time (days) of the last contact strictly before `day`. */
+    double lastContactBefore(double day) const;
+
+    /** Contact times within [fromDay, toDay). */
+    std::vector<double> contactsBetween(double fromDay, double toDay) const;
+
+    /** Contacts per day. */
+    int contactsPerDay() const { return contactsPerDay_; }
+
+  private:
+    int contactsPerDay_;
+    double phaseDays_;
+    double intervalDays_;
+};
+
+} // namespace earthplus::orbit
+
+#endif // EARTHPLUS_ORBIT_CONTACT_HH

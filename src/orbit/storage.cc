@@ -1,0 +1,72 @@
+#include "orbit/storage.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace earthplus::orbit {
+
+StorageModel::StorageModel(const StorageParams &params)
+    : params_(params)
+{
+    EP_ASSERT(params.mbPerKm2 > 0.0 && params.areaPerContactKm2 > 0.0,
+              "invalid storage constants");
+    EP_ASSERT(params.referenceCompression >= 1.0,
+              "reference compression below 1");
+}
+
+StorageModel::StorageModel()
+    : StorageModel(StorageParams{})
+{
+}
+
+StorageBreakdown
+StorageModel::earthPlus(double meanDownloadedFraction) const
+{
+    EP_ASSERT(meanDownloadedFraction >= 0.0 &&
+              meanDownloadedFraction <= 1.0,
+              "downloaded fraction %f out of range",
+              meanDownloadedFraction);
+    StorageBreakdown b;
+    double capturedMB = params_.contactsKept * params_.mbPerKm2 *
+                        params_.areaPerContactKm2 *
+                        meanDownloadedFraction;
+    double referenceMB = params_.referenceAreaFactor *
+                         params_.areaPerContactKm2 * params_.mbPerKm2 /
+                         params_.referenceCompression;
+    b.capturedBytes = units::mbToBytes(capturedMB);
+    b.referenceBytes = units::mbToBytes(referenceMB);
+    return b;
+}
+
+StorageBreakdown
+StorageModel::satRoI(double meanDownloadedFraction) const
+{
+    EP_ASSERT(meanDownloadedFraction >= 0.0 &&
+              meanDownloadedFraction <= 1.0,
+              "downloaded fraction %f out of range",
+              meanDownloadedFraction);
+    StorageBreakdown b;
+    double capturedMB = params_.contactsKept * params_.mbPerKm2 *
+                        params_.areaPerContactKm2 *
+                        meanDownloadedFraction;
+    // One full-resolution reference image region kept on board.
+    double referenceMB = params_.areaPerContactKm2 * params_.mbPerKm2 *
+                         0.1;
+    b.capturedBytes = units::mbToBytes(capturedMB);
+    b.referenceBytes = units::mbToBytes(referenceMB);
+    return b;
+}
+
+StorageBreakdown
+StorageModel::kodan() const
+{
+    StorageBreakdown b;
+    double capturedMB = params_.contactsKept * params_.mbPerKm2 *
+                        params_.areaPerContactKm2 *
+                        params_.captureToDownloadRatio;
+    b.capturedBytes = units::mbToBytes(capturedMB);
+    b.referenceBytes = 0.0;
+    return b;
+}
+
+} // namespace earthplus::orbit

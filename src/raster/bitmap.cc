@@ -1,0 +1,72 @@
+#include "raster/bitmap.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace earthplus::raster {
+
+Bitmap::Bitmap()
+    : width_(0), height_(0)
+{
+}
+
+Bitmap::Bitmap(int width, int height, bool fill)
+    : width_(width), height_(height)
+{
+    EP_ASSERT(width >= 0 && height >= 0,
+              "invalid bitmap size %dx%d", width, height);
+    data_.assign(static_cast<size_t>(width) * static_cast<size_t>(height),
+                 fill ? 1 : 0);
+}
+
+size_t
+Bitmap::countSet() const
+{
+    size_t n = 0;
+    for (uint8_t v : data_)
+        n += v;
+    return n;
+}
+
+double
+Bitmap::fractionSet() const
+{
+    if (data_.empty())
+        return 0.0;
+    return static_cast<double>(countSet()) /
+           static_cast<double>(data_.size());
+}
+
+void
+Bitmap::fill(bool v)
+{
+    std::fill(data_.begin(), data_.end(), v ? 1 : 0);
+}
+
+void
+Bitmap::orWith(const Bitmap &other)
+{
+    EP_ASSERT(width_ == other.width_ && height_ == other.height_,
+              "bitmap shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] = data_[i] | other.data_[i];
+}
+
+void
+Bitmap::andWith(const Bitmap &other)
+{
+    EP_ASSERT(width_ == other.width_ && height_ == other.height_,
+              "bitmap shape mismatch");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] = data_[i] & other.data_[i];
+}
+
+void
+Bitmap::invert()
+{
+    for (auto &v : data_)
+        v = v ? 0 : 1;
+}
+
+} // namespace earthplus::raster

@@ -1,0 +1,63 @@
+#include "raster/image.hh"
+
+#include "util/logging.hh"
+
+namespace earthplus::raster {
+
+Image::Image() = default;
+
+Image::Image(int width, int height, int bands)
+{
+    EP_ASSERT(bands >= 0, "negative band count %d", bands);
+    bands_.reserve(static_cast<size_t>(bands));
+    for (int b = 0; b < bands; ++b)
+        bands_.emplace_back(width, height);
+}
+
+int
+Image::width() const
+{
+    return bands_.empty() ? 0 : bands_.front().width();
+}
+
+int
+Image::height() const
+{
+    return bands_.empty() ? 0 : bands_.front().height();
+}
+
+const Plane &
+Image::band(int b) const
+{
+    EP_ASSERT(b >= 0 && b < bandCount(), "band %d out of range", b);
+    return bands_[static_cast<size_t>(b)];
+}
+
+Plane &
+Image::band(int b)
+{
+    EP_ASSERT(b >= 0 && b < bandCount(), "band %d out of range", b);
+    return bands_[static_cast<size_t>(b)];
+}
+
+void
+Image::addBand(Plane plane)
+{
+    if (!bands_.empty()) {
+        EP_ASSERT(plane.sameShape(bands_.front()),
+                  "band size %dx%d does not match image %dx%d",
+                  plane.width(), plane.height(), width(), height());
+    }
+    bands_.push_back(std::move(plane));
+}
+
+size_t
+Image::pixelBytes() const
+{
+    size_t total = 0;
+    for (const auto &b : bands_)
+        total += b.size() * sizeof(float);
+    return total;
+}
+
+} // namespace earthplus::raster

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Multi-band satellite image with capture metadata.
+ */
+
+#ifndef EARTHPLUS_RASTER_IMAGE_HH
+#define EARTHPLUS_RASTER_IMAGE_HH
+
+#include <vector>
+
+#include "raster/plane.hh"
+
+namespace earthplus::raster {
+
+/**
+ * Capture metadata carried alongside pixel data.
+ */
+struct CaptureInfo
+{
+    /** Identifier of the photographed geographic location. */
+    int locationId = 0;
+    /** Identifier of the capturing satellite within the constellation. */
+    int satelliteId = 0;
+    /** Capture time in days since the simulation epoch. */
+    double captureDay = 0.0;
+};
+
+/**
+ * A multi-band image: one Plane per spectral band, all the same size.
+ *
+ * Satellite imagery typically carries many bands (13 for Sentinel-2,
+ * RGB+NIR for Doves); Earth+ processes each band separately (§5,
+ * "Handling different bands").
+ */
+class Image
+{
+  public:
+    /** Construct an empty image (no bands). */
+    Image();
+
+    /**
+     * Construct an image of the given size with `bands` zero planes.
+     */
+    Image(int width, int height, int bands);
+
+    /** Width in pixels (0 when empty). */
+    int width() const;
+
+    /** Height in pixels (0 when empty). */
+    int height() const;
+
+    /** Number of spectral bands. */
+    int bandCount() const { return static_cast<int>(bands_.size()); }
+
+    /** Access band b. */
+    const Plane &band(int b) const;
+
+    /** Mutable access to band b. */
+    Plane &band(int b);
+
+    /** Append a band; must match the size of existing bands. */
+    void addBand(Plane plane);
+
+    /** Capture metadata. */
+    CaptureInfo &info() { return info_; }
+
+    /** Capture metadata (const). */
+    const CaptureInfo &info() const { return info_; }
+
+    /** Total bytes of pixel storage across all bands. */
+    size_t pixelBytes() const;
+
+  private:
+    std::vector<Plane> bands_;
+    CaptureInfo info_;
+};
+
+} // namespace earthplus::raster
+
+#endif // EARTHPLUS_RASTER_IMAGE_HH

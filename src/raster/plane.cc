@@ -1,0 +1,82 @@
+#include "raster/plane.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace earthplus::raster {
+
+Plane::Plane()
+    : width_(0), height_(0)
+{
+}
+
+Plane::Plane(int width, int height, float fill)
+    : width_(width), height_(height)
+{
+    EP_ASSERT(width >= 0 && height >= 0,
+              "invalid plane size %dx%d", width, height);
+    data_.assign(static_cast<size_t>(width) * static_cast<size_t>(height),
+                 fill);
+}
+
+bool
+Plane::sameShape(const Plane &other) const
+{
+    return width_ == other.width_ && height_ == other.height_;
+}
+
+void
+Plane::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Plane::clampTo(float lo, float hi)
+{
+    for (auto &p : data_)
+        p = std::clamp(p, lo, hi);
+}
+
+double
+Plane::mean() const
+{
+    if (data_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (float p : data_)
+        s += p;
+    return s / static_cast<double>(data_.size());
+}
+
+Plane
+Plane::crop(int x0, int y0, int w, int h) const
+{
+    EP_ASSERT(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0,
+              "invalid crop (%d,%d,%d,%d)", x0, y0, w, h);
+    int cw = std::min(w, width_ - x0);
+    int ch = std::min(h, height_ - y0);
+    cw = std::max(cw, 0);
+    ch = std::max(ch, 0);
+    Plane out(cw, ch);
+    for (int y = 0; y < ch; ++y) {
+        const float *src = row(y0 + y) + x0;
+        std::copy(src, src + cw, out.row(y));
+    }
+    return out;
+}
+
+void
+Plane::paste(const Plane &src, int x0, int y0)
+{
+    int w = std::min(src.width(), width_ - x0);
+    int h = std::min(src.height(), height_ - y0);
+    for (int y = 0; y < h; ++y) {
+        const float *s = src.row(y);
+        float *d = row(y0 + y) + x0;
+        std::copy(s, s + w, d);
+    }
+}
+
+} // namespace earthplus::raster

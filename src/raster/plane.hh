@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Single-band raster plane.
+ *
+ * Pixel values are stored as float, normalized to [0, 1] reflectance as
+ * in the paper (§3: "pixel differences are computed after we normalize
+ * pixel values to [0,1]").
+ */
+
+#ifndef EARTHPLUS_RASTER_PLANE_HH
+#define EARTHPLUS_RASTER_PLANE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace earthplus::raster {
+
+/**
+ * A width x height grid of float pixels for one spectral band.
+ */
+class Plane
+{
+  public:
+    /** Construct an empty (0x0) plane. */
+    Plane();
+
+    /**
+     * Construct a plane of the given size.
+     *
+     * @param width Width in pixels (>= 0).
+     * @param height Height in pixels (>= 0).
+     * @param fill Initial value of every pixel.
+     */
+    Plane(int width, int height, float fill = 0.0f);
+
+    /** Width in pixels. */
+    int width() const { return width_; }
+
+    /** Height in pixels. */
+    int height() const { return height_; }
+
+    /** Total pixel count. */
+    size_t size() const { return data_.size(); }
+
+    /** True when the plane holds no pixels. */
+    bool empty() const { return data_.empty(); }
+
+    /** Pixel accessor (bounds-checked in debug builds only). */
+    float at(int x, int y) const { return data_[index(x, y)]; }
+
+    /** Mutable pixel accessor. */
+    float &at(int x, int y) { return data_[index(x, y)]; }
+
+    /** Pointer to the first pixel of row y. */
+    float *row(int y) { return data_.data() + static_cast<size_t>(y) * width_; }
+
+    /** Const pointer to the first pixel of row y. */
+    const float *
+    row(int y) const
+    {
+        return data_.data() + static_cast<size_t>(y) * width_;
+    }
+
+    /** Raw pixel storage, row-major. */
+    std::vector<float> &data() { return data_; }
+
+    /** Raw pixel storage, row-major (const). */
+    const std::vector<float> &data() const { return data_; }
+
+    /** True when the other plane has identical dimensions. */
+    bool sameShape(const Plane &other) const;
+
+    /** Set every pixel to v. */
+    void fill(float v);
+
+    /** Clamp every pixel into [lo, hi]. */
+    void clampTo(float lo, float hi);
+
+    /** Mean pixel value (0 when empty). */
+    double mean() const;
+
+    /**
+     * Extract a rectangular sub-region.
+     *
+     * The rectangle is clipped against the plane bounds; pixels outside
+     * the plane are not produced, so the result may be smaller than
+     * (w, h) at the right/bottom edges.
+     */
+    Plane crop(int x0, int y0, int w, int h) const;
+
+    /**
+     * Paste src into this plane with its top-left corner at (x0, y0),
+     * clipping against this plane's bounds.
+     */
+    void paste(const Plane &src, int x0, int y0);
+
+  private:
+    int width_;
+    int height_;
+    std::vector<float> data_;
+
+    size_t
+    index(int x, int y) const
+    {
+        return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+               static_cast<size_t>(x);
+    }
+};
+
+} // namespace earthplus::raster
+
+#endif // EARTHPLUS_RASTER_PLANE_HH

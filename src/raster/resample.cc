@@ -1,0 +1,120 @@
+#include "raster/resample.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace earthplus::raster {
+
+namespace {
+
+int
+outDim(int in, int factor)
+{
+    return (in + factor - 1) / factor;
+}
+
+} // anonymous namespace
+
+Plane
+downsample(const Plane &src, int factor)
+{
+    EP_ASSERT(factor >= 1, "invalid downsample factor %d", factor);
+    if (factor == 1)
+        return src;
+    int ow = outDim(src.width(), factor);
+    int oh = outDim(src.height(), factor);
+    Plane out(ow, oh);
+    for (int oy = 0; oy < oh; ++oy) {
+        int y0 = oy * factor;
+        int y1 = std::min(y0 + factor, src.height());
+        for (int ox = 0; ox < ow; ++ox) {
+            int x0 = ox * factor;
+            int x1 = std::min(x0 + factor, src.width());
+            double sum = 0.0;
+            for (int y = y0; y < y1; ++y) {
+                const float *row = src.row(y);
+                for (int x = x0; x < x1; ++x)
+                    sum += row[x];
+            }
+            int n = (y1 - y0) * (x1 - x0);
+            out.at(ox, oy) = n ? static_cast<float>(sum / n) : 0.0f;
+        }
+    }
+    return out;
+}
+
+Plane
+upsampleBilinear(const Plane &src, int width, int height)
+{
+    EP_ASSERT(width >= 0 && height >= 0, "invalid upsample size %dx%d",
+              width, height);
+    Plane out(width, height);
+    if (src.empty() || width == 0 || height == 0)
+        return out;
+    double sx = static_cast<double>(src.width()) / std::max(width, 1);
+    double sy = static_cast<double>(src.height()) / std::max(height, 1);
+    for (int y = 0; y < height; ++y) {
+        // Sample at block centers so that the grid aligns with the
+        // box-filtered downsample.
+        double fy = (y + 0.5) * sy - 0.5;
+        int y0 = static_cast<int>(std::floor(fy));
+        double wy = fy - y0;
+        int y0c = std::clamp(y0, 0, src.height() - 1);
+        int y1c = std::clamp(y0 + 1, 0, src.height() - 1);
+        for (int x = 0; x < width; ++x) {
+            double fx = (x + 0.5) * sx - 0.5;
+            int x0 = static_cast<int>(std::floor(fx));
+            double wx = fx - x0;
+            int x0c = std::clamp(x0, 0, src.width() - 1);
+            int x1c = std::clamp(x0 + 1, 0, src.width() - 1);
+            double v00 = src.at(x0c, y0c);
+            double v10 = src.at(x1c, y0c);
+            double v01 = src.at(x0c, y1c);
+            double v11 = src.at(x1c, y1c);
+            double v = v00 * (1 - wx) * (1 - wy) + v10 * wx * (1 - wy) +
+                       v01 * (1 - wx) * wy + v11 * wx * wy;
+            out.at(x, y) = static_cast<float>(v);
+        }
+    }
+    return out;
+}
+
+Plane
+downsampleFraction(const Bitmap &src, int factor)
+{
+    EP_ASSERT(factor >= 1, "invalid downsample factor %d", factor);
+    int ow = outDim(src.width(), factor);
+    int oh = outDim(src.height(), factor);
+    Plane out(ow, oh);
+    for (int oy = 0; oy < oh; ++oy) {
+        int y0 = oy * factor;
+        int y1 = std::min(y0 + factor, src.height());
+        for (int ox = 0; ox < ow; ++ox) {
+            int x0 = ox * factor;
+            int x1 = std::min(x0 + factor, src.width());
+            int set = 0;
+            for (int y = y0; y < y1; ++y)
+                for (int x = x0; x < x1; ++x)
+                    set += src.get(x, y) ? 1 : 0;
+            int n = (y1 - y0) * (x1 - x0);
+            out.at(ox, oy) =
+                n ? static_cast<float>(set) / static_cast<float>(n) : 0.0f;
+        }
+    }
+    return out;
+}
+
+Bitmap
+downsampleAny(const Bitmap &src, int factor)
+{
+    Plane frac = downsampleFraction(src, factor);
+    Bitmap out(frac.width(), frac.height());
+    for (int y = 0; y < frac.height(); ++y)
+        for (int x = 0; x < frac.width(); ++x)
+            out.set(x, y, frac.at(x, y) > 0.0f);
+    return out;
+}
+
+} // namespace earthplus::raster

@@ -1,0 +1,66 @@
+#include "synth/bands.hh"
+
+namespace earthplus::synth {
+
+std::vector<BandSpec>
+sentinel2Bands()
+{
+    // groundCoupling / seasonalAmplitude follow the paper's band
+    // taxonomy (§5): RGB + SWIR are ground bands, B5-B8a are
+    // temperature-sensitive vegetation bands, B9/B10 observe the air.
+    std::vector<BandSpec> bands;
+    auto add = [&](const char *name, double ground, double seasonal,
+                   double detail, double atmo, double cloud, bool cold) {
+        BandSpec b;
+        b.name = name;
+        b.groundCoupling = ground;
+        b.seasonalAmplitude = seasonal;
+        b.detailScale = detail;
+        b.atmosphere = atmo;
+        b.cloudValue = cloud;
+        b.coldClouds = cold;
+        bands.push_back(b);
+    };
+    //   name   ground seasonal detail atmo cloud cold
+    add("B1",   0.40,  0.010,   0.08,  0.30, 0.80, false); // coastal aerosol
+    add("B2",   1.00,  0.020,   0.15,  0.02, 0.85, false); // blue
+    add("B3",   1.00,  0.025,   0.16,  0.02, 0.85, false); // green
+    add("B4",   1.00,  0.025,   0.17,  0.02, 0.85, false); // red
+    add("B5",   1.05,  0.045,   0.16,  0.02, 0.84, false); // red edge 1
+    add("B6",   1.10,  0.055,   0.16,  0.02, 0.84, false); // red edge 2
+    add("B7",   1.15,  0.060,   0.16,  0.02, 0.84, false); // red edge 3
+    add("B8",   1.15,  0.060,   0.18,  0.02, 0.83, false); // NIR
+    add("B8a",  1.15,  0.060,   0.17,  0.02, 0.83, false); // narrow NIR
+    add("B9",   0.05,  0.005,   0.04,  0.60, 0.75, false); // water vapor
+    add("B10",  0.05,  0.005,   0.03,  0.55, 0.95, false); // cirrus
+    add("B11",  0.95,  0.035,   0.16,  0.02, 0.20, true);  // SWIR 1
+    add("B12",  0.95,  0.035,   0.16,  0.02, 0.18, true);  // SWIR 2
+    return bands;
+}
+
+std::vector<BandSpec>
+dovesBands()
+{
+    std::vector<BandSpec> bands;
+    auto add = [&](const char *name, double ground, double seasonal,
+                   double cloud, bool cold) {
+        BandSpec b;
+        b.name = name;
+        b.groundCoupling = ground;
+        b.seasonalAmplitude = seasonal;
+        b.detailScale = 0.16;
+        b.atmosphere = 0.02;
+        b.cloudValue = cloud;
+        b.coldClouds = cold;
+        bands.push_back(b);
+    };
+    add("R",   1.00, 0.025, 0.85, false);
+    add("G",   1.00, 0.025, 0.85, false);
+    add("B",   1.00, 0.020, 0.85, false);
+    // Doves' NIR doubles as the cold-cloud channel for the cheap
+    // decision-tree detector.
+    add("NIR", 1.15, 0.055, 0.22, true);
+    return bands;
+}
+
+} // namespace earthplus::synth

@@ -1,0 +1,135 @@
+#include "synth/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace earthplus::synth {
+
+namespace {
+
+LocationProfile
+makeProfile(int id, const char *name, std::vector<double> mix, bool snowy,
+            uint64_t seed)
+{
+    LocationProfile p;
+    p.locationId = id;
+    p.name = name;
+    p.mix = std::move(mix);
+    p.snowy = snowy;
+    p.seed = seed;
+    return p;
+}
+
+} // anonymous namespace
+
+DatasetSpec
+richContentDataset(int width, int height)
+{
+    DatasetSpec spec;
+    spec.name = "rich-content (Sentinel-2-like)";
+    spec.bands = sentinel2Bands();
+    spec.width = width;
+    spec.height = height;
+    spec.startDay = 0.0;
+    spec.endDay = 365.0;
+    // Sentinel-2's two satellites give a 5-day combined revisit; each
+    // satellite alone revisits every 10 days.
+    spec.revisitDays = 10.0;
+    spec.satelliteCount = 2;
+    spec.gsdMeters = 10.0;
+    spec.locationAreaKm2 = 1600.0;
+    spec.seed = 0x5e2d00d;
+
+    // Mixture order: Water, Forest, Mountain, Agriculture, Urban, Coastal.
+    uint64_t s = spec.seed;
+    spec.locations = {
+        makeProfile(0, "A", {0.30, 0.30, 0.05, 0.20, 0.10, 0.05}, false,
+                    s ^ 0xA1), // fluvial landscape
+        makeProfile(1, "B", {0.05, 0.70, 0.15, 0.05, 0.05, 0.00}, false,
+                    s ^ 0xB2), // forest
+        makeProfile(2, "C", {0.05, 0.25, 0.60, 0.05, 0.05, 0.00}, false,
+                    s ^ 0xC3), // mountains (no persistent snow)
+        makeProfile(3, "D", {0.02, 0.28, 0.60, 0.05, 0.05, 0.00}, true,
+                    s ^ 0xD4), // snowy mountains (paper: marginal)
+        makeProfile(4, "E", {0.05, 0.10, 0.05, 0.65, 0.15, 0.00}, false,
+                    s ^ 0xE5), // irrigated agriculture
+        makeProfile(5, "F", {0.05, 0.10, 0.05, 0.15, 0.65, 0.00}, false,
+                    s ^ 0xF6), // city
+        makeProfile(6, "G", {0.10, 0.40, 0.10, 0.30, 0.10, 0.00}, false,
+                    s ^ 0x17), // mixed
+        makeProfile(7, "H", {0.02, 0.18, 0.70, 0.05, 0.05, 0.00}, true,
+                    s ^ 0x28), // snowy high mountains (paper: no gain)
+        makeProfile(8, "I", {0.15, 0.25, 0.05, 0.40, 0.15, 0.00}, false,
+                    s ^ 0x39), // river + agriculture
+        makeProfile(9, "J", {0.05, 0.15, 0.05, 0.30, 0.45, 0.00}, false,
+                    s ^ 0x4A), // suburban
+        makeProfile(10, "K", {0.25, 0.30, 0.10, 0.20, 0.10, 0.05}, false,
+                    s ^ 0x5B), // mixed fluvial
+    };
+    return spec;
+}
+
+DatasetSpec
+largeConstellationDataset(int width, int height)
+{
+    DatasetSpec spec;
+    spec.name = "large-constellation (Planet-like)";
+    spec.bands = dovesBands();
+    spec.width = width;
+    spec.height = height;
+    spec.startDay = 0.0;
+    spec.endDay = 90.0;
+    // Doves image a different swath on each pass, so any particular
+    // location sees a specific satellite only every ~40 days while the
+    // constellation as a whole images it slightly more than daily —
+    // the rates implied by the paper's Fig. 5 (4.2-day constellation-
+    // wide cloud-free interval at ~20% clear-sky probability).
+    spec.revisitDays = 40.0;
+    spec.satelliteCount = 48;
+    spec.gsdMeters = 3.7;
+    spec.locationAreaKm2 = 36.0;
+    spec.seed = 0x9a7e7;
+    spec.maxCloudCoverage = 0.05; // Table 2: Planet images <5% cloud
+    spec.locations = {
+        makeProfile(0, "Coastal",
+                    {0.25, 0.10, 0.02, 0.13, 0.20, 0.30}, false,
+                    spec.seed ^ 0x77),
+    };
+    return spec;
+}
+
+std::vector<double>
+captureDays(const DatasetSpec &spec, int satelliteId, int locationId)
+{
+    EP_ASSERT(satelliteId >= 0 && satelliteId < spec.satelliteCount,
+              "satellite %d out of range", satelliteId);
+    EP_ASSERT(spec.revisitDays > 0.0, "non-positive revisit period");
+    // Satellites are phase-staggered across the revisit period; the
+    // location index shifts the pattern so different locations are not
+    // all imaged by the same satellite on the same day.
+    double phase = std::fmod(
+        spec.revisitDays * static_cast<double>(satelliteId) /
+                static_cast<double>(spec.satelliteCount) +
+            0.37 * static_cast<double>(locationId),
+        spec.revisitDays);
+    std::vector<double> days;
+    for (double d = spec.startDay + phase; d < spec.endDay;
+         d += spec.revisitDays)
+        days.push_back(d);
+    return days;
+}
+
+std::vector<std::pair<double, int>>
+constellationSchedule(const DatasetSpec &spec, int locationId)
+{
+    std::vector<std::pair<double, int>> schedule;
+    for (int s = 0; s < spec.satelliteCount; ++s)
+        for (double d : captureDays(spec, s, locationId))
+            schedule.emplace_back(d, s);
+    std::sort(schedule.begin(), schedule.end());
+    return schedule;
+}
+
+} // namespace earthplus::synth

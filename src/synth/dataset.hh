@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Synthetic stand-ins for the paper's two evaluation datasets
+ * (Table 2): the Sentinel-2 "rich-content" dataset (11 Washington-State
+ * locations, 13 bands, 1 year, 2 satellites) and the Planet
+ * "large-constellation" dataset (1 coastal location, 4 bands, 3 months,
+ * 48 satellites).
+ */
+
+#ifndef EARTHPLUS_SYNTH_DATASET_HH
+#define EARTHPLUS_SYNTH_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "synth/bands.hh"
+#include "synth/landcover.hh"
+
+namespace earthplus::synth {
+
+/** Full description of one synthetic dataset. */
+struct DatasetSpec
+{
+    /** Dataset name for reports. */
+    std::string name;
+    /** One profile per geographic location. */
+    std::vector<LocationProfile> locations;
+    /** Spectral bands. */
+    std::vector<BandSpec> bands;
+    /** Capture width in pixels. */
+    int width = 256;
+    /** Capture height in pixels. */
+    int height = 256;
+    /** Tile edge length. */
+    int tileSize = 64;
+    /** First evaluation day. */
+    double startDay = 0.0;
+    /** One-past-last evaluation day. */
+    double endDay = 365.0;
+    /** Days between two visits of the same satellite to a location. */
+    double revisitDays = 10.0;
+    /** Number of satellites in the constellation. */
+    int satelliteCount = 2;
+    /** Master seed. */
+    uint64_t seed = 0xea57f00d;
+
+    /**
+     * Dataset-level cloud filter: captures with more (ground-truth)
+     * cloud coverage than this are absent from the dataset. The
+     * paper's Planet dataset only contains <5%-cloud images (Table 2);
+     * Sentinel-2 keeps everything.
+     */
+    double maxCloudCoverage = 1.0;
+
+    /** Ground-sampling distance (metres/pixel), reporting only. */
+    double gsdMeters = 10.0;
+    /** Coverage of one location (km^2), reporting only. */
+    double locationAreaKm2 = 1600.0;
+};
+
+/**
+ * The Sentinel-2-like dataset: 11 locations A..K spanning rivers,
+ * forests, mountains (H and D snowy), agriculture and cities.
+ *
+ * @param width Capture width (the paper itself downsamples Sentinel-2
+ *              4x for tractability; our default mirrors that spirit).
+ * @param height Capture height.
+ */
+DatasetSpec richContentDataset(int width = 256, int height = 256);
+
+/**
+ * The Planet-like dataset: one coastal location, 48 satellites, RGB+NIR,
+ * three months.
+ */
+DatasetSpec largeConstellationDataset(int width = 256, int height = 256);
+
+/**
+ * Capture days of one satellite for a location: the satellite revisits
+ * every `spec.revisitDays`, with satellites' phases staggered evenly so
+ * the constellation as a whole visits a location
+ * satelliteCount / revisitDays times per day (capped at one visit per
+ * satellite per revisit period).
+ *
+ * @return Sorted capture days within [spec.startDay, spec.endDay).
+ */
+std::vector<double> captureDays(const DatasetSpec &spec, int satelliteId,
+                                int locationId);
+
+/**
+ * Merged (day, satelliteId) capture schedule of the whole constellation
+ * for one location, sorted by day.
+ */
+std::vector<std::pair<double, int>>
+constellationSchedule(const DatasetSpec &spec, int locationId);
+
+} // namespace earthplus::synth
+
+#endif // EARTHPLUS_SYNTH_DATASET_HH

@@ -1,0 +1,109 @@
+#include "synth/landcover.hh"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "synth/noise.hh"
+#include "util/logging.hh"
+
+namespace earthplus::synth {
+
+namespace {
+
+constexpr size_t kNumClasses =
+    static_cast<size_t>(LandCover::NumClasses);
+
+// Change rates are calibrated so that a typical mixed location matches
+// Fig. 4: ~15% of tiles changed at a 10-day reference age, ~45% at 50
+// days (P(changed by t) = 1 - exp(-rate * t) per tile, averaged over
+// the mixture).
+const std::array<LandCoverParams, kNumClasses> kParams = {{
+    // baseRefl texture seasonal changes/day
+    {0.08,     0.30,   0.10,    0.0008}, // Water
+    {0.22,     0.90,   1.00,    0.0030}, // Forest (slow)
+    {0.38,     1.10,   0.60,    0.0025}, // Mountain (slow)
+    {0.34,     1.00,   1.40,    0.0220}, // Agriculture (crop cycles)
+    {0.46,     1.30,   0.20,    0.0100}, // Urban (construction, traffic)
+    {0.30,     0.80,   0.70,    0.0180}, // Coastal (tides, sediment)
+}};
+
+} // anonymous namespace
+
+const LandCoverParams &
+landCoverParams(LandCover c)
+{
+    size_t i = static_cast<size_t>(c);
+    EP_ASSERT(i < kNumClasses, "bad land-cover class %zu", i);
+    return kParams[i];
+}
+
+LandCoverMap::LandCoverMap(const LocationProfile &profile, int width,
+                           int height)
+    : width_(width), height_(height)
+{
+    EP_ASSERT(profile.mix.size() == kNumClasses,
+              "location profile must weight all %zu classes, got %zu",
+              kNumClasses, profile.mix.size());
+    classes_.assign(static_cast<size_t>(width) *
+                    static_cast<size_t>(height), 0);
+
+    // Low-frequency field whose quantile bands become class regions.
+    raster::Plane field =
+        fbmPlane(width, height, 1.0 / 96.0, 4, profile.seed ^ 0x1a2b);
+    elevation_ =
+        fbmPlane(width, height, 1.0 / 128.0, 5, profile.seed ^ 0x3c4d);
+
+    // Convert mixture weights into cumulative thresholds over the
+    // field's empirical distribution.
+    double total = std::accumulate(profile.mix.begin(), profile.mix.end(),
+                                   0.0);
+    EP_ASSERT(total > 0.0, "location profile mixture is all zero");
+    std::vector<float> sorted(field.data());
+    std::sort(sorted.begin(), sorted.end());
+    std::array<float, kNumClasses> thresholds{};
+    double cum = 0.0;
+    for (size_t c = 0; c < kNumClasses; ++c) {
+        cum += profile.mix[c] / total;
+        size_t idx = static_cast<size_t>(
+            std::min(cum, 1.0) * static_cast<double>(sorted.size() - 1));
+        thresholds[c] = sorted[idx];
+    }
+
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            float v = field.at(x, y);
+            uint8_t cls = static_cast<uint8_t>(kNumClasses - 1);
+            for (size_t c = 0; c < kNumClasses; ++c) {
+                if (v <= thresholds[c]) {
+                    cls = static_cast<uint8_t>(c);
+                    break;
+                }
+            }
+            classes_[static_cast<size_t>(y) * width + x] = cls;
+        }
+    }
+}
+
+LandCover
+LandCoverMap::at(int x, int y) const
+{
+    EP_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
+              "pixel (%d,%d) out of range", x, y);
+    return static_cast<LandCover>(
+        classes_[static_cast<size_t>(y) * width_ + x]);
+}
+
+double
+LandCoverMap::classFraction(LandCover c) const
+{
+    if (classes_.empty())
+        return 0.0;
+    size_t n = 0;
+    for (uint8_t v : classes_)
+        if (v == static_cast<uint8_t>(c))
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(classes_.size());
+}
+
+} // namespace earthplus::synth

@@ -1,0 +1,88 @@
+#include "synth/noise.hh"
+
+#include <cmath>
+
+namespace earthplus::synth {
+
+namespace {
+
+/** Integer lattice hash -> [0, 1). */
+double
+latticeHash(int64_t ix, int64_t iy, uint64_t seed)
+{
+    uint64_t h = seed;
+    h ^= static_cast<uint64_t>(ix) * 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h ^= static_cast<uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double
+smoothstep(double t)
+{
+    return t * t * (3.0 - 2.0 * t);
+}
+
+} // anonymous namespace
+
+double
+valueNoise(double x, double y, uint64_t seed)
+{
+    double fx = std::floor(x);
+    double fy = std::floor(y);
+    int64_t ix = static_cast<int64_t>(fx);
+    int64_t iy = static_cast<int64_t>(fy);
+    double tx = smoothstep(x - fx);
+    double ty = smoothstep(y - fy);
+    double v00 = latticeHash(ix, iy, seed);
+    double v10 = latticeHash(ix + 1, iy, seed);
+    double v01 = latticeHash(ix, iy + 1, seed);
+    double v11 = latticeHash(ix + 1, iy + 1, seed);
+    double v0 = v00 + (v10 - v00) * tx;
+    double v1 = v01 + (v11 - v01) * tx;
+    return 2.0 * (v0 + (v1 - v0) * ty) - 1.0;
+}
+
+double
+fbm(double x, double y, int octaves, double gain, uint64_t seed)
+{
+    double sum = 0.0;
+    double amp = 1.0;
+    double norm = 0.0;
+    double fx = x;
+    double fy = y;
+    for (int o = 0; o < octaves; ++o) {
+        sum += amp * valueNoise(fx, fy, seed + static_cast<uint64_t>(o));
+        norm += amp;
+        amp *= gain;
+        fx *= 2.0;
+        fy *= 2.0;
+    }
+    return norm > 0.0 ? sum / norm : 0.0;
+}
+
+raster::Plane
+fbmPlane(int width, int height, double frequency, int octaves,
+         uint64_t seed)
+{
+    raster::Plane out(width, height);
+    for (int y = 0; y < height; ++y) {
+        float *row = out.row(y);
+        for (int x = 0; x < width; ++x) {
+            double v = fbm(x * frequency, y * frequency, octaves, 0.5,
+                           seed);
+            row[x] = static_cast<float>(0.5 * (v + 1.0));
+        }
+    }
+    return out;
+}
+
+double
+valueNoise1D(double t, uint64_t seed)
+{
+    return valueNoise(t, 0.37, seed);
+}
+
+} // namespace earthplus::synth

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Seeded procedural noise (value noise + fractional Brownian motion).
+ *
+ * The synthetic Earth substitutes for the Sentinel-2 / Planet datasets
+ * the paper evaluates on (see DESIGN.md); fBm provides the terrain
+ * textures, cloud fields and atmospheric patterns.
+ */
+
+#ifndef EARTHPLUS_SYNTH_NOISE_HH
+#define EARTHPLUS_SYNTH_NOISE_HH
+
+#include <cstdint>
+
+#include "raster/plane.hh"
+
+namespace earthplus::synth {
+
+/**
+ * Smooth value noise at a point, range [-1, 1], period-free, fully
+ * determined by (x, y, seed).
+ */
+double valueNoise(double x, double y, uint64_t seed);
+
+/**
+ * Fractional Brownian motion: `octaves` layers of value noise with
+ * frequency doubling (lacunarity 2) and amplitude decay `gain` per
+ * octave. Output approximately in [-1, 1].
+ */
+double fbm(double x, double y, int octaves, double gain, uint64_t seed);
+
+/**
+ * Fill a plane with fBm sampled on a regular grid, remapped to [0, 1].
+ *
+ * @param width Plane width.
+ * @param height Plane height.
+ * @param frequency Base spatial frequency in cycles per pixel.
+ * @param octaves Number of fBm octaves.
+ * @param seed Noise seed.
+ */
+raster::Plane fbmPlane(int width, int height, double frequency,
+                       int octaves, uint64_t seed);
+
+/** 1D smooth noise for slowly varying scalar processes (e.g. albedo). */
+double valueNoise1D(double t, uint64_t seed);
+
+} // namespace earthplus::synth
+
+#endif // EARTHPLUS_SYNTH_NOISE_HH

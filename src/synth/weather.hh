@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-location daily cloud-coverage process.
+ *
+ * All satellites overflying a location on the same day see the same
+ * weather (sun-synchronous constellations image a location at nearly
+ * the same local time, §2.1), which is what makes constellation-wide
+ * reference freshness a temporal-coverage effect rather than a lucky-
+ * draw effect. Parameters are calibrated to the paper's statistics:
+ * mean coverage ~2/3 ([10] in §3) and P(coverage < 1%) such that a
+ * 10-day-revisit satellite sees a cloud-free image every ~50 days
+ * while a daily-revisit constellation sees one every ~4-5 days (Fig 5).
+ */
+
+#ifndef EARTHPLUS_SYNTH_WEATHER_HH
+#define EARTHPLUS_SYNTH_WEATHER_HH
+
+#include <cstdint>
+
+namespace earthplus::synth {
+
+/** Mixture parameters of the daily coverage distribution. */
+struct WeatherParams
+{
+    /** Mean P(clear day: coverage ~ U[0, 0.01)). */
+    double pClear = 0.20;
+    /** Mean P(partly cloudy: coverage ~ U[0.01, 0.5)). */
+    double pPartial = 0.22;
+    /** Remaining probability: overcast, coverage ~ U[overcastLo, 1). */
+    double overcastLo = 0.62;
+    /**
+     * Seasonal modulation of the clear/partial probabilities: clear
+     * days cluster in summer, overcast in winter (mid-latitude
+     * climate). 0 disables seasonality; 1 gives ~6x more clear days in
+     * summer than winter while preserving the yearly means.
+     */
+    double seasonality = 1.0;
+    /** Process seed. */
+    uint64_t seed = 0x5eedc10dULL;
+};
+
+/**
+ * Deterministic daily cloud coverage per location.
+ */
+class WeatherProcess
+{
+  public:
+    explicit WeatherProcess(const WeatherParams &params = WeatherParams());
+
+    /**
+     * Cloud coverage fraction for the given location and (integer) day.
+     * Identical for every satellite capturing that day.
+     */
+    double coverage(int locationId, int day) const;
+
+    /** Mean coverage over a day range (for calibration checks). */
+    double meanCoverage(int locationId, int fromDay, int toDay) const;
+
+    const WeatherParams &params() const { return params_; }
+
+  private:
+    WeatherParams params_;
+};
+
+} // namespace earthplus::synth
+
+#endif // EARTHPLUS_SYNTH_WEATHER_HH

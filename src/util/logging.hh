@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status-message and error-handling helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (aborts), fatal() for unrecoverable user/configuration errors (exit 1),
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef EARTHPLUS_UTIL_LOGGING_HH
+#define EARTHPLUS_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace earthplus {
+
+/**
+ * Build a std::string from a printf-style format string.
+ *
+ * @param fmt printf-style format.
+ * @return The formatted string.
+ */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** strfmt() variant taking a va_list. */
+std::string vstrfmt(const char *fmt, va_list args);
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort. Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable error caused by the caller (bad configuration,
+ * invalid arguments) and exit with status 1. Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message to stderr; execution continues. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * panic() unless the condition holds.
+ *
+ * Used for cheap, always-on invariant checks on public API boundaries.
+ */
+#define EP_ASSERT(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::earthplus::panic("assertion '%s' failed at %s:%d: %s",       \
+                               #cond, __FILE__, __LINE__,                  \
+                               ::earthplus::strfmt(__VA_ARGS__).c_str());  \
+        }                                                                  \
+    } while (0)
+
+} // namespace earthplus
+
+#endif // EARTHPLUS_UTIL_LOGGING_HH

@@ -1,0 +1,185 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace earthplus {
+
+RunningStats::RunningStats()
+    : count_(0), mean_(0.0), m2_(0.0), min_(0.0), max_(0.0), sum_(0.0)
+{
+}
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::stderror() const
+{
+    return count_ ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+void
+EmpiricalDistribution::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+EmpiricalDistribution::add(const std::vector<double> &xs)
+{
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+}
+
+void
+EmpiricalDistribution::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+EmpiricalDistribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalDistribution::quantile(double q) const
+{
+    EP_ASSERT(q >= 0.0 && q <= 1.0, "quantile %f out of range", q);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples_.size() == 1)
+        return samples_[0];
+    double pos = q * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+EmpiricalDistribution::cdf(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalDistribution::cdfSeries(int n) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || n < 2)
+        return out;
+    ensureSorted();
+    double lo = samples_.front();
+    double hi = samples_.back();
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        double x = lo + (hi - lo) * static_cast<double>(i) /
+                   static_cast<double>(n - 1);
+        out.emplace_back(x, cdf(x));
+    }
+    return out;
+}
+
+const std::vector<double> &
+EmpiricalDistribution::sorted() const
+{
+    ensureSorted();
+    return samples_;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<size_t>(bins), 0), total_(0)
+{
+    EP_ASSERT(hi > lo, "histogram range [%f, %f) is empty", lo, hi);
+    EP_ASSERT(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    double t = (x - lo_) / (hi_ - lo_);
+    int bin = static_cast<int>(t * static_cast<double>(counts_.size()));
+    bin = std::clamp(bin, 0, static_cast<int>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+size_t
+Histogram::binCount(int i) const
+{
+    EP_ASSERT(i >= 0 && i < bins(), "bin %d out of range", i);
+    return counts_[static_cast<size_t>(i)];
+}
+
+double
+Histogram::binCenter(int i) const
+{
+    EP_ASSERT(i >= 0 && i < bins(), "bin %d out of range", i);
+    double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+} // namespace earthplus

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Streaming statistics, histograms and empirical CDFs.
+ *
+ * Used by the evaluation harness to aggregate per-capture measurements
+ * (percentage of downloaded tiles, PSNR, reference age, ...) into the
+ * summaries the paper reports.
+ */
+
+#ifndef EARTHPLUS_UTIL_STATS_HH
+#define EARTHPLUS_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace earthplus {
+
+/**
+ * Streaming mean / variance / min / max accumulator (Welford's method).
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added so far. */
+    size_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const;
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Standard deviation of the mean (stddev / sqrt(n)). */
+    double stderror() const;
+
+    /** Smallest sample seen (0 when empty). */
+    double min() const;
+
+    /** Largest sample seen (0 when empty). */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+    double sum_;
+};
+
+/**
+ * Empirical distribution over a collected sample set.
+ *
+ * Stores all samples; supports quantile queries and CDF evaluation, which
+ * back the paper's CDF plots (Figs. 5 and 12).
+ */
+class EmpiricalDistribution
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add many samples. */
+    void add(const std::vector<double> &xs);
+
+    /** Number of samples. */
+    size_t count() const { return samples_.size(); }
+
+    /** Mean of all samples (0 when empty). */
+    double mean() const;
+
+    /**
+     * Empirical quantile via linear interpolation.
+     *
+     * @param q Quantile in [0, 1].
+     */
+    double quantile(double q) const;
+
+    /** Fraction of samples <= x. */
+    double cdf(double x) const;
+
+    /**
+     * Evaluate the CDF on an evenly spaced grid of points between the
+     * sample min and max.
+     *
+     * @return Vector of (x, P(X <= x)) pairs, n points.
+     */
+    std::vector<std::pair<double, double>> cdfSeries(int n) const;
+
+    /** Sorted copy of the samples. */
+    const std::vector<double> &sorted() const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+ * first/last bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin (must exceed lo).
+     * @param bins Number of bins (>= 1).
+     */
+    Histogram(double lo, double hi, int bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in bin i. */
+    size_t binCount(int i) const;
+
+    /** Center value of bin i. */
+    double binCenter(int i) const;
+
+    /** Number of bins. */
+    int bins() const { return static_cast<int>(counts_.size()); }
+
+    /** Total number of samples added. */
+    size_t total() const { return total_; }
+
+  private:
+    double lo_, hi_;
+    std::vector<size_t> counts_;
+    size_t total_;
+};
+
+} // namespace earthplus
+
+#endif // EARTHPLUS_UTIL_STATS_HH

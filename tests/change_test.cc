@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for illumination alignment, tile change detection (including
+ * downsampled-reference detection, §4.3) and threshold calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "change/calibration.hh"
+#include "change/detector.hh"
+#include "change/illumination.hh"
+#include "raster/resample.hh"
+#include "util/rng.hh"
+
+using namespace earthplus;
+using namespace earthplus::change;
+
+namespace {
+
+raster::Plane
+texturedPlane(int w, int h, uint64_t seed)
+{
+    raster::Plane p(w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = 0.4f + 0.2f * std::sin(x * 0.07f + y * 0.05f) +
+                         static_cast<float>(rng.uniform(-0.05, 0.05));
+    p.clampTo(0.0f, 1.0f);
+    return p;
+}
+
+} // namespace
+
+TEST(Illumination, RecoversExactLinearMap)
+{
+    raster::Plane ref = texturedPlane(64, 64, 1);
+    raster::Plane cap = ref;
+    for (auto &v : cap.data())
+        v = 1.08f * v + 0.03f;
+    IlluminationFit fit = fitIllumination(ref, cap);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.gain, 1.08, 1e-4);
+    EXPECT_NEAR(fit.bias, 0.03, 1e-4);
+}
+
+TEST(Illumination, RobustToModestNoise)
+{
+    raster::Plane ref = texturedPlane(128, 128, 2);
+    raster::Plane cap = ref;
+    Rng rng(3);
+    for (auto &v : cap.data())
+        v = 0.92f * v - 0.02f + static_cast<float>(rng.normal(0.0, 0.01));
+    IlluminationFit fit = fitIllumination(ref, cap);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.gain, 0.92, 0.02);
+    EXPECT_NEAR(fit.bias, -0.02, 0.01);
+}
+
+TEST(Illumination, MaskExcludesContaminatedPixels)
+{
+    raster::Plane ref = texturedPlane(64, 64, 4);
+    raster::Plane cap = ref;
+    for (auto &v : cap.data())
+        v = 1.1f * v;
+    // Corrupt half the image; mask it out.
+    raster::Bitmap valid(64, 64, true);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            cap.at(x, y) = 0.95f;
+            valid.set(x, y, false);
+        }
+    }
+    IlluminationFit fit = fitIllumination(ref, cap, &valid);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.gain, 1.1, 0.01);
+    EXPECT_EQ(fit.samples, 64u * 32u);
+}
+
+TEST(Illumination, DegenerateInputsYieldIdentity)
+{
+    raster::Plane constant(32, 32, 0.5f);
+    IlluminationFit fit = fitIllumination(constant, constant);
+    EXPECT_FALSE(fit.valid); // zero variance
+    raster::Plane tiny(2, 2, 0.5f);
+    EXPECT_FALSE(fitIllumination(tiny, tiny).valid); // too few samples
+    EXPECT_DOUBLE_EQ(fit.gain, 1.0);
+    EXPECT_DOUBLE_EQ(fit.bias, 0.0);
+}
+
+TEST(Illumination, ApplyClampsToUnitRange)
+{
+    raster::Plane p(2, 1);
+    p.at(0, 0) = 0.9f;
+    p.at(1, 0) = 0.1f;
+    IlluminationFit fit;
+    fit.gain = 2.0;
+    fit.bias = -0.5;
+    applyIllumination(p, fit);
+    EXPECT_FLOAT_EQ(p.at(0, 0), 1.0f); // 1.3 clamped
+    EXPECT_FLOAT_EQ(p.at(1, 0), 0.0f); // -0.3 clamped
+}
+
+TEST(TileDiff, ExactOnHandData)
+{
+    raster::Plane a(4, 2, 0.0f);
+    raster::Plane b(4, 2, 0.0f);
+    b.at(0, 0) = 0.4f; // tile (0,0)
+    b.at(3, 1) = 0.8f; // tile (1,1) -> flat tile 1 with tileSize 2
+    auto diffs = tileMeanAbsDiff(a, b, 2);
+    ASSERT_EQ(diffs.size(), 2u);
+    EXPECT_NEAR(diffs[0], 0.4 / 4.0, 1e-7);
+    EXPECT_NEAR(diffs[1], 0.8 / 4.0, 1e-7);
+}
+
+TEST(TileDiff, MaskedPixelsExcluded)
+{
+    raster::Plane a(4, 4, 0.0f);
+    raster::Plane b(4, 4, 0.0f);
+    b.at(0, 0) = 1.0f;
+    raster::Bitmap valid(4, 4, true);
+    valid.set(0, 0, false);
+    auto diffs = tileMeanAbsDiff(a, b, 4, &valid);
+    EXPECT_DOUBLE_EQ(diffs[0], 0.0);
+}
+
+TEST(DetectChanges, IdenticalImagesProduceNoChanges)
+{
+    raster::Plane cap = texturedPlane(128, 128, 5);
+    ChangeDetectorParams params;
+    params.threshold = 0.01;
+    params.tileSize = 64;
+    params.referenceFactor = 1;
+    ChangeDetection det = detectChanges(cap, cap, params);
+    EXPECT_EQ(det.changedTiles.countSet(), 0);
+}
+
+class DetectAtFactor : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DetectAtFactor, LocalizedChangeIsFoundDespiteIllumination)
+{
+    int factor = GetParam();
+    raster::Plane ref = texturedPlane(256, 256, 6);
+    raster::Plane cap = ref;
+    // Illumination shift plus a real change confined to tile (1, 1).
+    for (auto &v : cap.data())
+        v = 1.06f * v + 0.02f;
+    Rng rng(7);
+    for (int y = 64; y < 128; ++y)
+        for (int x = 64; x < 128; ++x)
+            cap.at(x, y) = static_cast<float>(
+                std::clamp(cap.at(x, y) + 0.15 + rng.uniform(-0.02, 0.02),
+                           0.0, 1.0));
+
+    raster::Plane refLow = raster::downsample(ref, factor);
+    ChangeDetectorParams params;
+    // The global least-squares fit absorbs a little of the changed
+    // region into its bias estimate (~ +0.15/16 here), so unchanged
+    // tiles sit just below 0.01; use a threshold above that floor.
+    params.threshold = 0.02;
+    params.tileSize = 64;
+    params.referenceFactor = factor;
+    ChangeDetection det = detectChanges(cap, refLow, params);
+
+    raster::TileGrid grid(256, 256, 64);
+    int changedTile = grid.tileIndex(1, 1);
+    EXPECT_TRUE(det.changedTiles.get(changedTile)) << "factor " << factor;
+    // Illumination alignment keeps unchanged tiles quiet.
+    EXPECT_LE(det.changedTiles.countSet(), 2) << "factor " << factor;
+    ASSERT_TRUE(det.illumination.valid);
+    EXPECT_NEAR(det.illumination.gain, 1.06, 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, DetectAtFactor,
+                         ::testing::Values(1, 4, 8, 16, 32));
+
+TEST(DetectChanges, WithoutAlignmentIlluminationLooksLikeChange)
+{
+    raster::Plane ref = texturedPlane(128, 128, 8);
+    raster::Plane cap = ref;
+    for (auto &v : cap.data())
+        v = 1.1f * v + 0.03f;
+    ChangeDetectorParams params;
+    params.threshold = 0.01;
+    params.tileSize = 64;
+    params.referenceFactor = 1;
+    params.alignIllumination = false;
+    ChangeDetection noAlign = detectChanges(cap, ref, params);
+    params.alignIllumination = true;
+    ChangeDetection aligned = detectChanges(cap, ref, params);
+    EXPECT_GT(noAlign.changedTiles.countSet(),
+              aligned.changedTiles.countSet());
+    EXPECT_EQ(aligned.changedTiles.countSet(), 0);
+}
+
+TEST(DetectChanges, DownsamplingCausesOnlyFalseNegatives)
+{
+    // §4.3: with alignment, unchanged tiles stay low-difference at low
+    // resolution; only changed tiles can be missed. Sub-tile changes
+    // that average out at low resolution are the canonical miss.
+    raster::Plane ref = texturedPlane(256, 256, 9);
+    raster::Plane cap = ref;
+    // A thin alternating-sign stripe inside tile (2, 2): strong at
+    // full resolution, nearly invisible after 32x box filtering.
+    for (int y = 128; y < 192; ++y)
+        for (int x = 128; x < 192; ++x)
+            cap.at(x, y) = std::clamp(
+                cap.at(x, y) + ((x % 2) ? 0.12f : -0.12f), 0.0f, 1.0f);
+
+    ChangeDetectorParams full;
+    full.threshold = 0.01;
+    full.tileSize = 64;
+    full.referenceFactor = 1;
+    ChangeDetection fullRes = detectChanges(cap, ref, full);
+    raster::TileGrid grid(256, 256, 64);
+    EXPECT_TRUE(fullRes.changedTiles.get(grid.tileIndex(2, 2)));
+
+    ChangeDetectorParams low = full;
+    low.referenceFactor = 32;
+    ChangeDetection lowRes =
+        detectChanges(cap, raster::downsample(ref, 32), low);
+    // The alternating pattern averages out: false negative at low res.
+    EXPECT_FALSE(lowRes.changedTiles.get(grid.tileIndex(2, 2)));
+    // And no unchanged tile became a false positive.
+    for (int t = 0; t < grid.tileCount(); ++t) {
+        if (t != grid.tileIndex(2, 2)) {
+            EXPECT_FALSE(lowRes.changedTiles.get(t)) << "tile " << t;
+        }
+    }
+}
+
+TEST(Calibration, ThresholdForBudgetHitsTarget)
+{
+    std::vector<TileObservation> obs;
+    for (int i = 0; i < 1000; ++i) {
+        TileObservation o;
+        o.lowResDiff = static_cast<double>(i) / 1000.0;
+        o.fullResDiff = o.lowResDiff;
+        obs.push_back(o);
+    }
+    double theta = thresholdForBudget(obs, 0.4);
+    ThresholdQuality q = evaluateThreshold(obs, theta, 0.01);
+    EXPECT_NEAR(q.flaggedFraction, 0.4, 0.01);
+
+    // Degenerate targets.
+    EXPECT_DOUBLE_EQ(thresholdForBudget(obs, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(thresholdForBudget({}, 0.5), 0.0);
+}
+
+TEST(Calibration, EvaluateThresholdCountsMisses)
+{
+    std::vector<TileObservation> obs = {
+        {0.005, 0.02}, // truly changed, low-res diff below theta: miss
+        {0.02, 0.02},  // flagged, truly changed
+        {0.02, 0.005}, // flagged, unchanged: false positive
+        {0.005, 0.005} // quiet
+    };
+    ThresholdQuality q = evaluateThreshold(obs, 0.01, 0.01);
+    EXPECT_DOUBLE_EQ(q.flaggedFraction, 0.5);
+    EXPECT_DOUBLE_EQ(q.missedFraction, 0.25);
+    EXPECT_DOUBLE_EQ(q.falsePositiveRate, 0.5);
+}

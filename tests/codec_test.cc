@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit and property tests for the image codec front-end: rate control,
+ * ROI coding, quality layers, lossless mode and serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/codec.hh"
+#include "raster/metrics.hh"
+#include "util/rng.hh"
+
+using namespace earthplus;
+using namespace earthplus::codec;
+
+namespace {
+
+/** Natural-image-like test content: smooth structure + mild noise. */
+raster::Plane
+testImage(int w, int h, uint64_t seed)
+{
+    raster::Plane p(w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = 0.5f +
+                         0.3f * std::sin(x * 0.045f) *
+                             std::cos(y * 0.06f) +
+                         0.1f * std::sin((x + y) * 0.15f) +
+                         static_cast<float>(rng.normal(0.0, 0.01));
+    p.clampTo(0.0f, 1.0f);
+    return p;
+}
+
+} // namespace
+
+class CodecBpp : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CodecBpp, RoundtripQualityScalesWithRate)
+{
+    double bpp = GetParam();
+    raster::Plane img = testImage(192, 192, 1);
+    EncodeParams p;
+    p.bitsPerPixel = bpp;
+    EncodedImage enc = encode(img, p);
+    raster::Plane dec = decode(enc);
+    double q = raster::psnr(img, dec);
+    // Loose per-rate floors: embedded wavelet coding on this content.
+    if (bpp >= 2.0)
+        EXPECT_GT(q, 40.0);
+    else if (bpp >= 0.5)
+        EXPECT_GT(q, 32.0);
+    else
+        EXPECT_GT(q, 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CodecBpp,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+TEST(Codec, QualityIsMonotoneInRate)
+{
+    raster::Plane img = testImage(128, 128, 2);
+    double lastPsnr = 0.0;
+    size_t lastBytes = 0;
+    for (double bpp : {0.25, 1.0, 4.0}) {
+        EncodeParams p;
+        p.bitsPerPixel = bpp;
+        EncodedImage enc = encode(img, p);
+        raster::Plane dec = decode(enc);
+        double q = raster::psnr(img, dec);
+        EXPECT_GE(q, lastPsnr - 0.2) << "bpp=" << bpp;
+        EXPECT_GE(enc.totalBytes(), lastBytes) << "bpp=" << bpp;
+        lastPsnr = q;
+        lastBytes = enc.totalBytes();
+    }
+}
+
+TEST(Codec, MeasuredRateTracksBudget)
+{
+    raster::Plane img = testImage(256, 256, 3);
+    for (double bpp : {0.5, 1.0, 2.0}) {
+        EncodeParams p;
+        p.bitsPerPixel = bpp;
+        EncodedImage enc = encode(img, p);
+        double actual = 8.0 * static_cast<double>(enc.totalBytes()) /
+                        (256.0 * 256.0);
+        // Whole-pass truncation granularity allows overshoot up to
+        // roughly one coding pass (~1 bpp on noisy content).
+        EXPECT_LT(actual, bpp + 1.3) << "bpp=" << bpp;
+        EXPECT_GT(actual, 0.05 * bpp) << "bpp=" << bpp;
+    }
+}
+
+TEST(Codec, LosslessIsExactFor8BitContent)
+{
+    raster::Plane img = testImage(96, 96, 4);
+    // Snap to the 8-bit grid the lossless mode codes.
+    for (auto &v : img.data())
+        v = std::round(v * 255.0f) / 255.0f;
+    EncodeParams p;
+    p.lossless = true;
+    p.wavelet = Wavelet::LeGall53;
+    EncodedImage enc = encode(img, p);
+    raster::Plane dec = decode(enc);
+    for (size_t i = 0; i < img.data().size(); ++i)
+        ASSERT_NEAR(img.data()[i], dec.data()[i], 1e-6) << "pixel " << i;
+    // Lossless on noisy 8-bit content costs several bpp but not 8.
+    double bppActual = 8.0 * static_cast<double>(enc.totalBytes()) /
+                       (96.0 * 96.0);
+    EXPECT_LT(bppActual, 7.0);
+}
+
+TEST(Codec, Lossy53Works)
+{
+    raster::Plane img = testImage(128, 128, 5);
+    EncodeParams p;
+    p.bitsPerPixel = 2.0;
+    p.wavelet = Wavelet::LeGall53;
+    EncodedImage enc = encode(img, p);
+    raster::Plane dec = decode(enc);
+    EXPECT_GT(raster::psnr(img, dec), 35.0);
+}
+
+TEST(Codec, RoiOnlyCodesSelectedTiles)
+{
+    raster::Plane img = testImage(256, 256, 6);
+    raster::TileGrid grid(256, 256, 64);
+    raster::TileMask roi(grid);
+    roi.set(0, true);
+    roi.set(5, true);
+
+    EncodeParams p;
+    p.bitsPerPixel = 2.0;
+    p.roi = &roi;
+    EncodedImage enc = encode(img, p);
+    EXPECT_NEAR(enc.codedTileFraction(), 2.0 / 16.0, 1e-9);
+
+    raster::Plane dec = decode(enc);
+    // Non-ROI tiles decode to zero.
+    raster::TileRect r = grid.rect(3);
+    for (int y = r.y0; y < r.y0 + r.height; ++y)
+        for (int x = r.x0; x < r.x0 + r.width; ++x)
+            ASSERT_FLOAT_EQ(dec.at(x, y), 0.0f);
+    // ROI tiles decode to high quality.
+    raster::TileRect r0 = grid.rect(0);
+    raster::Plane tile = img.crop(r0.x0, r0.y0, r0.width, r0.height);
+    raster::Plane dtile = dec.crop(r0.x0, r0.y0, r0.width, r0.height);
+    EXPECT_GT(raster::psnr(tile, dtile), 38.0);
+}
+
+TEST(Codec, RoiBytesScaleWithSelection)
+{
+    raster::Plane img = testImage(256, 256, 7);
+    raster::TileGrid grid(256, 256, 64);
+
+    raster::TileMask quarter(grid);
+    for (int t = 0; t < 4; ++t)
+        quarter.set(t, true);
+    raster::TileMask all(grid, true);
+
+    EncodeParams p;
+    p.bitsPerPixel = 2.0;
+    p.roi = &quarter;
+    size_t quarterBytes = encode(img, p).totalBytes();
+    p.roi = &all;
+    size_t allBytes = encode(img, p).totalBytes();
+    EXPECT_LT(static_cast<double>(quarterBytes),
+              0.45 * static_cast<double>(allBytes));
+}
+
+TEST(Codec, EmptyRoiCostsAlmostNothing)
+{
+    raster::Plane img = testImage(128, 128, 8);
+    raster::TileGrid grid(128, 128, 64);
+    raster::TileMask none(grid, false);
+    EncodeParams p;
+    p.bitsPerPixel = 2.0;
+    p.roi = &none;
+    EncodedImage enc = encode(img, p);
+    EXPECT_LT(enc.totalBytes(), 128u); // header + empty chunks only
+    raster::Plane dec = decode(enc);
+    for (float v : dec.data())
+        ASSERT_FLOAT_EQ(v, 0.0f);
+}
+
+class CodecLayers : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CodecLayers, PrefixDecodingIsProgressive)
+{
+    int layers = GetParam();
+    raster::Plane img = testImage(192, 192, 9);
+    EncodeParams p;
+    p.bitsPerPixel = 3.0;
+    p.layers = layers;
+    EncodedImage enc = encode(img, p);
+    ASSERT_EQ(static_cast<int>(enc.layerChunks.size()), layers);
+
+    double lastPsnr = 0.0;
+    size_t lastBytes = 0;
+    for (int l = 1; l <= layers; ++l) {
+        raster::Plane dec = decode(enc, l);
+        double q = raster::psnr(img, dec);
+        size_t bytes = enc.totalBytesForLayers(l);
+        EXPECT_GE(q, lastPsnr - 0.1) << "layer " << l;
+        EXPECT_GE(bytes, lastBytes);
+        lastPsnr = q;
+        lastBytes = bytes;
+    }
+    // Full decode equals decode(-1).
+    raster::Plane full = decode(enc);
+    raster::Plane capped = decode(enc, layers);
+    EXPECT_EQ(full.data(), capped.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(LayerCounts, CodecLayers,
+                         ::testing::Values(1, 2, 3, 5));
+
+TEST(Codec, SerializeDeserializeIdentity)
+{
+    raster::Plane img = testImage(128, 128, 10);
+    raster::TileGrid grid(128, 128, 64);
+    raster::TileMask roi(grid);
+    roi.set(1, true);
+    roi.set(2, true);
+    EncodeParams p;
+    p.bitsPerPixel = 1.5;
+    p.layers = 2;
+    p.roi = &roi;
+    EncodedImage enc = encode(img, p);
+
+    auto bytes = enc.serialize();
+    EXPECT_EQ(bytes.size(), enc.totalBytes());
+    EncodedImage back = EncodedImage::deserialize(bytes);
+    EXPECT_EQ(back.width, enc.width);
+    EXPECT_EQ(back.layers, enc.layers);
+    EXPECT_EQ(back.tileCoded, enc.tileCoded);
+    ASSERT_EQ(back.layerChunks.size(), enc.layerChunks.size());
+    for (size_t i = 0; i < back.layerChunks.size(); ++i)
+        EXPECT_EQ(back.layerChunks[i], enc.layerChunks[i]);
+
+    raster::Plane a = decode(enc);
+    raster::Plane b = decode(back);
+    EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Codec, NonMultipleTileSizes)
+{
+    raster::Plane img = testImage(200, 136, 11);
+    EncodeParams p;
+    p.bitsPerPixel = 2.0;
+    EncodedImage enc = encode(img, p);
+    raster::Plane dec = decode(enc);
+    ASSERT_EQ(dec.width(), 200);
+    ASSERT_EQ(dec.height(), 136);
+    EXPECT_GT(raster::psnr(img, dec), 35.0);
+}
+
+TEST(Codec, FlatImageIsTiny)
+{
+    raster::Plane img(256, 256, 0.5f);
+    EncodeParams p;
+    p.bitsPerPixel = 2.0;
+    EncodedImage enc = encode(img, p);
+    // A flat image has all-zero coefficients: headers only.
+    EXPECT_LT(enc.totalBytes(), 400u);
+    raster::Plane dec = decode(enc);
+    EXPECT_GT(raster::psnr(img, dec), 50.0);
+}

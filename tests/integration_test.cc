@@ -1,0 +1,217 @@
+/**
+ * @file
+ * End-to-end integration tests: full LocationSimulation runs on shrunk
+ * datasets, checking the paper's qualitative results hold through the
+ * whole pipeline (capture -> uplink -> on-board -> downlink -> ground).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.hh"
+
+using namespace earthplus;
+using namespace earthplus::core;
+
+namespace {
+
+synth::DatasetSpec
+smallPlanet(double days = 40.0)
+{
+    synth::DatasetSpec spec = synth::largeConstellationDataset(128, 128);
+    // Summer-centric window: weather is seasonal and a winter slice
+    // has too few processable captures for meaningful statistics.
+    spec.startDay = 120.0;
+    spec.endDay = 120.0 + days;
+    return spec;
+}
+
+synth::DatasetSpec
+smallSentinel(double days = 60.0)
+{
+    synth::DatasetSpec spec = synth::richContentDataset(128, 128);
+    spec.startDay = 120.0;
+    spec.endDay = 120.0 + days;
+    // Keep the run quick: RGB only (band subsetting is supported).
+    spec.bands = {spec.bands[1], spec.bands[2], spec.bands[3],
+                  spec.bands[11]};
+    return spec;
+}
+
+} // namespace
+
+TEST(Integration, EarthPlusBeatsBaselinesOnDownlink)
+{
+    // Long enough that SatRoI's fixed reference ages materially.
+    synth::DatasetSpec spec = smallPlanet(75.0);
+    SimParams params;
+    params.system.refDownsample = 16;
+
+    SimSummary ep =
+        LocationSimulation(spec, 0, SystemKind::EarthPlus, params).run();
+    SimSummary kodan =
+        LocationSimulation(spec, 0, SystemKind::Kodan, params).run();
+    SimSummary satroi =
+        LocationSimulation(spec, 0, SystemKind::SatRoI, params).run();
+    SimSummary all =
+        LocationSimulation(spec, 0, SystemKind::DownloadAll, params).run();
+
+    ASSERT_GT(ep.processedCount, 5);
+    ASSERT_EQ(ep.processedCount, kodan.processedCount);
+
+    // The headline result: Earth+ uses materially less downlink than
+    // both baselines and massively less than downloading everything.
+    EXPECT_LT(ep.totalDownlinkBytes, 0.7 * kodan.totalDownlinkBytes);
+    EXPECT_LT(ep.totalDownlinkBytes, all.totalDownlinkBytes * 0.5);
+    EXPECT_LE(ep.totalDownlinkBytes, satroi.totalDownlinkBytes * 1.05);
+
+    // ... without a quality collapse (same gamma everywhere).
+    EXPECT_GT(ep.meanPsnr, 32.0); // absolute floor; see Fig. 11 note
+    EXPECT_GT(ep.meanPsnr, 28.0);
+
+    // Earth+ actually uses the uplink; baselines do not.
+    EXPECT_GT(ep.totalUplinkBytes, 0.0);
+    EXPECT_EQ(kodan.totalUplinkBytes, 0.0);
+}
+
+TEST(Integration, ConstellationKeepsReferencesFresh)
+{
+    // Constellation-wide sharing (many satellites) vs satellite-local
+    // (a single satellite): the reference age gap of Fig. 5.
+    synth::DatasetSpec constellation = smallPlanet(60.0);
+    // Disable the Planet <5% dataset filter so the single-satellite
+    // run has enough captures to compare.
+    constellation.maxCloudCoverage = 1.0;
+    SimParams params;
+
+    SimSummary wide =
+        LocationSimulation(constellation, 0, SystemKind::EarthPlus,
+                           params).run();
+
+    synth::DatasetSpec local = constellation;
+    local.satelliteCount = 1;
+    local.revisitDays = 10.0;
+    SimSummary single =
+        LocationSimulation(local, 0, SystemKind::EarthPlus, params).run();
+
+    ASSERT_GT(wide.processedCount, 10);
+    ASSERT_GT(single.processedCount, 1);
+    EXPECT_LT(wide.meanReferenceAgeDays, single.meanReferenceAgeDays);
+    // Constellation-wide references stay a handful of days old.
+    EXPECT_LT(wide.meanReferenceAgeDays, 10.0);
+}
+
+TEST(Integration, SatRoIReferenceAgesGrowUnbounded)
+{
+    synth::DatasetSpec spec = smallPlanet(60.0);
+    SimParams params;
+    // Disable guaranteed downloads to watch pure reference aging.
+    params.system.guaranteedPeriodDays = 1e9;
+    SimSummary ep =
+        LocationSimulation(spec, 0, SystemKind::EarthPlus, params).run();
+    SimSummary sr =
+        LocationSimulation(spec, 0, SystemKind::SatRoI, params).run();
+    ASSERT_GT(sr.processedCount, 5);
+    EXPECT_GT(sr.meanReferenceAgeDays, 2.0 * ep.meanReferenceAgeDays);
+}
+
+TEST(Integration, UplinkBudgetShortageDegradesGracefully)
+{
+    synth::DatasetSpec spec = smallPlanet(50.0);
+    SimParams ample;
+    SimParams tight;
+    tight.uplinkBytesPerDay = 200.0; // far below one reference update
+
+    SimSummary a =
+        LocationSimulation(spec, 0, SystemKind::EarthPlus, ample).run();
+    SimSummary t =
+        LocationSimulation(spec, 0, SystemKind::EarthPlus, tight).run();
+
+    ASSERT_EQ(a.captures.size(), t.captures.size());
+    // Starved uplink -> no reference updates get through -> older (or
+    // absent) references -> at least as much downlink.
+    EXPECT_LT(t.totalUplinkBytes, a.totalUplinkBytes);
+    EXPECT_GE(t.totalDownlinkBytes, a.totalDownlinkBytes);
+}
+
+TEST(Integration, GuaranteedDownloadsHappenMonthly)
+{
+    synth::DatasetSpec spec = smallPlanet(75.0);
+    SimParams params;
+    SimSummary s =
+        LocationSimulation(spec, 0, SystemKind::EarthPlus, params).run();
+    // 75 days with a 30-day period: bootstrap + at least one periodic
+    // guaranteed download.
+    EXPECT_GE(s.fullDownloadCount, 2);
+    // And they are a small minority of captures.
+    EXPECT_LT(s.fullDownloadCount, s.processedCount / 2 + 2);
+}
+
+TEST(Integration, RichContentDatasetRuns)
+{
+    synth::DatasetSpec spec = smallSentinel(40.0);
+    SimParams params;
+    params.maxCaptures = 10;
+    SimSummary ep =
+        LocationSimulation(spec, 0, SystemKind::EarthPlus, params).run();
+    SimSummary kd =
+        LocationSimulation(spec, 0, SystemKind::Kodan, params).run();
+    // Sentinel keeps cloudy captures in the dataset, so drops occur.
+    EXPECT_GT(ep.captures.size(), 0u);
+    EXPECT_GT(ep.meanPsnr, 24.0);
+    EXPECT_GT(kd.meanPsnr, 22.0);
+}
+
+TEST(Integration, SnowyLocationBenefitsLess)
+{
+    // Fig. 14: snowy location H barely improves over the baseline
+    // because snow albedo keeps changing. Compare downloaded-tile
+    // fractions of Earth+ between a snowy and a non-snowy location in
+    // winter.
+    synth::DatasetSpec spec = synth::richContentDataset(128, 128);
+    spec.bands = {spec.bands[1], spec.bands[2], spec.bands[3],
+                  spec.bands[11]};
+    spec.startDay = 330.0; // winter
+    spec.endDay = 365.0;
+    SimParams params;
+    params.system.guaranteedPeriodDays = 1e9;
+
+    // Location B: forest (non-snowy); location H: snowy mountains.
+    SimSummary forest =
+        LocationSimulation(spec, 1, SystemKind::EarthPlus, params).run();
+    SimSummary snowy =
+        LocationSimulation(spec, 7, SystemKind::EarthPlus, params).run();
+    if (forest.processedCount < 2 || snowy.processedCount < 2)
+        GTEST_SKIP() << "not enough clear winter captures";
+    EXPECT_GT(snowy.meanDownloadedFraction,
+              forest.meanDownloadedFraction);
+}
+
+TEST(Integration, MetricsAreInternallyConsistent)
+{
+    synth::DatasetSpec spec = smallPlanet(30.0);
+    SimParams params;
+    SimSummary s =
+        LocationSimulation(spec, 0, SystemKind::EarthPlus, params).run();
+    double bytes = 0.0;
+    int processed = 0, dropped = 0;
+    for (const auto &c : s.captures) {
+        if (c.dropped) {
+            ++dropped;
+            EXPECT_EQ(c.downlinkBytes, 0u);
+            continue;
+        }
+        ++processed;
+        bytes += static_cast<double>(c.downlinkBytes);
+        EXPECT_GE(c.psnr, 0.0);
+        EXPECT_GE(c.downloadedTileFraction, 0.0);
+        EXPECT_LE(c.downloadedTileFraction, 1.0);
+    }
+    EXPECT_EQ(processed, s.processedCount);
+    EXPECT_EQ(dropped, s.droppedCount);
+    EXPECT_DOUBLE_EQ(bytes, s.totalDownlinkBytes);
+    EXPECT_GT(s.requiredDownlinkMbps(600.0), 0.0);
+    EXPECT_NEAR(s.requiredDownlinkMbps(600.0, 2.0),
+                2.0 * s.requiredDownlinkMbps(600.0), 1e-9);
+}

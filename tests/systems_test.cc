@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the on-board systems (Earth+, Kodan, SatRoI, DownloadAll)
+ * on controlled captures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/systems.hh"
+#include "synth/dataset.hh"
+
+using namespace earthplus;
+using namespace earthplus::core;
+
+namespace {
+
+/** Shared fixture: a small Planet-like scene + helpers. */
+struct SystemsFixture
+{
+    synth::LocationProfile profile;
+    synth::SceneConfig config;
+    std::unique_ptr<synth::SceneModel> scene;
+    std::unique_ptr<synth::WeatherProcess> weather;
+    std::unique_ptr<synth::CaptureSimulator> sim;
+    SystemParams params;
+
+    SystemsFixture()
+    {
+        profile.locationId = 0;
+        profile.name = "t";
+        profile.mix = {0.1, 0.3, 0.1, 0.3, 0.2, 0.0};
+        profile.seed = 0x575;
+        config.width = 192;
+        config.height = 192;
+        config.bands = synth::dovesBands();
+        scene = std::make_unique<synth::SceneModel>(profile, config);
+        weather = std::make_unique<synth::WeatherProcess>();
+        sim = std::make_unique<synth::CaptureSimulator>(*scene, *weather);
+        params.refDownsample = 16;
+        params.tileSize = 64;
+        // Weather is seasonal; clear days can be >30 days apart in
+        // winter. Keep guaranteed downloads out of the way so the
+        // tests isolate reference-based behaviour (the dedicated test
+        // sets its own period).
+        params.guaranteedPeriodDays = 365.0;
+    }
+
+    /** First clear (<1% coverage) day at or after `from`. */
+    double
+    clearDay(double from) const
+    {
+        for (int d = static_cast<int>(from); d < 400; ++d)
+            if (weather->coverage(0, d) < 0.01)
+                return static_cast<double>(d) + 0.3;
+        return -1.0;
+    }
+
+    /** First overcast (>60%) day at or after `from`. */
+    double
+    cloudyDay(double from) const
+    {
+        for (int d = static_cast<int>(from); d < 400; ++d)
+            if (weather->coverage(0, d) > 0.6)
+                return static_cast<double>(d) + 0.3;
+        return -1.0;
+    }
+};
+
+} // namespace
+
+TEST(EarthPlusSystemTest, BootstrapThenReferenceBasedEncoding)
+{
+    SystemsFixture f;
+    ReferenceStore ground(0.01);
+    UplinkPlanner::Params up;
+    up.downsampleFactor = 16;
+    EarthPlusSystem sys(f.config.bands, f.params, up, ground);
+    orbit::DailyByteBudget budget(1e12);
+
+    double d1 = f.clearDay(0.0);
+    ASSERT_GE(d1, 0.0);
+    // No reference anywhere: first capture is a full download.
+    sys.prepareCapture(0, 0, budget);
+    ProcessResult r1 = sys.process(f.sim->capture(d1, 0));
+    EXPECT_FALSE(r1.dropped);
+    EXPECT_TRUE(r1.fullDownload);
+    EXPECT_GT(r1.downloadedTileFraction, 0.9);
+    EXPECT_TRUE(std::isinf(r1.referenceAgeDays));
+    EXPECT_GT(r1.psnr, 30.0);
+    ASSERT_TRUE(ground.has(0)); // clear download became the reference
+
+    // Next clear capture days later: reference-based encoding kicks in
+    // and downloads far fewer tiles.
+    double d2 = f.clearDay(d1 + 2.0);
+    ASSERT_GE(d2, 0.0);
+    UplinkPlan plan = sys.prepareCapture(0, 0, budget);
+    EXPECT_TRUE(plan.sent);
+    ProcessResult r2 = sys.process(f.sim->capture(d2, 0));
+    EXPECT_FALSE(r2.dropped);
+    EXPECT_FALSE(r2.fullDownload);
+    EXPECT_LT(r2.downloadedTileFraction, 0.7);
+    EXPECT_LT(r2.downlinkBytes, r1.downlinkBytes);
+    EXPECT_NEAR(r2.referenceAgeDays, d2 - d1, 0.5);
+    EXPECT_GT(r2.psnr, 30.0);
+}
+
+TEST(EarthPlusSystemTest, DropsOvercastCaptures)
+{
+    SystemsFixture f;
+    ReferenceStore ground(0.01);
+    EarthPlusSystem sys(f.config.bands, f.params, {}, ground);
+    double d = f.cloudyDay(0.0);
+    ASSERT_GE(d, 0.0);
+    ProcessResult r = sys.process(f.sim->capture(d, 0));
+    EXPECT_TRUE(r.dropped);
+    EXPECT_EQ(r.downlinkBytes, 0u);
+    EXPECT_GT(r.measuredCloudCoverage, 0.5);
+}
+
+TEST(EarthPlusSystemTest, GuaranteedDownloadAfterPeriod)
+{
+    SystemsFixture f;
+    f.params.guaranteedPeriodDays = 10.0;
+    ReferenceStore ground(0.01);
+    UplinkPlanner::Params up;
+    up.downsampleFactor = 16;
+    EarthPlusSystem sys(f.config.bands, f.params, up, ground);
+    orbit::DailyByteBudget budget(1e12);
+
+    double d1 = f.clearDay(0.0);
+    sys.prepareCapture(0, 0, budget);
+    ProcessResult r1 = sys.process(f.sim->capture(d1, 0));
+    ASSERT_TRUE(r1.fullDownload);
+
+    // Within the period: incremental.
+    double d2 = f.clearDay(d1 + 2.0);
+    if (d2 - d1 < 10.0) {
+        sys.prepareCapture(0, 0, budget);
+        ProcessResult r2 = sys.process(f.sim->capture(d2, 0));
+        EXPECT_FALSE(r2.fullDownload);
+    }
+    // Past the period: guaranteed full download again.
+    double d3 = f.clearDay(d1 + 11.0);
+    ASSERT_GE(d3, 0.0);
+    sys.prepareCapture(0, 0, budget);
+    ProcessResult r3 = sys.process(f.sim->capture(d3, 0));
+    EXPECT_TRUE(r3.fullDownload);
+}
+
+TEST(EarthPlusSystemTest, PerSatelliteCachesAreIndependent)
+{
+    SystemsFixture f;
+    ReferenceStore ground(0.01);
+    UplinkPlanner::Params up;
+    up.downsampleFactor = 16;
+    EarthPlusSystem sys(f.config.bands, f.params, up, ground);
+    orbit::DailyByteBudget budget(1e12);
+
+    double d1 = f.clearDay(0.0);
+    sys.prepareCapture(0, 3, budget);
+    sys.process(f.sim->capture(d1, 3));
+    // Satellite 3 got a cache only after the ground had a reference.
+    UplinkPlan planSat3 = sys.prepareCapture(0, 3, budget);
+    EXPECT_TRUE(sys.cacheFor(3).has(0));
+    EXPECT_FALSE(sys.cacheFor(7).has(0));
+    // Satellite 7's first prepare installs the full reference.
+    UplinkPlan planSat7 = sys.prepareCapture(0, 7, budget);
+    EXPECT_TRUE(planSat7.sent);
+    EXPECT_TRUE(planSat7.fullInstall);
+    (void)planSat3;
+}
+
+TEST(KodanSystemTest, DownloadsAllNonCloudyTiles)
+{
+    SystemsFixture f;
+    KodanSystem sys(f.config.bands, f.params);
+    double d = f.clearDay(0.0);
+    ASSERT_GE(d, 0.0);
+    ProcessResult r = sys.process(f.sim->capture(d, 0));
+    EXPECT_FALSE(r.dropped);
+    EXPECT_GT(r.downloadedTileFraction, 0.9); // clear day: everything
+    EXPECT_GT(r.psnr, 28.0);
+    EXPECT_GT(r.cloudDetectSec, 0.0);
+    EXPECT_EQ(r.changeDetectSec, 0.0); // Kodan has no change detector
+}
+
+TEST(KodanSystemTest, ExcludesCloudyTilesOnPartialDays)
+{
+    SystemsFixture f;
+    KodanSystem sys(f.config.bands, f.params);
+    for (int d = 0; d < 300; ++d) {
+        double cov = f.weather->coverage(0, d);
+        if (cov < 0.25 || cov > 0.45)
+            continue;
+        ProcessResult r =
+            sys.process(f.sim->capture(static_cast<double>(d) + 0.3, 0));
+        if (r.dropped)
+            continue;
+        EXPECT_LT(r.downloadedTileFraction, 1.0);
+        return;
+    }
+    GTEST_SKIP() << "no suitable partial-cloud day found";
+}
+
+TEST(SatRoISystemTest, ReferenceStaysFixedAndAges)
+{
+    SystemsFixture f;
+    SatRoISystem sys(f.config.bands, f.params);
+
+    double d1 = f.clearDay(0.0);
+    ASSERT_GE(d1, 0.0);
+    ProcessResult r1 = sys.process(f.sim->capture(d1, 0));
+    EXPECT_TRUE(r1.fullDownload); // bootstrap
+
+    double d2 = f.clearDay(d1 + 3.0);
+    ASSERT_GE(d2, 0.0);
+    ProcessResult r2 = sys.process(f.sim->capture(d2, 0));
+    EXPECT_NEAR(r2.referenceAgeDays, d2 - d1, 0.5);
+
+    double d3 = f.clearDay(d2 + 5.0);
+    if (d3 > 0 && d3 - d1 < f.params.guaranteedPeriodDays) {
+        ProcessResult r3 = sys.process(f.sim->capture(d3, 0));
+        // Still referenced to d1: the reference never refreshes.
+        EXPECT_NEAR(r3.referenceAgeDays, d3 - d1, 0.5);
+    }
+}
+
+TEST(DownloadAllSystemTest, AlwaysEverything)
+{
+    SystemsFixture f;
+    DownloadAllSystem sys(f.config.bands, f.params);
+    double d = f.clearDay(0.0);
+    ProcessResult r = sys.process(f.sim->capture(d, 0));
+    EXPECT_FALSE(r.dropped);
+    EXPECT_DOUBLE_EQ(r.downloadedTileFraction, 1.0);
+    EXPECT_TRUE(r.fullDownload);
+    EXPECT_GT(r.psnr, 35.0);
+}
+
+TEST(SystemsComparison, EarthPlusUsesLessDownlinkAtSimilarQuality)
+{
+    // One clear capture pair, all systems at the same gamma: Earth+
+    // must download fewer bytes than Kodan without a PSNR collapse.
+    SystemsFixture f;
+    ReferenceStore ground(0.01);
+    UplinkPlanner::Params up;
+    up.downsampleFactor = 16;
+    EarthPlusSystem earthPlus(f.config.bands, f.params, up, ground);
+    KodanSystem kodan(f.config.bands, f.params);
+    orbit::DailyByteBudget budget(1e12);
+
+    double d1 = f.clearDay(0.0);
+    double d2 = f.clearDay(d1 + 2.0);
+    ASSERT_GE(d2, 0.0);
+
+    earthPlus.prepareCapture(0, 0, budget);
+    earthPlus.process(f.sim->capture(d1, 0));
+    earthPlus.prepareCapture(0, 0, budget);
+    ProcessResult ep = earthPlus.process(f.sim->capture(d2, 0));
+
+    ProcessResult kd = kodan.process(f.sim->capture(d2, 0));
+
+    ASSERT_FALSE(ep.dropped);
+    ASSERT_FALSE(kd.dropped);
+    EXPECT_LT(ep.downlinkBytes, kd.downlinkBytes);
+    // At equal gamma, Earth+'s unchanged tiles reconstruct at the
+    // theta-implied quality (paper fn. 5: "above 40" dB-ish) while
+    // Kodan re-encodes everything; the fair comparison is at matched
+    // bandwidth (Fig. 11). Here we assert the absolute quality floor.
+    EXPECT_GT(ep.psnr, 35.0);
+}
