@@ -13,11 +13,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench_common.hh"
 #include "change/detector.hh"
 #include "cloud/detector.hh"
 #include "codec/codec.hh"
 #include "raster/resample.hh"
+#include "util/parallel.hh"
+#include "util/table.hh"
 
 namespace {
 
@@ -161,6 +166,69 @@ BM_ChangeDetect_FullRes_SatRoI(benchmark::State &state)
 }
 BENCHMARK(BM_ChangeDetect_FullRes_SatRoI)->Unit(benchmark::kMillisecond);
 
+/**
+ * End-to-end wall-clock of a small constellation batch (every system
+ * on one location) vs. thread count: the parallel tile-execution
+ * engine's headline number. Run after the google-benchmark section.
+ */
+void
+reportBatchSpeedup()
+{
+    std::vector<core::BatchSimJob> jobs;
+    for (core::SystemKind kind :
+         {core::SystemKind::EarthPlus, core::SystemKind::Kodan,
+          core::SystemKind::SatRoI, core::SystemKind::DownloadAll}) {
+        core::BatchSimJob job;
+        job.spec = benchPlanet(30.0);
+        job.kind = kind;
+        job.params.system.gamma = 1.5;
+        job.params.maxCaptures = 4;
+        jobs.push_back(job);
+    }
+
+    std::vector<int> counts = {1, 2, 4};
+    int dflt = util::ThreadPool::defaultThreadCount();
+    if (std::find(counts.begin(), counts.end(), dflt) == counts.end())
+        counts.push_back(dflt);
+
+    Table t("End-to-end batch runtime vs thread count "
+            "(4 systems x 1 location, EARTHPLUS_THREADS default " +
+            Table::num(dflt, 0) + ")");
+    t.setHeader({"Threads", "Wall (s)", "Speedup"});
+    double baseline = 0.0;
+    for (int threads : counts) {
+        util::ThreadPool::setGlobalThreads(threads);
+        auto t0 = std::chrono::steady_clock::now();
+        auto summaries = core::runSimulationsBatch(jobs);
+        double sec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+        double captures = 0;
+        for (const auto &s : summaries)
+            captures += static_cast<double>(s.captures.size());
+        if (threads == 1)
+            baseline = sec;
+        t.addRow({Table::num(threads, 0), Table::num(sec, 2),
+                  baseline > 0.0
+                      ? Table::num(baseline / sec, 2) + "x"
+                      : "-"});
+        if (captures == 0)
+            std::cerr << "warning: batch processed no captures\n";
+    }
+    util::ThreadPool::setGlobalThreads(dflt);
+    t.print(std::cout);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    reportBatchSpeedup();
+    return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI check: configure, build, run the test suite, then smoke-run the
+# runtime benchmark single- and multi-threaded and print the speedup.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+# Smoke the end-to-end engine: the bench prints a thread-count sweep
+# (1, 2, 4, default) with wall-clock and speedup per row. Speedup on
+# single-core CI runners is naturally ~1x; the table is informational,
+# the run itself must succeed.
+if [ -x "$BUILD_DIR/bench_fig16_runtime" ]; then
+    "$BUILD_DIR/bench_fig16_runtime" --benchmark_min_time=0.05
+else
+    echo "bench_fig16_runtime not built (google-benchmark missing); skipped"
+fi
+
+echo "ci/check.sh: all checks passed"

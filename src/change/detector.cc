@@ -4,6 +4,7 @@
 
 #include "raster/resample.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace earthplus::change {
 
@@ -15,23 +16,25 @@ tileMeanAbsDiff(const raster::Plane &a, const raster::Plane &b,
     EP_ASSERT(tileSizePx >= 1, "invalid tile size %d", tileSizePx);
     raster::TileGrid grid(a.width(), a.height(), tileSizePx);
     std::vector<double> diffs(static_cast<size_t>(grid.tileCount()), 0.0);
-    for (int t = 0; t < grid.tileCount(); ++t) {
-        raster::TileRect r = grid.rect(t);
-        double sum = 0.0;
-        size_t n = 0;
-        for (int y = r.y0; y < r.y0 + r.height; ++y) {
-            const float *ra = a.row(y);
-            const float *rb = b.row(y);
-            for (int x = r.x0; x < r.x0 + r.width; ++x) {
-                if (valid && !valid->get(x, y))
-                    continue;
-                sum += std::abs(static_cast<double>(ra[x]) - rb[x]);
-                ++n;
+    // Tiles are independent; each writes only its own slot.
+    util::ThreadPool::global().parallelFor(
+        0, grid.tileCount(), [&](int64_t t) {
+            raster::TileRect r = grid.rect(static_cast<int>(t));
+            double sum = 0.0;
+            size_t n = 0;
+            for (int y = r.y0; y < r.y0 + r.height; ++y) {
+                const float *ra = a.row(y);
+                const float *rb = b.row(y);
+                for (int x = r.x0; x < r.x0 + r.width; ++x) {
+                    if (valid && !valid->get(x, y))
+                        continue;
+                    sum += std::abs(static_cast<double>(ra[x]) - rb[x]);
+                    ++n;
+                }
             }
-        }
-        diffs[static_cast<size_t>(t)] =
-            n ? sum / static_cast<double>(n) : 0.0;
-    }
+            diffs[static_cast<size_t>(t)] =
+                n ? sum / static_cast<double>(n) : 0.0;
+        });
     return diffs;
 }
 

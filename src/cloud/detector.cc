@@ -5,6 +5,7 @@
 
 #include "raster/resample.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace earthplus::cloud {
 
@@ -35,38 +36,46 @@ CheapCloudDetector::detect(const raster::Image &img,
     raster::Plane visLow = raster::downsample(visible, f);
     raster::Plane irLow = raster::downsample(infrared, f);
 
+    // Rows are independent (byte-per-pixel mask), so the decision tree
+    // fans across the pool.
     raster::Bitmap lowMask(visLow.width(), visLow.height());
-    for (int y = 0; y < visLow.height(); ++y) {
-        for (int x = 0; x < visLow.width(); ++x) {
-            float vis = visLow.at(x, y);
-            bool cloudy;
-            if (hasIr) {
-                float ir = std::max(irLow.at(x, y), 1e-3f);
-                float ratio = vis / ir;
-                // Bright AND much brighter than IR: heavy cold cloud;
-                // a second branch admits very bright moderate clouds.
-                cloudy = (vis > params_.minVisible &&
-                          ratio > params_.minRatio) ||
-                         (vis > params_.midVisible &&
-                          ratio > params_.midRatio);
-            } else {
-                cloudy = vis > params_.minVisibleNoIr;
+    util::ThreadPool::global().parallelFor(
+        0, visLow.height(), [&](int64_t y) {
+            for (int x = 0; x < visLow.width(); ++x) {
+                float vis = visLow.at(x, static_cast<int>(y));
+                bool cloudy;
+                if (hasIr) {
+                    float ir = std::max(irLow.at(x, static_cast<int>(y)),
+                                        1e-3f);
+                    float ratio = vis / ir;
+                    // Bright AND much brighter than IR: heavy cold
+                    // cloud; a second branch admits very bright
+                    // moderate clouds.
+                    cloudy = (vis > params_.minVisible &&
+                              ratio > params_.minRatio) ||
+                             (vis > params_.midVisible &&
+                              ratio > params_.midRatio);
+                } else {
+                    cloudy = vis > params_.minVisibleNoIr;
+                }
+                lowMask.set(x, static_cast<int>(y), cloudy);
             }
-            lowMask.set(x, y, cloudy);
-        }
-    }
+        });
 
     CloudDetection det;
     // Upsample the low-res decision to pixel resolution (block copy).
     det.pixelMask = raster::Bitmap(img.width(), img.height());
-    for (int y = 0; y < img.height(); ++y)
-        for (int x = 0; x < img.width(); ++x)
-            det.pixelMask.set(x, y, lowMask.get(std::min(x / f,
-                                                         lowMask.width() -
-                                                             1),
-                                                std::min(y / f,
-                                                         lowMask.height() -
-                                                             1)));
+    util::ThreadPool::global().parallelFor(
+        0, img.height(), [&](int64_t y) {
+            int ylow = std::min(static_cast<int>(y) / f,
+                                lowMask.height() - 1);
+            for (int x = 0; x < img.width(); ++x)
+                det.pixelMask.set(x, static_cast<int>(y),
+                                  lowMask.get(std::min(x / f,
+                                                       lowMask.width() -
+                                                           1),
+                                              ylow));
+        });
     det.coverage = det.pixelMask.fractionSet();
     det.tileMask = raster::tileMaskFromBitmap(det.pixelMask, grid,
                                               params_.tileCloudFraction);
@@ -138,11 +147,16 @@ AccurateCloudDetector::detect(const raster::Image &img,
     raster::Plane ctx = score;
     for (int layer = 0; layer < params_.convLayers; ++layer) {
         ctx = boxBlur(ctx, params_.kernelRadius);
-        for (size_t i = 0; i < ctx.data().size(); ++i) {
-            // Blend context back with the raw score and squash.
-            float v = 0.6f * ctx.data()[i] + 0.4f * score.data()[i];
-            ctx.data()[i] = v / (1.0f + std::abs(v - 0.5f) * 0.1f);
-        }
+        util::ThreadPool::global().parallelFor(
+            0, static_cast<int64_t>(ctx.data().size()),
+            [&](int64_t i) {
+                // Blend context back with the raw score and squash.
+                float v = 0.6f * ctx.data()[static_cast<size_t>(i)] +
+                          0.4f * score.data()[static_cast<size_t>(i)];
+                ctx.data()[static_cast<size_t>(i)] =
+                    v / (1.0f + std::abs(v - 0.5f) * 0.1f);
+            },
+            4096);
     }
 
     // Texture veto: clouds are smooth at the 5x5 scale, terrain
@@ -151,15 +165,16 @@ AccurateCloudDetector::detect(const raster::Image &img,
 
     CloudDetection det;
     det.pixelMask = raster::Bitmap(w, h);
-    for (int y = 0; y < h; ++y) {
+    util::ThreadPool::global().parallelFor(0, h, [&](int64_t y) {
         for (int x = 0; x < w; ++x) {
             bool cloudy =
-                ctx.at(x, y) > static_cast<float>(params_.scoreThreshold) &&
-                texture.at(x, y) <
+                ctx.at(x, static_cast<int>(y)) >
+                    static_cast<float>(params_.scoreThreshold) &&
+                texture.at(x, static_cast<int>(y)) <
                     static_cast<float>(params_.textureVeto);
-            det.pixelMask.set(x, y, cloudy);
+            det.pixelMask.set(x, static_cast<int>(y), cloudy);
         }
-    }
+    });
     det.coverage = det.pixelMask.fractionSet();
     det.tileMask = raster::tileMaskFromBitmap(det.pixelMask, grid,
                                               params_.tileCloudFraction);

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <climits>
+#include <cmath>
 #include <cstring>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace earthplus::codec {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x31435045; // "EPC1"
+// "EPC2": bumped from EPC1 when layer chunks gained per-tile length
+// framing, so streams from the old format are rejected instead of
+// decoding as garbage.
+constexpr uint32_t kMagic = 0x32435045;
 
 /** Fixed serialized header size in bytes. */
 constexpr size_t kFixedHeader =
@@ -123,32 +128,72 @@ EncodedImage::serialize() const
 EncodedImage
 EncodedImage::deserialize(const std::vector<uint8_t> &bytes)
 {
+    // Every field is validated before use: a truncated or corrupt
+    // stream must produce a clear fatal() instead of out-of-bounds
+    // reads or absurd allocations.
+    constexpr uint32_t kMaxDim = 1u << 20;      // 1M pixels per edge
+    constexpr uint64_t kMaxPixels = 1ull << 28; // ~1 GB decoded plane
+    constexpr uint32_t kMaxLayers = 1u << 16;
+
     size_t pos = 0;
     if (readPod<uint32_t>(bytes, pos) != kMagic)
         fatal("bad encoded-image magic");
     EncodedImage e;
-    e.width = static_cast<int>(readPod<uint32_t>(bytes, pos));
-    e.height = static_cast<int>(readPod<uint32_t>(bytes, pos));
-    e.tileSize = static_cast<int>(readPod<uint32_t>(bytes, pos));
-    e.dwtLevels = static_cast<int>(readPod<uint32_t>(bytes, pos));
-    e.layers = static_cast<int>(readPod<uint32_t>(bytes, pos));
+    uint32_t width = readPod<uint32_t>(bytes, pos);
+    uint32_t height = readPod<uint32_t>(bytes, pos);
+    uint32_t tileSize = readPod<uint32_t>(bytes, pos);
+    uint32_t dwtLevels = readPod<uint32_t>(bytes, pos);
+    uint32_t layers = readPod<uint32_t>(bytes, pos);
+    if (width == 0 || width > kMaxDim || height == 0 || height > kMaxDim)
+        fatal("encoded image has invalid dimensions %ux%u", width, height);
+    if (static_cast<uint64_t>(width) * height > kMaxPixels)
+        fatal("encoded image dimensions %ux%u exceed the %llu-pixel cap",
+              width, height, static_cast<unsigned long long>(kMaxPixels));
+    if (tileSize == 0 || tileSize > kMaxDim)
+        fatal("encoded image has invalid tile size %u", tileSize);
+    if (dwtLevels > 30)
+        fatal("encoded image has invalid DWT level count %u", dwtLevels);
+    if (layers == 0 || layers > kMaxLayers)
+        fatal("encoded image has invalid layer count %u", layers);
+    e.width = static_cast<int>(width);
+    e.height = static_cast<int>(height);
+    e.tileSize = static_cast<int>(tileSize);
+    e.dwtLevels = static_cast<int>(dwtLevels);
+    e.layers = static_cast<int>(layers);
     uint32_t flags = readPod<uint32_t>(bytes, pos);
     e.wavelet = (flags & 1u) ? Wavelet::LeGall53 : Wavelet::CDF97;
     e.lossless = (flags & 2u) != 0;
     e.losslessDepth = static_cast<int>((flags >> 8) & 0xFFu);
+    if (e.lossless &&
+        (e.losslessDepth < 1 || e.losslessDepth > 16 ||
+         e.wavelet != Wavelet::LeGall53))
+        fatal("encoded image has invalid lossless flags 0x%x", flags);
     e.quantStep = readPod<double>(bytes, pos);
+    if (!std::isfinite(e.quantStep) || e.quantStep <= 0.0)
+        fatal("encoded image has invalid quantizer step");
     uint32_t tiles = readPod<uint32_t>(bytes, pos);
-    e.tileCoded.resize(tiles);
+    uint64_t tilesX = (width + tileSize - 1) / tileSize;
+    uint64_t tilesY = (height + tileSize - 1) / tileSize;
+    if (tiles != tilesX * tilesY)
+        fatal("encoded image tile count %u does not match its "
+              "%ux%u/%u grid (%llu tiles)", tiles, width, height,
+              tileSize,
+              static_cast<unsigned long long>(tilesX * tilesY));
+    // Bounds-check the packed bitmap BEFORE sizing tileCoded, so a
+    // corrupt tile count cannot drive a huge allocation.
     size_t packed = (static_cast<size_t>(tiles) + 7) / 8;
-    if (pos + packed > bytes.size())
+    if (packed > bytes.size() - pos)
         fatal("encoded image stream truncated in tile bitmap");
+    e.tileCoded.resize(tiles);
     for (size_t i = 0; i < tiles; ++i)
         e.tileCoded[i] = (bytes[pos + i / 8] >> (i % 8)) & 1u;
     pos += packed;
     for (int l = 0; l < e.layers; ++l) {
         uint32_t size = readPod<uint32_t>(bytes, pos);
-        if (pos + size > bytes.size())
-            fatal("encoded image stream truncated in layer %d", l);
+        if (size > bytes.size() - pos)
+            fatal("encoded image stream truncated in layer %d: chunk "
+                  "of %u bytes but only %zu remain", l, size,
+                  bytes.size() - pos);
         e.layerChunks.emplace_back(bytes.begin() +
                                        static_cast<ptrdiff_t>(pos),
                                    bytes.begin() +
@@ -195,59 +240,40 @@ encode(const raster::Plane &img, const EncodeParams &params)
     tp.losslessDepth = params.losslessDepth;
     tp.quantStep = params.quantStep;
 
-    struct TileState
-    {
-        TileEncoder coder;
-        size_t budget;   // total byte budget across all layers
-        size_t spent;    // bytes consumed so far
-    };
-    std::vector<TileState> states;
     std::vector<int> codedTiles;
     for (int t = 0; t < grid.tileCount(); ++t) {
         if (params.roi && !params.roi->get(t))
             continue;
         out.tileCoded[static_cast<size_t>(t)] = 1;
         codedTiles.push_back(t);
-        raster::TileRect r = grid.rect(t);
-        raster::Plane tile = img.crop(r.x0, r.y0, r.width, r.height);
-        size_t pixels = static_cast<size_t>(r.width) *
-                        static_cast<size_t>(r.height);
-        size_t budget = params.lossless
-            ? SIZE_MAX / 2
-            : static_cast<size_t>(params.bitsPerPixel *
-                                  static_cast<double>(pixels) / 8.0);
-        states.push_back(TileState{TileEncoder(tile, tp), budget, 0});
     }
 
-    for (int layer = 0; layer < params.layers; ++layer) {
-        std::vector<uint8_t> chunk;
-        RangeEncoder enc(chunk);
-        for (size_t s = 0; s < states.size(); ++s) {
-            TileState &st = states[s];
-            size_t before = enc.bytesWritten();
-            if (layer == 0)
-                st.coder.encodeHeader(enc);
-            // Cumulative budget through this layer grows linearly so
-            // each layer carries a roughly equal share of the bits.
-            size_t cumBudget = params.lossless
+    // Each coded tile is one independent job (DWT + quantization +
+    // entropy coding of every quality layer into private sub-chunks);
+    // the layer chunks are then assembled in flat tile-index order, so
+    // the stream is byte-identical regardless of thread count.
+    out.layerChunks.assign(static_cast<size_t>(params.layers), {});
+    util::orderedReduce(
+        codedTiles.size(),
+        [&](size_t s) {
+            raster::TileRect r = grid.rect(codedTiles[s]);
+            raster::Plane tile = img.crop(r.x0, r.y0, r.width, r.height);
+            size_t pixels = static_cast<size_t>(r.width) *
+                            static_cast<size_t>(r.height);
+            size_t budget = params.lossless
                 ? SIZE_MAX / 2
-                : st.budget * static_cast<size_t>(layer + 1) /
-                      static_cast<size_t>(params.layers);
-            size_t remaining =
-                cumBudget > st.spent ? cumBudget - st.spent : 0;
-            int maxPlanes = INT_MAX;
-            if (params.lossless) {
-                // Spread bitplanes evenly across layers.
-                int total = st.coder.maxPlane() + 1;
-                maxPlanes = (total + params.layers - 1) / params.layers;
+                : static_cast<size_t>(params.bitsPerPixel *
+                                      static_cast<double>(pixels) / 8.0);
+            return encodeTileLayers(tile, tp, params.layers, budget);
+        },
+        [&](size_t, std::vector<std::vector<uint8_t>> &&tileLayers) {
+            for (int l = 0; l < params.layers; ++l) {
+                const auto &sub = tileLayers[static_cast<size_t>(l)];
+                auto &chunk = out.layerChunks[static_cast<size_t>(l)];
+                appendPod(chunk, static_cast<uint32_t>(sub.size()));
+                chunk.insert(chunk.end(), sub.begin(), sub.end());
             }
-            st.coder.encodePlanes(enc, enc.bytesWritten() + remaining,
-                                  maxPlanes);
-            st.spent += enc.bytesWritten() - before;
-        }
-        enc.flush();
-        out.layerChunks.push_back(std::move(chunk));
-    }
+        });
     return out;
 }
 
@@ -268,31 +294,46 @@ decode(const EncodedImage &e, int maxLayers)
     tp.losslessDepth = e.losslessDepth;
     tp.quantStep = e.quantStep;
 
-    std::vector<TileDecoder> decoders;
     std::vector<int> codedTiles;
-    for (int t = 0; t < grid.tileCount(); ++t) {
-        if (!e.tileCoded[static_cast<size_t>(t)])
-            continue;
-        codedTiles.push_back(t);
-        raster::TileRect r = grid.rect(t);
-        decoders.emplace_back(r.width, r.height, tp);
-    }
+    for (int t = 0; t < grid.tileCount(); ++t)
+        if (e.tileCoded[static_cast<size_t>(t)])
+            codedTiles.push_back(t);
 
+    // Slice each layer chunk into validated per-tile sub-chunk spans.
+    std::vector<std::vector<ChunkSpan>> spans(
+        codedTiles.size(),
+        std::vector<ChunkSpan>(static_cast<size_t>(maxLayers)));
     for (int layer = 0; layer < maxLayers; ++layer) {
         const auto &chunk = e.layerChunks[static_cast<size_t>(layer)];
-        RangeDecoder dec(chunk.data(), chunk.size());
-        for (size_t s = 0; s < decoders.size(); ++s) {
-            if (layer == 0)
-                decoders[s].decodeHeader(dec);
-            decoders[s].decodePlanes(dec);
+        size_t pos = 0;
+        for (size_t s = 0; s < codedTiles.size(); ++s) {
+            if (pos + 4 > chunk.size())
+                fatal("layer %d chunk truncated before tile %d",
+                      layer, codedTiles[s]);
+            uint32_t len;
+            std::memcpy(&len, chunk.data() + pos, 4);
+            pos += 4;
+            if (len > chunk.size() - pos)
+                fatal("layer %d chunk truncated inside tile %d: "
+                      "sub-chunk of %u bytes but only %zu remain",
+                      layer, codedTiles[s], len, chunk.size() - pos);
+            spans[s][static_cast<size_t>(layer)] =
+                ChunkSpan{chunk.data() + pos, len};
+            pos += len;
         }
     }
 
+    // Tiles decode in parallel: their pixel rectangles are disjoint,
+    // so concurrent pastes never touch the same pixel.
     raster::Plane out(e.width, e.height, 0.0f);
-    for (size_t s = 0; s < decoders.size(); ++s) {
-        raster::TileRect r = grid.rect(codedTiles[s]);
-        out.paste(decoders[s].reconstruct(), r.x0, r.y0);
-    }
+    util::ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(codedTiles.size()), [&](int64_t s) {
+            raster::TileRect r =
+                grid.rect(codedTiles[static_cast<size_t>(s)]);
+            out.paste(decodeTileLayers(r.width, r.height, tp,
+                                       spans[static_cast<size_t>(s)]),
+                      r.x0, r.y0);
+        });
     return out;
 }
 

@@ -65,7 +65,13 @@ struct EncodedImage
     double quantStep = 1.0 / 512.0;
     /** Per-tile coded flag, flat tile index order. */
     std::vector<uint8_t> tileCoded;
-    /** One entropy-coded chunk per quality layer. */
+    /**
+     * One entropy-coded chunk per quality layer. Within a chunk, each
+     * coded tile contributes (in flat tile-index order) a 4-byte
+     * little-endian length followed by that tile's self-contained
+     * range-coded sub-chunk, so tiles encode and decode as independent
+     * parallel jobs while the assembled stream stays deterministic.
+     */
     std::vector<std::vector<uint8_t>> layerChunks;
 
     /** Sum of layer chunk sizes in bytes. */

@@ -1,6 +1,7 @@
 #include "codec/tile_coder.hh"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -411,6 +412,53 @@ TileDecoder::reconstruct() const
     }
     out.clampTo(0.0f, 1.0f);
     return out;
+}
+
+std::vector<std::vector<uint8_t>>
+encodeTileLayers(const raster::Plane &tile, const TileCoderParams &params,
+                 int layers, size_t byteBudget)
+{
+    EP_ASSERT(layers >= 1, "need at least one quality layer");
+    TileEncoder coder(tile, params);
+    std::vector<std::vector<uint8_t>> out(static_cast<size_t>(layers));
+    size_t spent = 0;
+    for (int layer = 0; layer < layers; ++layer) {
+        std::vector<uint8_t> &chunk = out[static_cast<size_t>(layer)];
+        RangeEncoder enc(chunk);
+        if (layer == 0)
+            coder.encodeHeader(enc);
+        // Cumulative budget through this layer grows linearly so each
+        // layer carries a roughly equal share of the bits.
+        size_t cumBudget = params.lossless
+            ? byteBudget
+            : byteBudget * static_cast<size_t>(layer + 1) /
+                  static_cast<size_t>(layers);
+        size_t remaining = cumBudget > spent ? cumBudget - spent : 0;
+        int maxPlanes = INT_MAX;
+        if (params.lossless) {
+            // Spread bitplanes evenly across layers.
+            int total = coder.maxPlane() + 1;
+            maxPlanes = (total + layers - 1) / layers;
+        }
+        coder.encodePlanes(enc, enc.bytesWritten() + remaining, maxPlanes);
+        enc.flush();
+        spent += chunk.size();
+    }
+    return out;
+}
+
+raster::Plane
+decodeTileLayers(int width, int height, const TileCoderParams &params,
+                 const std::vector<ChunkSpan> &layerSpans)
+{
+    TileDecoder dec(width, height, params);
+    for (size_t l = 0; l < layerSpans.size(); ++l) {
+        RangeDecoder rd(layerSpans[l].data, layerSpans[l].size);
+        if (l == 0)
+            dec.decodeHeader(rd);
+        dec.decodePlanes(rd);
+    }
+    return dec.reconstruct();
 }
 
 } // namespace earthplus::codec

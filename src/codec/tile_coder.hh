@@ -170,6 +170,43 @@ class TileDecoder
     int significantNeighbors(int x, int y) const;
 };
 
+/** A read-only byte window into a larger entropy-coded chunk. */
+struct ChunkSpan
+{
+    const uint8_t *data = nullptr;
+    size_t size = 0;
+};
+
+/**
+ * Encode one tile completely, as a single self-contained job.
+ *
+ * Runs the DWT + quantization and codes all `layers` quality layers
+ * into private sub-chunks (one flushed range-coder stream per layer).
+ * The output depends only on the tile pixels and the parameters, which
+ * is what makes tile jobs safe to run on any thread in any order: the
+ * image-level stream is assembled from these sub-chunks in
+ * deterministic tile order.
+ *
+ * @param tile Pixel data, values in [0, 1].
+ * @param params Coder configuration.
+ * @param layers Number of SNR-progressive layers (>= 1).
+ * @param byteBudget Total entropy-coded byte budget across all layers
+ *        (ignored when params.lossless).
+ * @return One sub-chunk per layer.
+ */
+std::vector<std::vector<uint8_t>>
+encodeTileLayers(const raster::Plane &tile, const TileCoderParams &params,
+                 int layers, size_t byteBudget);
+
+/**
+ * Decode one tile from its per-layer sub-chunks (the inverse of
+ * encodeTileLayers); spans may cover fewer layers than were encoded
+ * for a lower-quality prefix decode.
+ */
+raster::Plane
+decodeTileLayers(int width, int height, const TileCoderParams &params,
+                 const std::vector<ChunkSpan> &layerSpans);
+
 } // namespace earthplus::codec
 
 #endif // EARTHPLUS_CODEC_TILE_CODER_HH

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/units.hh"
 
 namespace earthplus::core {
@@ -181,6 +182,17 @@ LocationSimulation::run()
         summary.meanReferenceAgeDays /=
             static_cast<double>(summary.referencedCount);
     return summary;
+}
+
+std::vector<SimSummary>
+runSimulationsBatch(const std::vector<BatchSimJob> &jobs)
+{
+    return util::parallelMap(jobs.size(), [&](size_t i) {
+        const BatchSimJob &job = jobs[i];
+        LocationSimulation sim(job.spec, job.locationIdx, job.kind,
+                               job.params);
+        return sim.run();
+    });
 }
 
 } // namespace earthplus::core

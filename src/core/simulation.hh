@@ -143,6 +143,31 @@ class LocationSimulation
     EarthPlusSystem *earthPlus_ = nullptr; // non-owning view when kind matches
 };
 
+/** One (location, system) simulation of a constellation batch. */
+struct BatchSimJob
+{
+    synth::DatasetSpec spec;
+    int locationIdx = 0;
+    SystemKind kind = SystemKind::EarthPlus;
+    SimParams params;
+};
+
+/**
+ * Run a batch of independent simulations, fanned across the global
+ * thread pool (one job per (location, system) pair; each holds its own
+ * scene, weather, ground store and on-board system, so jobs share no
+ * mutable state). Results are returned in job order. A job's nested
+ * tile/band parallelism runs inline on its worker (never re-enters
+ * the pool), so speedup is bounded by min(jobs, pool size): batches
+ * with at least as many jobs as threads scale with the pool, while a
+ * small batch on a large pool leaves the extra lanes idle. This is
+ * the entry point bench_fig16_runtime and bench_fig19_more_satellites
+ * use to report wall-clock speedup vs. thread count
+ * (EARTHPLUS_THREADS).
+ */
+std::vector<SimSummary>
+runSimulationsBatch(const std::vector<BatchSimJob> &jobs);
+
 } // namespace earthplus::core
 
 #endif // EARTHPLUS_CORE_SIMULATION_HH

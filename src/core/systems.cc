@@ -8,6 +8,7 @@
 #include "raster/metrics.hh"
 #include "raster/resample.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace earthplus::core {
 
@@ -46,18 +47,25 @@ encodeBands(const raster::Image &img, const raster::Bitmap &cloudMask,
             std::vector<codec::EncodedImage> &encoded,
             std::vector<size_t> &bandBytes)
 {
+    // Bands are independent encode jobs; each band's per-tile jobs
+    // nest inline when the pool is already saturated.
+    auto results = util::parallelMap(
+        static_cast<size_t>(img.bandCount()), [&](size_t b) {
+            raster::Plane clean =
+                removeClouds(img.band(static_cast<int>(b)), cloudMask);
+            codec::EncodeParams ep;
+            ep.bitsPerPixel = params.gamma;
+            ep.tileSize = params.tileSize;
+            ep.layers = params.layers;
+            ep.roi = &rois[b];
+            return codec::encode(clean, ep);
+        });
     size_t bytes = 0;
     bandBytes.clear();
-    for (int b = 0; b < img.bandCount(); ++b) {
-        raster::Plane clean = removeClouds(img.band(b), cloudMask);
-        codec::EncodeParams ep;
-        ep.bitsPerPixel = params.gamma;
-        ep.tileSize = params.tileSize;
-        ep.layers = params.layers;
-        ep.roi = &rois[static_cast<size_t>(b)];
-        encoded.push_back(codec::encode(clean, ep));
-        bandBytes.push_back(encoded.back().totalBytes());
+    for (auto &enc : results) {
+        bandBytes.push_back(enc.totalBytes());
         bytes += bandBytes.back();
+        encoded.push_back(std::move(enc));
     }
     return bytes;
 }
@@ -91,14 +99,14 @@ reconstruct(const std::vector<codec::EncodedImage> &encoded,
             const raster::Image *fill, int width, int height,
             int tileSize)
 {
-    raster::Image out;
     raster::TileGrid grid(width, height, tileSize);
-    for (int b = 0; b < static_cast<int>(encoded.size()); ++b) {
+    // Bands decode independently; addBand order stays deterministic.
+    auto planes = util::parallelMap(encoded.size(), [&](size_t b) {
         raster::Plane plane(width, height, 0.5f);
-        if (fill && b < fill->bandCount())
-            plane = fill->band(b);
-        raster::Plane decoded = codec::decode(encoded[static_cast<size_t>(b)]);
-        const raster::TileMask &roi = rois[static_cast<size_t>(b)];
+        if (fill && static_cast<int>(b) < fill->bandCount())
+            plane = fill->band(static_cast<int>(b));
+        raster::Plane decoded = codec::decode(encoded[b]);
+        const raster::TileMask &roi = rois[b];
         for (int t = 0; t < grid.tileCount(); ++t) {
             if (!roi.get(t))
                 continue;
@@ -106,8 +114,11 @@ reconstruct(const std::vector<codec::EncodedImage> &encoded,
             plane.paste(decoded.crop(r.x0, r.y0, r.width, r.height),
                         r.x0, r.y0);
         }
-        out.addBand(std::move(plane));
-    }
+        return plane;
+    });
+    raster::Image out;
+    for (auto &p : planes)
+        out.addBand(std::move(p));
     return out;
 }
 
@@ -229,7 +240,8 @@ EarthPlusSystem::process(const synth::Capture &capture)
     } else {
         // Change detection per band against the cached low-res
         // reference, on cloud-free pixels only. Bands are handled
-        // separately (§5): each band downloads only its own changes.
+        // separately (§5) and are independent, so they fan across the
+        // pool.
         auto t1 = std::chrono::steady_clock::now();
         raster::Bitmap validLow =
             raster::downsampleAny(cd.pixelMask, params_.refDownsample);
@@ -239,13 +251,15 @@ EarthPlusSystem::process(const synth::Capture &capture)
         cp.threshold = params_.theta;
         cp.tileSize = params_.tileSize;
         cp.referenceFactor = params_.refDownsample;
-        for (int b = 0; b < img.bandCount(); ++b) {
-            change::ChangeDetection det = change::detectChanges(
-                img.band(b), ref.band(b), cp, &validLow);
-            raster::TileMask roi = det.changedTiles;
-            roi.subtract(cd.tileMask);
-            rois.push_back(std::move(roi));
-        }
+        rois = util::parallelMap(
+            static_cast<size_t>(img.bandCount()), [&](size_t b) {
+                change::ChangeDetection det = change::detectChanges(
+                    img.band(static_cast<int>(b)),
+                    ref.band(static_cast<int>(b)), cp, &validLow);
+                raster::TileMask roi = det.changedTiles;
+                roi.subtract(cd.tileMask);
+                return roi;
+            });
         res.changeDetectSec = secondsSince(t1);
     }
 
@@ -362,7 +376,7 @@ SatRoISystem::process(const synth::Capture &capture)
         res.fullDownload = true;
     } else {
         // Full-resolution change detection against the frozen
-        // reference, band by band.
+        // reference, band by band across the pool.
         auto t1 = std::chrono::steady_clock::now();
         raster::Bitmap valid = cd.pixelMask;
         valid.invert();
@@ -370,13 +384,15 @@ SatRoISystem::process(const synth::Capture &capture)
         cp.threshold = params_.theta;
         cp.tileSize = params_.tileSize;
         cp.referenceFactor = 1;
-        for (int b = 0; b < img.bandCount(); ++b) {
-            change::ChangeDetection det = change::detectChanges(
-                img.band(b), itRef->second.band(b), cp, &valid);
-            raster::TileMask roi = det.changedTiles;
-            roi.subtract(cd.tileMask);
-            rois.push_back(std::move(roi));
-        }
+        rois = util::parallelMap(
+            static_cast<size_t>(img.bandCount()), [&](size_t b) {
+                change::ChangeDetection det = change::detectChanges(
+                    img.band(static_cast<int>(b)),
+                    itRef->second.band(static_cast<int>(b)), cp, &valid);
+                raster::TileMask roi = det.changedTiles;
+                roi.subtract(cd.tileMask);
+                return roi;
+            });
         res.changeDetectSec = secondsSince(t1);
     }
 

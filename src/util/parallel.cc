@@ -1,0 +1,179 @@
+#include "util/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "util/logging.hh"
+
+namespace earthplus::util {
+
+namespace {
+
+/**
+ * Depth of parallel regions on the current thread: > 0 inside a pool
+ * worker's lifetime or while a thread is executing parallelFor
+ * iterations. Nested regions run inline instead of re-entering the
+ * pool.
+ */
+thread_local int tlsParallelDepth = 0;
+
+struct DepthGuard
+{
+    DepthGuard() { ++tlsParallelDepth; }
+    ~DepthGuard() { --tlsParallelDepth; }
+};
+
+std::mutex gGlobalMutex;
+std::unique_ptr<ThreadPool> gGlobalPool;
+
+} // anonymous namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(threads, 1))
+{
+    // Lane 0 is the calling thread; spawn the remaining lanes.
+    for (int i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tlsParallelDepth > 0;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    DepthGuard depth; // everything a worker runs counts as nested
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and queue drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end,
+                        const std::function<void(int64_t)> &body,
+                        int64_t grain)
+{
+    int64_t count = end - begin;
+    if (count <= 0)
+        return;
+
+    // Serial path: single-lane pool, tiny range, or nested region.
+    if (threads_ <= 1 || count == 1 || tlsParallelDepth > 0) {
+        DepthGuard depth;
+        for (int64_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    if (grain <= 0)
+        grain = std::max<int64_t>(
+            1, count / (static_cast<int64_t>(threads_) * 4));
+
+    auto next = std::make_shared<std::atomic<int64_t>>(begin);
+    auto firstError = std::make_shared<std::atomic<bool>>(false);
+    auto errorPtr = std::make_shared<std::exception_ptr>();
+
+    auto drain = [next, firstError, errorPtr, end, grain, &body] {
+        DepthGuard depth;
+        for (;;) {
+            int64_t i0 = next->fetch_add(grain);
+            if (i0 >= end)
+                return;
+            int64_t i1 = std::min(i0 + grain, end);
+            try {
+                for (int64_t i = i0; i < i1; ++i)
+                    body(i);
+            } catch (...) {
+                if (!firstError->exchange(true))
+                    *errorPtr = std::current_exception();
+                next->store(end); // cancel remaining chunks
+                return;
+            }
+        }
+    };
+
+    // One helper per extra lane (bounded by the chunk count); the
+    // caller drains chunks too, so completion never depends on the
+    // helpers being scheduled.
+    int64_t chunks = (count + grain - 1) / grain;
+    int helpers = static_cast<int>(
+        std::min<int64_t>(threads_ - 1, chunks - 1));
+    std::vector<std::future<void>> pending;
+    pending.reserve(static_cast<size_t>(helpers));
+    for (int i = 0; i < helpers; ++i) {
+        auto task = std::make_shared<std::packaged_task<void()>>(drain);
+        pending.push_back(task->get_future());
+        enqueue([task] { (*task)(); });
+    }
+    drain();
+    for (auto &f : pending)
+        f.wait();
+    if (firstError->load())
+        std::rethrow_exception(*errorPtr);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(gGlobalMutex);
+    if (!gGlobalPool)
+        gGlobalPool = std::make_unique<ThreadPool>(defaultThreadCount());
+    return *gGlobalPool;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    EP_ASSERT(threads >= 1, "thread count %d must be >= 1", threads);
+    std::lock_guard<std::mutex> lock(gGlobalMutex);
+    gGlobalPool = std::make_unique<ThreadPool>(threads);
+}
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("EARTHPLUS_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        warn("ignoring invalid EARTHPLUS_THREADS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+} // namespace earthplus::util

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Work-scheduling substrate: a fixed thread pool with futures-based
+ * task submission, a blocking parallelFor, and deterministic
+ * ordered-map/reduce helpers.
+ *
+ * This is the concurrency engine underneath the tile-granular pipeline:
+ * the codec encodes tiles as independent jobs, the systems layer fans
+ * bands out, and the simulation layer fans whole (location, system)
+ * runs across a constellation. All of them share one process-wide pool
+ * (ThreadPool::global()) sized by the EARTHPLUS_THREADS environment
+ * variable (default: hardware concurrency).
+ *
+ * Determinism: parallelMap() writes result i into slot i and
+ * orderedReduce() consumes results in index order, so the output of a
+ * parallel run is byte-identical to a serial run regardless of thread
+ * count or scheduling — the property the codec's golden test guards.
+ *
+ * Nesting: a parallel region entered from inside a pool worker (e.g.
+ * the codec's per-tile loop reached from a per-band job) executes
+ * inline on the calling thread instead of re-entering the pool, so
+ * nested parallelism can never deadlock the fixed-size pool.
+ */
+
+#ifndef EARTHPLUS_UTIL_PARALLEL_HH
+#define EARTHPLUS_UTIL_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace earthplus::util {
+
+/**
+ * Fixed-size worker pool.
+ *
+ * A pool with threadCount() == 1 runs every task inline on the calling
+ * thread; no worker threads are spawned, which makes single-threaded
+ * runs exactly the serial code path (useful for debugging and for the
+ * speedup baselines in bench_fig16).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count (clamped to >= 1). 1 means fully
+     *        inline execution with no worker threads.
+     */
+    explicit ThreadPool(int threads);
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of execution lanes (callers count as one at 1). */
+    int threadCount() const { return threads_; }
+
+    /** True when the calling thread is one of this pool's workers. */
+    static bool onWorkerThread();
+
+    /**
+     * Submit one task; returns a future for its result.
+     *
+     * Tasks submitted from a worker thread of this pool run inline
+     * (completed future) to avoid queue-wait deadlocks.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        if (threads_ <= 1 || onWorkerThread()) {
+            (*task)();
+            return fut;
+        }
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Run body(i) for every i in [begin, end), blocking until all
+     * iterations finish. The calling thread participates, so progress
+     * is guaranteed even when every worker is busy elsewhere.
+     *
+     * Iterations are distributed dynamically in chunks of `grain`
+     * (0 = pick automatically). The body must not assume any
+     * particular execution order; use parallelMap()/orderedReduce()
+     * when results must be assembled deterministically.
+     *
+     * The first exception thrown by any iteration is rethrown on the
+     * calling thread after the loop drains.
+     */
+    void parallelFor(int64_t begin, int64_t end,
+                     const std::function<void(int64_t)> &body,
+                     int64_t grain = 0);
+
+    /**
+     * The process-wide pool, created on first use with
+     * defaultThreadCount() lanes.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of `threads` lanes. Intended
+     * for benchmarks sweeping thread counts; must not race with tasks
+     * in flight on the old pool.
+     */
+    static void setGlobalThreads(int threads);
+
+    /** EARTHPLUS_THREADS when set (>= 1), else hardware concurrency. */
+    static int defaultThreadCount();
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    int threads_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * Deterministic parallel map: out[i] = fn(i) for i in [0, n), computed
+ * in parallel, returned in index order. R must be default- and
+ * move-constructible.
+ */
+template <typename Fn>
+auto
+parallelMap(ThreadPool &pool, size_t n, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, size_t>>
+{
+    using R = std::invoke_result_t<Fn &, size_t>;
+    std::vector<R> out(n);
+    pool.parallelFor(0, static_cast<int64_t>(n), [&](int64_t i) {
+        out[static_cast<size_t>(i)] = fn(static_cast<size_t>(i));
+    });
+    return out;
+}
+
+/** parallelMap() on the global pool. */
+template <typename Fn>
+auto
+parallelMap(size_t n, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, size_t>>
+{
+    return parallelMap(ThreadPool::global(), n, std::forward<Fn>(fn));
+}
+
+/**
+ * Deterministic ordered reduce: produce(i) runs in parallel for every
+ * i in [0, n); consume(i, result) then runs serially on the calling
+ * thread in strictly increasing index order. This is how the codec
+ * assembles per-tile entropy chunks into a byte-identical stream.
+ */
+template <typename Produce, typename Consume>
+void
+orderedReduce(ThreadPool &pool, size_t n, Produce &&produce,
+              Consume &&consume)
+{
+    auto results = parallelMap(pool, n, std::forward<Produce>(produce));
+    for (size_t i = 0; i < n; ++i)
+        consume(i, std::move(results[i]));
+}
+
+/** orderedReduce() on the global pool. */
+template <typename Produce, typename Consume>
+void
+orderedReduce(size_t n, Produce &&produce, Consume &&consume)
+{
+    orderedReduce(ThreadPool::global(), n, std::forward<Produce>(produce),
+                  std::forward<Consume>(consume));
+}
+
+} // namespace earthplus::util
+
+#endif // EARTHPLUS_UTIL_PARALLEL_HH

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "codec/codec.hh"
 #include "raster/metrics.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 using namespace earthplus;
@@ -247,6 +249,126 @@ TEST(Codec, SerializeDeserializeIdentity)
     raster::Plane a = decode(enc);
     raster::Plane b = decode(back);
     EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Codec, SerializeRoundTripAcrossModes)
+{
+    raster::Plane img = testImage(160, 96, 20);
+    for (bool lossless : {false, true}) {
+        EncodeParams p;
+        p.bitsPerPixel = 1.0;
+        p.layers = 3;
+        if (lossless) {
+            p.lossless = true;
+            p.wavelet = Wavelet::LeGall53;
+        }
+        EncodedImage enc = encode(img, p);
+        EncodedImage back = EncodedImage::deserialize(enc.serialize());
+        EXPECT_EQ(back.width, enc.width);
+        EXPECT_EQ(back.height, enc.height);
+        EXPECT_EQ(back.tileSize, enc.tileSize);
+        EXPECT_EQ(back.dwtLevels, enc.dwtLevels);
+        EXPECT_EQ(back.lossless, enc.lossless);
+        EXPECT_EQ(back.tileCoded, enc.tileCoded);
+        ASSERT_EQ(back.layerChunks.size(), enc.layerChunks.size());
+        for (size_t i = 0; i < back.layerChunks.size(); ++i)
+            EXPECT_EQ(back.layerChunks[i], enc.layerChunks[i]);
+        EXPECT_EQ(decode(back).data(), decode(enc).data());
+    }
+}
+
+TEST(CodecDeath, DeserializeRejectsTruncatedStreams)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    raster::Plane img = testImage(128, 128, 21);
+    EncodeParams p;
+    p.bitsPerPixel = 1.0;
+    p.layers = 2;
+    std::vector<uint8_t> bytes = encode(img, p).serialize();
+
+    // Cut inside the fixed header, the tile bitmap region, and the
+    // last layer chunk: each must fail with a clear message, never
+    // read out of bounds.
+    for (size_t cut : {size_t(3), size_t(20), size_t(45),
+                       bytes.size() - 1}) {
+        std::vector<uint8_t> trunc(bytes.begin(),
+                                   bytes.begin() +
+                                       static_cast<ptrdiff_t>(cut));
+        EXPECT_EXIT(EncodedImage::deserialize(trunc),
+                    ::testing::ExitedWithCode(1), "truncated|magic")
+            << "cut at " << cut;
+    }
+}
+
+TEST(CodecDeath, DeserializeRejectsCorruptHeaderFields)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    raster::Plane img = testImage(128, 128, 22);
+    EncodeParams p;
+    p.bitsPerPixel = 1.0;
+    std::vector<uint8_t> bytes = encode(img, p).serialize();
+
+    auto corrupt = [&](size_t offset, uint32_t value) {
+        std::vector<uint8_t> bad = bytes;
+        std::memcpy(bad.data() + offset, &value, 4);
+        return bad;
+    };
+    // Field offsets: magic=0, width=4, height=8, tileSize=12,
+    // dwtLevels=16, layers=20.
+    EXPECT_EXIT(EncodedImage::deserialize(corrupt(0, 0xDEADBEEF)),
+                ::testing::ExitedWithCode(1), "magic");
+    EXPECT_EXIT(EncodedImage::deserialize(corrupt(4, 0)),
+                ::testing::ExitedWithCode(1), "dimensions");
+    EXPECT_EXIT(EncodedImage::deserialize(corrupt(8, 0x7FFFFFFF)),
+                ::testing::ExitedWithCode(1), "dimensions");
+    EXPECT_EXIT(EncodedImage::deserialize(corrupt(12, 0)),
+                ::testing::ExitedWithCode(1), "tile size");
+    EXPECT_EXIT(EncodedImage::deserialize(corrupt(16, 99)),
+                ::testing::ExitedWithCode(1), "DWT");
+    EXPECT_EXIT(EncodedImage::deserialize(corrupt(20, 0)),
+                ::testing::ExitedWithCode(1), "layer count");
+    // A tile size that no longer matches the stored tile count.
+    EXPECT_EXIT(EncodedImage::deserialize(corrupt(12, 32)),
+                ::testing::ExitedWithCode(1), "tile count");
+    // Per-edge-legal dimensions whose product would drive a huge
+    // decoded-plane allocation must be rejected up front.
+    std::vector<uint8_t> huge = corrupt(4, 1u << 20);
+    uint32_t bigHeight = 1u << 20;
+    std::memcpy(huge.data() + 8, &bigHeight, 4);
+    EXPECT_EXIT(EncodedImage::deserialize(huge),
+                ::testing::ExitedWithCode(1), "pixel cap");
+}
+
+TEST(Codec, ParallelEncodeIsByteIdenticalToSerial)
+{
+    // The golden determinism guarantee of the tile-execution engine:
+    // tiles are independent jobs assembled in flat tile order, so the
+    // stream must not depend on thread count or scheduling.
+    raster::Plane img = testImage(320, 256, 23);
+    raster::TileGrid grid(320, 256, 64);
+    raster::TileMask roi(grid);
+    for (int t = 0; t < grid.tileCount(); t += 2)
+        roi.set(t, true);
+
+    EncodeParams p;
+    p.bitsPerPixel = 1.5;
+    p.layers = 3;
+    p.roi = &roi;
+
+    util::ThreadPool::setGlobalThreads(1);
+    std::vector<uint8_t> serial = encode(img, p).serialize();
+    raster::Plane serialDec = decode(EncodedImage::deserialize(serial));
+
+    for (int threads : {2, 4, 8}) {
+        util::ThreadPool::setGlobalThreads(threads);
+        std::vector<uint8_t> parallel = encode(img, p).serialize();
+        EXPECT_EQ(parallel, serial) << "threads=" << threads;
+        raster::Plane dec =
+            decode(EncodedImage::deserialize(parallel));
+        EXPECT_EQ(dec.data(), serialDec.data()) << "threads=" << threads;
+    }
+    util::ThreadPool::setGlobalThreads(
+        util::ThreadPool::defaultThreadCount());
 }
 
 TEST(Codec, NonMultipleTileSizes)

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the thread-pool work-scheduling substrate: submit,
+ * parallelFor coverage and exception propagation, deterministic
+ * parallelMap/orderedReduce, nesting, and the global-pool knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/parallel.hh"
+
+using namespace earthplus::util;
+
+TEST(ThreadPool, SubmitReturnsFutureResult)
+{
+    ThreadPool pool(4);
+    auto f = pool.submit([] { return 21 * 2; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::thread::id caller = std::this_thread::get_id();
+    auto f = pool.submit([caller] {
+        return std::this_thread::get_id() == caller;
+    });
+    EXPECT_TRUE(f.get());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const int64_t n = 10007; // prime, exercises ragged chunking
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(0, n, [&](int64_t i) { hits[i].fetch_add(1); });
+    for (int64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleRanges)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallelFor(5, 5, [&](int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0);
+    pool.parallelFor(5, 6, [&](int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100,
+                         [](int64_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int64_t> total{0};
+    pool.parallelFor(0, 8, [&](int64_t) {
+        pool.parallelFor(0, 8, [&](int64_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    ThreadPool pool(4);
+    auto out = parallelMap(pool, 1000,
+                           [](size_t i) { return static_cast<int>(i) * 3; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ThreadPool, OrderedReduceConsumesInIncreasingOrder)
+{
+    ThreadPool pool(4);
+    std::vector<size_t> consumed;
+    orderedReduce(
+        pool, 257, [](size_t i) { return i * i; },
+        [&](size_t i, size_t v) {
+            EXPECT_EQ(v, i * i);
+            consumed.push_back(i);
+        });
+    ASSERT_EQ(consumed.size(), 257u);
+    for (size_t i = 0; i < consumed.size(); ++i)
+        ASSERT_EQ(consumed[i], i);
+}
+
+TEST(ThreadPool, GlobalPoolResizes)
+{
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::global().threadCount(), 3);
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+    EXPECT_EQ(ThreadPool::global().threadCount(),
+              ThreadPool::defaultThreadCount());
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+}
