@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(change_test "/root/repo/build/change_test")
+set_tests_properties(change_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(cloud_test "/root/repo/build/cloud_test")
+set_tests_properties(cloud_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(codec_test "/root/repo/build/codec_test")
+set_tests_properties(codec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(dwt_test "/root/repo/build/dwt_test")
+set_tests_properties(dwt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(orbit_test "/root/repo/build/orbit_test")
+set_tests_properties(orbit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(parallel_test "/root/repo/build/parallel_test")
+set_tests_properties(parallel_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(rangecoder_test "/root/repo/build/rangecoder_test")
+set_tests_properties(rangecoder_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(raster_test "/root/repo/build/raster_test")
+set_tests_properties(raster_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(synth_test "/root/repo/build/synth_test")
+set_tests_properties(synth_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(systems_test "/root/repo/build/systems_test")
+set_tests_properties(systems_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(util_test "/root/repo/build/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;36;add_test;/root/repo/CMakeLists.txt;0;")
