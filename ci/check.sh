@@ -21,4 +21,21 @@ else
     echo "bench_fig16_runtime not built (google-benchmark missing); skipped"
 fi
 
+# Smoke the ground-segment serving path: queries/sec and cache hit
+# rate vs. thread count (informational; the run must succeed).
+"$BUILD_DIR/bench_ground_serving"
+
+# ASan+UBSan configuration: the byte-level parsers (downlink packets,
+# archive file format, codec streams) must be sanitizer-clean on both
+# their happy paths and their corruption-recovery paths. Scoped to the
+# suites that exercise those parsers so CI time stays bounded.
+SAN_BUILD_DIR="${SAN_BUILD_DIR:-build-asan}"
+cmake -B "$SAN_BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake --build "$SAN_BUILD_DIR" -j \
+      --target ground_test uplink_planner_test codec_test
+ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure \
+      -R 'ground_test|uplink_planner_test|codec_test'
+
 echo "ci/check.sh: all checks passed"

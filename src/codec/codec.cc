@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/bytes.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -24,22 +25,16 @@ constexpr size_t kFixedHeader =
     8 +          // quantStep
     4;           // tile count
 
-template <typename T>
-void
-appendPod(std::vector<uint8_t> &out, const T &v)
-{
-    const auto *p = reinterpret_cast<const uint8_t *>(&v);
-    out.insert(out.end(), p, p + sizeof(T));
-}
+using util::appendPod;
 
+/** Bounds-checked cursor read: fatal() on truncation, advances pos. */
 template <typename T>
 T
 readPod(const std::vector<uint8_t> &in, size_t &pos)
 {
     if (pos + sizeof(T) > in.size())
         fatal("encoded image stream truncated");
-    T v;
-    std::memcpy(&v, in.data() + pos, sizeof(T));
+    T v = util::readPodAt<T>(in.data(), pos);
     pos += sizeof(T);
     return v;
 }
@@ -277,64 +272,118 @@ encode(const raster::Plane &img, const EncodeParams &params)
     return out;
 }
 
-raster::Plane
-decode(const EncodedImage &e, int maxLayers)
+namespace {
+
+/** Per-tile sub-chunk spans of a stream, sliced and validated. */
+struct SlicedStream
 {
-    raster::TileGrid grid(e.width, e.height, e.tileSize);
+    TileCoderParams tp;
+    int maxLayers = 0;
+    /** Flat indices of coded tiles, ascending. */
+    std::vector<int> codedTiles;
+    /** tile index -> slot in codedTiles/spans, or -1 when not coded. */
+    std::vector<int> slotOfTile;
+    /** spans[slot][layer]. */
+    std::vector<std::vector<ChunkSpan>> spans;
+};
+
+/**
+ * Slice each layer chunk into validated per-tile sub-chunk spans. The
+ * spans point into `e`'s chunk storage, so the stream must outlive the
+ * returned view.
+ */
+SlicedStream
+sliceStream(const EncodedImage &e, const raster::TileGrid &grid,
+            int maxLayers)
+{
     EP_ASSERT(static_cast<int>(e.tileCoded.size()) == grid.tileCount(),
               "coded-tile flags (%zu) do not match grid (%d)",
               e.tileCoded.size(), grid.tileCount());
+    SlicedStream s;
     if (maxLayers < 0 || maxLayers > static_cast<int>(e.layerChunks.size()))
         maxLayers = static_cast<int>(e.layerChunks.size());
+    s.maxLayers = maxLayers;
+    s.tp.dwtLevels = e.dwtLevels;
+    s.tp.wavelet = e.wavelet;
+    s.tp.lossless = e.lossless;
+    s.tp.losslessDepth = e.losslessDepth;
+    s.tp.quantStep = e.quantStep;
 
-    TileCoderParams tp;
-    tp.dwtLevels = e.dwtLevels;
-    tp.wavelet = e.wavelet;
-    tp.lossless = e.lossless;
-    tp.losslessDepth = e.losslessDepth;
-    tp.quantStep = e.quantStep;
+    s.slotOfTile.assign(static_cast<size_t>(grid.tileCount()), -1);
+    for (int t = 0; t < grid.tileCount(); ++t) {
+        if (!e.tileCoded[static_cast<size_t>(t)])
+            continue;
+        s.slotOfTile[static_cast<size_t>(t)] =
+            static_cast<int>(s.codedTiles.size());
+        s.codedTiles.push_back(t);
+    }
 
-    std::vector<int> codedTiles;
-    for (int t = 0; t < grid.tileCount(); ++t)
-        if (e.tileCoded[static_cast<size_t>(t)])
-            codedTiles.push_back(t);
-
-    // Slice each layer chunk into validated per-tile sub-chunk spans.
-    std::vector<std::vector<ChunkSpan>> spans(
-        codedTiles.size(),
-        std::vector<ChunkSpan>(static_cast<size_t>(maxLayers)));
+    s.spans.assign(s.codedTiles.size(),
+                   std::vector<ChunkSpan>(static_cast<size_t>(maxLayers)));
     for (int layer = 0; layer < maxLayers; ++layer) {
         const auto &chunk = e.layerChunks[static_cast<size_t>(layer)];
         size_t pos = 0;
-        for (size_t s = 0; s < codedTiles.size(); ++s) {
+        for (size_t slot = 0; slot < s.codedTiles.size(); ++slot) {
             if (pos + 4 > chunk.size())
                 fatal("layer %d chunk truncated before tile %d",
-                      layer, codedTiles[s]);
+                      layer, s.codedTiles[slot]);
             uint32_t len;
             std::memcpy(&len, chunk.data() + pos, 4);
             pos += 4;
             if (len > chunk.size() - pos)
                 fatal("layer %d chunk truncated inside tile %d: "
                       "sub-chunk of %u bytes but only %zu remain",
-                      layer, codedTiles[s], len, chunk.size() - pos);
-            spans[s][static_cast<size_t>(layer)] =
+                      layer, s.codedTiles[slot], len, chunk.size() - pos);
+            s.spans[slot][static_cast<size_t>(layer)] =
                 ChunkSpan{chunk.data() + pos, len};
             pos += len;
         }
     }
+    return s;
+}
+
+} // anonymous namespace
+
+raster::Plane
+decode(const EncodedImage &e, int maxLayers)
+{
+    raster::TileGrid grid(e.width, e.height, e.tileSize);
+    SlicedStream s = sliceStream(e, grid, maxLayers);
 
     // Tiles decode in parallel: their pixel rectangles are disjoint,
     // so concurrent pastes never touch the same pixel.
     raster::Plane out(e.width, e.height, 0.0f);
     util::ThreadPool::global().parallelFor(
-        0, static_cast<int64_t>(codedTiles.size()), [&](int64_t s) {
+        0, static_cast<int64_t>(s.codedTiles.size()), [&](int64_t slot) {
             raster::TileRect r =
-                grid.rect(codedTiles[static_cast<size_t>(s)]);
-            out.paste(decodeTileLayers(r.width, r.height, tp,
-                                       spans[static_cast<size_t>(s)]),
+                grid.rect(s.codedTiles[static_cast<size_t>(slot)]);
+            out.paste(decodeTileLayers(r.width, r.height, s.tp,
+                                       s.spans[static_cast<size_t>(slot)]),
                       r.x0, r.y0);
         });
     return out;
+}
+
+std::vector<raster::Plane>
+decodeTiles(const EncodedImage &e, const std::vector<int> &tiles,
+            int maxLayers)
+{
+    raster::TileGrid grid(e.width, e.height, e.tileSize);
+    for (int t : tiles)
+        EP_ASSERT(t >= 0 && t < grid.tileCount(),
+                  "tile index %d outside grid of %d tiles", t,
+                  grid.tileCount());
+    SlicedStream s = sliceStream(e, grid, maxLayers);
+
+    return util::parallelMap(tiles.size(), [&](size_t i) {
+        int t = tiles[i];
+        raster::TileRect r = grid.rect(t);
+        int slot = s.slotOfTile[static_cast<size_t>(t)];
+        if (slot < 0)
+            return raster::Plane(r.width, r.height, 0.0f);
+        return decodeTileLayers(r.width, r.height, s.tp,
+                                s.spans[static_cast<size_t>(slot)]);
+    });
 }
 
 } // namespace earthplus::codec

@@ -116,6 +116,22 @@ EncodedImage encode(const raster::Plane &img, const EncodeParams &params);
  */
 raster::Plane decode(const EncodedImage &enc, int maxLayers = -1);
 
+/**
+ * Decode only the requested tiles (flat tile indices).
+ *
+ * The ground tile server answers rectangle queries without paying for
+ * a full-plane decode: tiles are self-contained sub-chunks, so a
+ * subset decodes in isolation. Returns one plane per requested tile in
+ * request order; tiles outside the encoded ROI come back as zero
+ * planes of the tile's rectangle (same fill decode() would produce).
+ *
+ * @param tiles Flat tile indices within the image's tile grid.
+ * @param maxLayers Decode only the first maxLayers layers (-1 = all).
+ */
+std::vector<raster::Plane> decodeTiles(const EncodedImage &enc,
+                                       const std::vector<int> &tiles,
+                                       int maxLayers = -1);
+
 } // namespace earthplus::codec
 
 #endif // EARTHPLUS_CODEC_CODEC_HH

@@ -1,5 +1,6 @@
 #include "core/simulation.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -66,24 +67,38 @@ LocationSimulation::LocationSimulation(const synth::DatasetSpec &spec,
 
     ground_ = std::make_unique<ReferenceStore>(params.maxCloudForReference);
 
+    if (params.groundSegment.enabled) {
+        // Route downloads through the packetized downlink: references
+        // reach the store only when their download completes.
+        params_.system.externalGroundIngest = true;
+        ReferenceStore *store = ground_.get();
+        station_ = std::make_unique<ground::GroundStation>(
+            params.groundSegment,
+            [store](const ground::CaptureDownload &download) {
+                store->offer(download.reconstructed,
+                             download.cloudFraction);
+            });
+    }
+
     switch (kind) {
       case SystemKind::EarthPlus: {
         auto sys = std::make_unique<EarthPlusSystem>(
-            spec.bands, params.system, params.uplink, *ground_);
+            spec.bands, params_.system, params_.uplink, *ground_);
         earthPlus_ = sys.get();
         system_ = std::move(sys);
         break;
       }
       case SystemKind::Kodan:
-        system_ = std::make_unique<KodanSystem>(spec.bands, params.system);
+        system_ = std::make_unique<KodanSystem>(spec.bands,
+                                                params_.system);
         break;
       case SystemKind::SatRoI:
         system_ = std::make_unique<SatRoISystem>(spec.bands,
-                                                 params.system);
+                                                 params_.system);
         break;
       case SystemKind::DownloadAll:
         system_ = std::make_unique<DownloadAllSystem>(spec.bands,
-                                                      params.system);
+                                                      params_.system);
         break;
     }
 }
@@ -127,6 +142,12 @@ LocationSimulation::run()
         m.day = day;
         m.satelliteId = satelliteId;
 
+        // Land every download whose contacts have passed, so the
+        // reference store reflects what the ground has actually
+        // received by now.
+        if (station_)
+            station_->advanceTo(day);
+
         // Ground contact before the pass: push a reference update.
         if (earthPlus_) {
             UplinkPlan plan = earthPlus_->prepareCapture(
@@ -153,6 +174,25 @@ LocationSimulation::run()
             ++summary.droppedCount;
             continue;
         }
+
+        // Queue the capture on the downlink: serialized per band,
+        // packetized, transmitted at the coming contacts.
+        if (station_) {
+            ground::CaptureDownload download;
+            download.locationId = locationId;
+            download.satelliteId = satelliteId;
+            download.captureDay = day;
+            download.referenceDay = std::isfinite(res.referenceAgeDays)
+                ? day - res.referenceAgeDays
+                : -1.0;
+            download.fullDownload = res.fullDownload;
+            for (const auto &enc : res.encodedBands)
+                download.bandPayloads.push_back(enc.serialize());
+            download.reconstructed = res.reconstructed;
+            download.cloudFraction = cap.cloudCoverage;
+            station_->submit(std::move(download));
+        }
+
         ++summary.processedCount;
         summary.totalDownlinkBytes +=
             static_cast<double>(res.downlinkBytes);
@@ -181,6 +221,22 @@ LocationSimulation::run()
     if (summary.referencedCount > 0)
         summary.meanReferenceAgeDays /=
             static_cast<double>(summary.referencedCount);
+
+    if (station_) {
+        // Flush the downlink: enough extra days for every pending
+        // transfer to complete or exhaust its retention window,
+        // whatever the configured contact cadence and retention.
+        const ground::GroundSegmentParams &gp = params_.groundSegment;
+        double flushDays =
+            std::ceil(static_cast<double>(gp.channel.retentionContacts) /
+                      static_cast<double>(std::max(gp.contactsPerDay, 1))) +
+            1.0;
+        double lastDay = schedule.empty() ? spec_.endDay
+                                          : schedule.back().first;
+        station_->advanceTo(lastDay + flushDays);
+        summary.groundEnabled = true;
+        summary.groundStats = station_->stats();
+    }
     return summary;
 }
 

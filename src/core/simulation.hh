@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/systems.hh"
+#include "ground/station.hh"
 #include "synth/dataset.hh"
 #include "synth/scene.hh"
 #include "synth/sensor.hh"
@@ -53,6 +54,14 @@ struct SimParams
     double maxCloudForReference = 0.01;
     /** Cap on captures processed (0 = all) for quick runs. */
     int maxCaptures = 0;
+    /**
+     * Ground segment configuration. When enabled, downloads no longer
+     * teleport into the ReferenceStore at capture time: every encoded
+     * band is serialized, packetized and transmitted across lossy
+     * ground contacts (with ARQ retransmission), archived on
+     * completion, and only then offered as a reference.
+     */
+    ground::GroundSegmentParams groundSegment;
 };
 
 /** Metrics of one processed capture. */
@@ -90,6 +99,10 @@ struct SimSummary
     int fullDownloadCount = 0;
     /** Captures processed while holding a (finite-age) reference. */
     int referencedCount = 0;
+    /** True when the run routed downloads through the ground segment. */
+    bool groundEnabled = false;
+    /** Ground-segment statistics (valid when groundEnabled). */
+    ground::StationStats groundStats;
 
     /**
      * Downlink rate (Mbps) needed to stream the mean per-capture
@@ -130,6 +143,12 @@ class LocationSimulation
     /** The system under simulation. */
     OnboardSystem &system() { return *system_; }
 
+    /**
+     * The ground station routing this simulation's downloads (null
+     * unless SimParams::groundSegment.enabled).
+     */
+    ground::GroundStation *groundStation() { return station_.get(); }
+
   private:
     synth::DatasetSpec spec_;
     int locationIdx_;
@@ -139,6 +158,7 @@ class LocationSimulation
     std::unique_ptr<synth::WeatherProcess> weather_;
     std::unique_ptr<synth::CaptureSimulator> captureSim_;
     std::unique_ptr<ReferenceStore> ground_;
+    std::unique_ptr<ground::GroundStation> station_;
     std::unique_ptr<OnboardSystem> system_;
     EarthPlusSystem *earthPlus_ = nullptr; // non-owning view when kind matches
 };

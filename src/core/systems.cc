@@ -264,9 +264,9 @@ EarthPlusSystem::process(const synth::Capture &capture)
     }
 
     auto t2 = std::chrono::steady_clock::now();
-    std::vector<codec::EncodedImage> encoded;
     res.downlinkBytes = encodeBands(img, cd.pixelMask, rois, params_,
-                                    encoded, res.bandDownlinkBytes);
+                                    res.encodedBands,
+                                    res.bandDownlinkBytes);
     res.encodeSec = secondsSince(t2);
     res.downloadedTileFraction = meanRoiFraction(rois);
 
@@ -277,7 +277,7 @@ EarthPlusSystem::process(const synth::Capture &capture)
     auto itMirror = groundMirror_.find(key);
     if (itMirror != groundMirror_.end())
         fill = &itMirror->second;
-    res.reconstructed = reconstruct(encoded, rois, fill, img.width(),
+    res.reconstructed = reconstruct(res.encodedBands, rois, fill, img.width(),
                                     img.height(), params_.tileSize);
     res.reconstructed.info() = img.info();
     res.psnr = meanPsnr(img, res.reconstructed, capture.cloudTruth);
@@ -286,8 +286,10 @@ EarthPlusSystem::process(const synth::Capture &capture)
         lastFullDownload_[loc] = day;
     // The ground re-detects clouds with its accurate detector; we model
     // that near-perfect detector with the ground-truth coverage (see
-    // DESIGN.md).
-    ground_.offer(res.reconstructed, capture.cloudCoverage);
+    // DESIGN.md). With a ground segment in the loop, ingestion instead
+    // happens when the packetized download completes.
+    if (!params_.externalGroundIngest)
+        ground_.offer(res.reconstructed, capture.cloudCoverage);
     return res;
 }
 
@@ -320,13 +322,13 @@ KodanSystem::process(const synth::Capture &capture)
     std::vector<raster::TileMask> rois = uniformRois(roi, img.bandCount());
 
     auto t2 = std::chrono::steady_clock::now();
-    std::vector<codec::EncodedImage> encoded;
     res.downlinkBytes = encodeBands(img, cd.pixelMask, rois, params_,
-                                    encoded, res.bandDownlinkBytes);
+                                    res.encodedBands,
+                                    res.bandDownlinkBytes);
     res.encodeSec = secondsSince(t2);
     res.downloadedTileFraction = roi.fractionSet();
 
-    res.reconstructed = reconstruct(encoded, rois, nullptr, img.width(),
+    res.reconstructed = reconstruct(res.encodedBands, rois, nullptr, img.width(),
                                     img.height(), params_.tileSize);
     res.reconstructed.info() = img.info();
     res.psnr = meanPsnr(img, res.reconstructed, capture.cloudTruth);
@@ -397,14 +399,14 @@ SatRoISystem::process(const synth::Capture &capture)
     }
 
     auto t2 = std::chrono::steady_clock::now();
-    std::vector<codec::EncodedImage> encoded;
     res.downlinkBytes = encodeBands(img, cd.pixelMask, rois, params_,
-                                    encoded, res.bandDownlinkBytes);
+                                    res.encodedBands,
+                                    res.bandDownlinkBytes);
     res.encodeSec = secondsSince(t2);
     res.downloadedTileFraction = meanRoiFraction(rois);
 
     const raster::Image *fill = haveRef ? &itRef->second : nullptr;
-    res.reconstructed = reconstruct(encoded, rois, fill, img.width(),
+    res.reconstructed = reconstruct(res.encodedBands, rois, fill, img.width(),
                                     img.height(), params_.tileSize);
     res.reconstructed.info() = img.info();
     res.psnr = meanPsnr(img, res.reconstructed, capture.cloudTruth);
@@ -438,13 +440,13 @@ DownloadAllSystem::process(const synth::Capture &capture)
     raster::Bitmap noClouds(img.width(), img.height(), false);
 
     auto t2 = std::chrono::steady_clock::now();
-    std::vector<codec::EncodedImage> encoded;
-    res.downlinkBytes = encodeBands(img, noClouds, rois, params_, encoded,
+    res.downlinkBytes = encodeBands(img, noClouds, rois, params_,
+                                    res.encodedBands,
                                     res.bandDownlinkBytes);
     res.encodeSec = secondsSince(t2);
     res.downloadedTileFraction = 1.0;
 
-    res.reconstructed = reconstruct(encoded, rois, nullptr, img.width(),
+    res.reconstructed = reconstruct(res.encodedBands, rois, nullptr, img.width(),
                                     img.height(), params_.tileSize);
     res.reconstructed.info() = img.info();
     res.psnr = meanPsnr(img, res.reconstructed, capture.cloudTruth);

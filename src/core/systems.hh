@@ -53,6 +53,13 @@ struct SystemParams
     double dropCloudFraction = 0.5;
     /** Quality layers per encoded image. */
     int layers = 1;
+    /**
+     * Ground ingestion happens outside the system (the ground-segment
+     * downlink feeds the ReferenceStore when a download *completes*
+     * rather than at capture time). When set, EarthPlusSystem does not
+     * offer reconstructions to the store itself.
+     */
+    bool externalGroundIngest = false;
 };
 
 /** Everything a system reports about processing one capture. */
@@ -78,6 +85,11 @@ struct ProcessResult
     double cloudDetectSec = 0.0;
     double changeDetectSec = 0.0;
     double encodeSec = 0.0;
+    /**
+     * The encoded downlink payload, one stream per band (what the
+     * ground segment packetizes and archives). Empty when dropped.
+     */
+    std::vector<codec::EncodedImage> encodedBands;
     /** Ground-side reconstruction (empty when dropped). */
     raster::Image reconstructed;
 };

@@ -1,0 +1,344 @@
+#include "ground/archive.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "ground/crc32.hh"
+#include "util/bytes.hh"
+#include "util/logging.hh"
+
+namespace earthplus::ground {
+
+namespace {
+
+// "EPAR": archive file magic; "EPRC": record magic.
+constexpr uint32_t kFileMagic = 0x52415045;
+constexpr uint32_t kRecordMagic = 0x43525045;
+constexpr uint32_t kVersion = 1;
+
+constexpr size_t kFileHeaderBytes = 8;
+/** magic + headerCrc + 4 u32 + 2 f64 + u64 + u32. */
+constexpr size_t kRecordHeaderBytes = 52;
+
+using util::appendPod;
+using util::readPodAt;
+
+/** Record flag bits. */
+constexpr uint32_t kFlagFullDownload = 1u << 0;
+constexpr uint32_t kFlagHasReference = 1u << 1;
+
+/**
+ * Serialize a record header. The header CRC covers every field after
+ * itself, so any bit flip in the metadata is caught by the scan.
+ */
+std::vector<uint8_t>
+recordHeaderBytes(const RecordMeta &meta, uint32_t payloadCrc)
+{
+    std::vector<uint8_t> body;
+    body.reserve(kRecordHeaderBytes - 8);
+    appendPod(body, static_cast<uint32_t>(meta.locationId));
+    appendPod(body, static_cast<uint32_t>(meta.satelliteId));
+    appendPod(body, static_cast<uint32_t>(meta.band));
+    uint32_t flags = (meta.fullDownload ? kFlagFullDownload : 0u) |
+                     (meta.referenceDay >= 0.0 ? kFlagHasReference : 0u);
+    appendPod(body, flags);
+    appendPod(body, meta.captureDay);
+    appendPod(body, meta.referenceDay >= 0.0 ? meta.referenceDay : 0.0);
+    appendPod(body, meta.payloadBytes);
+    appendPod(body, payloadCrc);
+
+    std::vector<uint8_t> out;
+    out.reserve(kRecordHeaderBytes);
+    appendPod(out, kRecordMagic);
+    appendPod(out, crc32(body.data(), body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+/** Parse + validate a record header; false on any inconsistency. */
+bool
+parseRecordHeader(const uint8_t *buf, RecordEntry &entry)
+{
+    if (readPodAt<uint32_t>(buf, 0) != kRecordMagic)
+        return false;
+    uint32_t headerCrc = readPodAt<uint32_t>(buf, 4);
+    if (crc32(buf + 8, kRecordHeaderBytes - 8) != headerCrc)
+        return false;
+    RecordMeta m;
+    m.locationId = static_cast<int>(readPodAt<uint32_t>(buf, 8));
+    m.satelliteId = static_cast<int>(readPodAt<uint32_t>(buf, 12));
+    m.band = static_cast<int>(readPodAt<uint32_t>(buf, 16));
+    uint32_t flags = readPodAt<uint32_t>(buf, 20);
+    m.fullDownload = (flags & kFlagFullDownload) != 0;
+    m.captureDay = readPodAt<double>(buf, 24);
+    double refDay = readPodAt<double>(buf, 32);
+    m.referenceDay = (flags & kFlagHasReference) ? refDay : -1.0;
+    m.payloadBytes = readPodAt<uint64_t>(buf, 40);
+    entry.meta = m;
+    entry.payloadCrc = readPodAt<uint32_t>(buf, 48);
+    return true;
+}
+
+} // anonymous namespace
+
+Archive::Archive(const std::string &path)
+    : path_(path)
+{
+    if (path_.empty()) {
+        appendOffset_ = kFileHeaderBytes;
+        scanReport_.validBytes = appendOffset_;
+        return;
+    }
+    openAndScan();
+}
+
+Archive::~Archive() = default;
+
+void
+Archive::openAndScan()
+{
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    if (!f) {
+        // New archive: write the file header.
+        f = std::fopen(path_.c_str(), "wb");
+        if (!f)
+            fatal("cannot create archive '%s'", path_.c_str());
+        std::vector<uint8_t> header;
+        appendPod(header, kFileMagic);
+        appendPod(header, kVersion);
+        if (std::fwrite(header.data(), 1, header.size(), f) !=
+            header.size())
+            fatal("cannot write archive header to '%s'", path_.c_str());
+        std::fclose(f);
+        appendOffset_ = kFileHeaderBytes;
+        scanReport_.validBytes = appendOffset_;
+        return;
+    }
+
+    uint8_t fileHeader[kFileHeaderBytes];
+    if (std::fread(fileHeader, 1, kFileHeaderBytes, f) !=
+            kFileHeaderBytes ||
+        readPodAt<uint32_t>(fileHeader, 0) != kFileMagic)
+        fatal("'%s' is not an Earth+ archive", path_.c_str());
+    uint32_t version = readPodAt<uint32_t>(fileHeader, 4);
+    if (version != kVersion)
+        fatal("archive '%s' has unsupported version %u", path_.c_str(),
+              version);
+
+    // Scan records until the end of the file or the first corrupt /
+    // truncated record; everything before it stays usable.
+    uint64_t pos = kFileHeaderBytes;
+    for (;;) {
+        uint8_t buf[kRecordHeaderBytes];
+        if (std::fseek(f, static_cast<long>(pos), SEEK_SET) != 0)
+            break;
+        size_t got = std::fread(buf, 1, kRecordHeaderBytes, f);
+        if (got == 0)
+            break; // clean end of file
+        if (got < kRecordHeaderBytes) {
+            scanReport_.truncatedTail = true;
+            break;
+        }
+        RecordEntry entry;
+        if (!parseRecordHeader(buf, entry)) {
+            scanReport_.truncatedTail = true;
+            break;
+        }
+        entry.payloadOffset = pos + kRecordHeaderBytes;
+        // The payload must fit in the file and match its CRC; a bad
+        // tail payload means the append was cut short.
+        std::vector<uint8_t> payload(entry.meta.payloadBytes);
+        size_t gotPayload = payload.empty()
+            ? 0
+            : std::fread(payload.data(), 1, payload.size(), f);
+        if (gotPayload != payload.size() ||
+            crc32(payload.data(), payload.size()) != entry.payloadCrc) {
+            scanReport_.truncatedTail = true;
+            break;
+        }
+        size_t idx = records_.size();
+        records_.push_back(entry);
+        index_[{entry.meta.locationId, entry.meta.band}].push_back(idx);
+        pos += kRecordHeaderBytes + entry.meta.payloadBytes;
+    }
+    std::fclose(f);
+
+    appendOffset_ = pos;
+    scanReport_.recordCount = records_.size();
+    scanReport_.validBytes = pos;
+    if (scanReport_.truncatedTail) {
+        // Drop the garbage so the next append starts on a clean tail.
+        warn("archive '%s': discarding corrupt tail after %llu bytes "
+             "(%zu records recovered)", path_.c_str(),
+             static_cast<unsigned long long>(pos), records_.size());
+        std::vector<uint8_t> prefix(pos);
+        std::FILE *in = std::fopen(path_.c_str(), "rb");
+        if (!in)
+            fatal("cannot reopen archive '%s'", path_.c_str());
+        size_t n = std::fread(prefix.data(), 1, prefix.size(), in);
+        std::fclose(in);
+        std::FILE *out = std::fopen(path_.c_str(), "wb");
+        if (!out || std::fwrite(prefix.data(), 1, n, out) != n)
+            fatal("cannot rewrite archive '%s'", path_.c_str());
+        std::fclose(out);
+    }
+}
+
+void
+Archive::appendRecordBytes(const RecordMeta &meta, uint32_t payloadCrc,
+                           const std::vector<uint8_t> &payload)
+{
+    if (path_.empty()) {
+        memPayloads_.push_back(payload);
+        appendOffset_ += kRecordHeaderBytes + payload.size();
+        return;
+    }
+    std::FILE *f = std::fopen(path_.c_str(), "rb+");
+    if (!f)
+        fatal("cannot open archive '%s' for append", path_.c_str());
+    std::vector<uint8_t> header = recordHeaderBytes(meta, payloadCrc);
+    bool ok =
+        std::fseek(f, static_cast<long>(appendOffset_), SEEK_SET) == 0 &&
+        std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+        (payload.empty() ||
+         std::fwrite(payload.data(), 1, payload.size(), f) ==
+             payload.size());
+    std::fclose(f);
+    if (!ok)
+        fatal("append to archive '%s' failed", path_.c_str());
+    appendOffset_ += header.size() + payload.size();
+}
+
+size_t
+Archive::append(const RecordMeta &meta, const std::vector<uint8_t> &payload)
+{
+    RecordEntry entry;
+    entry.meta = meta;
+    entry.meta.payloadBytes = payload.size();
+    entry.payloadCrc = crc32(payload.data(), payload.size());
+    entry.payloadOffset = appendOffset_ + kRecordHeaderBytes;
+
+    appendRecordBytes(entry.meta, entry.payloadCrc, payload);
+
+    size_t idx = records_.size();
+    records_.push_back(entry);
+    index_[{meta.locationId, meta.band}].push_back(idx);
+    return idx;
+}
+
+const RecordEntry &
+Archive::record(size_t idx) const
+{
+    EP_ASSERT(idx < records_.size(), "record index %zu out of range "
+              "(%zu records)", idx, records_.size());
+    return records_[idx];
+}
+
+std::vector<size_t>
+Archive::chain(int locationId, int band) const
+{
+    auto it = index_.find({locationId, band});
+    return it == index_.end() ? std::vector<size_t>() : it->second;
+}
+
+std::vector<std::pair<int, int>>
+Archive::keys() const
+{
+    std::vector<std::pair<int, int>> out;
+    out.reserve(index_.size());
+    for (const auto &[key, ids] : index_)
+        out.push_back(key);
+    return out;
+}
+
+std::vector<uint8_t>
+Archive::loadPayload(size_t idx) const
+{
+    const RecordEntry &entry = record(idx);
+    if (path_.empty())
+        return memPayloads_[idx];
+
+    std::vector<uint8_t> payload(entry.meta.payloadBytes);
+    // A private handle per call keeps concurrent tile-server reads
+    // free of shared seek state.
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    if (!f)
+        fatal("cannot open archive '%s'", path_.c_str());
+    bool ok = std::fseek(f, static_cast<long>(entry.payloadOffset),
+                         SEEK_SET) == 0 &&
+              (payload.empty() ||
+               std::fread(payload.data(), 1, payload.size(), f) ==
+                   payload.size());
+    std::fclose(f);
+    if (!ok)
+        fatal("archive '%s': record %zu payload unreadable",
+              path_.c_str(), idx);
+    if (crc32(payload.data(), payload.size()) != entry.payloadCrc)
+        fatal("archive '%s': record %zu payload CRC mismatch",
+              path_.c_str(), idx);
+    return payload;
+}
+
+uint64_t
+Archive::compact()
+{
+    // Keep, per (location, band), everything captured at or after the
+    // latest full download. "Latest" is by capture day, not append
+    // order: ARQ can complete downloads out of capture order, so a
+    // small delta captured after a big full download may sit *before*
+    // it in the file.
+    std::vector<uint8_t> keep(records_.size(), 1);
+    for (const auto &[key, ids] : index_) {
+        double lastFullDay = -std::numeric_limits<double>::infinity();
+        for (size_t id : ids)
+            if (records_[id].meta.fullDownload)
+                lastFullDay = std::max(lastFullDay,
+                                       records_[id].meta.captureDay);
+        for (size_t id : ids)
+            if (records_[id].meta.captureDay < lastFullDay)
+                keep[id] = 0;
+    }
+
+    uint64_t before = fileBytes();
+    std::vector<std::vector<uint8_t>> payloads;
+    payloads.reserve(records_.size());
+    for (size_t i = 0; i < records_.size(); ++i)
+        payloads.push_back(keep[i] ? loadPayload(i)
+                                   : std::vector<uint8_t>());
+    std::vector<RecordEntry> oldRecords = std::move(records_);
+
+    // Reset and re-append the surviving records in order.
+    records_.clear();
+    index_.clear();
+    memPayloads_.clear();
+    appendOffset_ = kFileHeaderBytes;
+    if (!path_.empty()) {
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        if (!f)
+            fatal("cannot rewrite archive '%s'", path_.c_str());
+        std::vector<uint8_t> header;
+        appendPod(header, kFileMagic);
+        appendPod(header, kVersion);
+        if (std::fwrite(header.data(), 1, header.size(), f) !=
+            header.size())
+            fatal("cannot write archive header to '%s'", path_.c_str());
+        std::fclose(f);
+    }
+    for (size_t i = 0; i < oldRecords.size(); ++i)
+        if (keep[i])
+            append(oldRecords[i].meta, payloads[i]);
+
+    scanReport_.recordCount = records_.size();
+    scanReport_.validBytes = appendOffset_;
+    return before - fileBytes();
+}
+
+uint64_t
+Archive::fileBytes() const
+{
+    return appendOffset_;
+}
+
+} // namespace earthplus::ground

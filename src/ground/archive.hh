@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Persistent archive of downloaded encoded imagery.
+ *
+ * The ground segment must keep every downloaded `EncodedImage` delta
+ * and its reference lineage — reconstruction of a (location, day,
+ * band) needs the latest full download plus all deltas since, and a
+ * production archive survives process restarts. This is an
+ * append-only container file:
+ *
+ *   file   := fileHeader record*
+ *   header := magic "EPAR" | version u32
+ *   record := recordMagic "EPRC" | headerCrc u32 | locationId u32 |
+ *             satelliteId u32 | band u32 | flags u32 | captureDay f64 |
+ *             referenceDay f64 | payloadBytes u64 | payloadCrc u32 |
+ *             payload bytes
+ *
+ * Appends go to the end of the file; open() scans the file to rebuild
+ * the in-memory index and is corruption-tolerant: a truncated or
+ * corrupt tail record stops the scan, the valid prefix stays usable,
+ * and the next append rewinds over the garbage. Payloads are read
+ * back lazily (the index holds offsets, not bytes) and verified
+ * against their CRC on load. compact() drops records captured before
+ * the latest full download of their (location, band) — queries for the
+ * pruned days stop resolving, which is the storage/history trade-off
+ * compaction exists to make.
+ *
+ * An Archive constructed with an empty path is memory-backed: same
+ * API and index, no persistence (used by simulations that do not need
+ * a file on disk).
+ */
+
+#ifndef EARTHPLUS_GROUND_ARCHIVE_HH
+#define EARTHPLUS_GROUND_ARCHIVE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace earthplus::ground {
+
+/** Metadata of one archived download (one band of one capture). */
+struct RecordMeta
+{
+    int locationId = 0;
+    int satelliteId = 0;
+    int band = 0;
+    /** Capture time in days. */
+    double captureDay = 0.0;
+    /**
+     * Capture day of the reference this delta was encoded against
+     * (< 0 when the record is self-contained).
+     */
+    double referenceDay = -1.0;
+    /** Full download: decodes without consulting earlier records. */
+    bool fullDownload = false;
+    /** Serialized EncodedImage size in bytes. */
+    uint64_t payloadBytes = 0;
+};
+
+/** Index entry: metadata plus where the payload lives. */
+struct RecordEntry
+{
+    RecordMeta meta;
+    /** Byte offset of the payload within the archive file. */
+    uint64_t payloadOffset = 0;
+    /** CRC32 of the payload bytes. */
+    uint32_t payloadCrc = 0;
+};
+
+/** Outcome of opening an archive file. */
+struct ScanReport
+{
+    /** Records recovered from the valid prefix. */
+    size_t recordCount = 0;
+    /** Bytes of the valid prefix (next append position). */
+    uint64_t validBytes = 0;
+    /** True when a corrupt/truncated tail was discarded. */
+    bool truncatedTail = false;
+};
+
+/**
+ * Append-only archive of encoded downloads with an in-memory index.
+ *
+ * Append and read are thread-compatible: append() must not race with
+ * anything, loadPayload() may be called concurrently from the tile
+ * server's worker threads.
+ */
+class Archive
+{
+  public:
+    /**
+     * Open (or create) an archive.
+     *
+     * @param path File path; empty for a memory-backed archive.
+     */
+    explicit Archive(const std::string &path);
+
+    ~Archive();
+
+    Archive(const Archive &) = delete;
+    Archive &operator=(const Archive &) = delete;
+
+    /** Result of the open()-time scan. */
+    const ScanReport &scanReport() const { return scanReport_; }
+
+    /**
+     * Append one record.
+     *
+     * @param meta Record metadata (payloadBytes is overwritten).
+     * @param payload Serialized EncodedImage bytes.
+     * @return Index of the new record.
+     */
+    size_t append(const RecordMeta &meta,
+                  const std::vector<uint8_t> &payload);
+
+    /** Number of indexed records. */
+    size_t recordCount() const { return records_.size(); }
+
+    /** Metadata + location of record `idx`. */
+    const RecordEntry &record(size_t idx) const;
+
+    /**
+     * Indices of records for one (location, band), in append order.
+     * Append order is download-completion order — ARQ retransmission
+     * can complete captures out of capture order, so consumers that
+     * need day order (the tile server) sort by RecordMeta::captureDay.
+     */
+    std::vector<size_t> chain(int locationId, int band) const;
+
+    /** All (location, band) keys present in the archive. */
+    std::vector<std::pair<int, int>> keys() const;
+
+    /**
+     * Load and CRC-verify the payload of record `idx`.
+     *
+     * fatal()s when the stored bytes no longer match their CRC (disk
+     * corruption after the open()-time scan).
+     */
+    std::vector<uint8_t> loadPayload(size_t idx) const;
+
+    /**
+     * Rewrite the archive keeping, for each (location, band), only the
+     * records captured at or after its latest full download ("latest"
+     * by capture day — append order can differ under ARQ).
+     *
+     * This intentionally prunes history: queries for days before a
+     * chain's latest full download stop resolving after a compact.
+     * Record indices are reassigned, so anything holding indices into
+     * this archive (a TileServer and its caches in particular) must be
+     * discarded and rebuilt — do not compact while serving.
+     *
+     * @return Bytes reclaimed.
+     */
+    uint64_t compact();
+
+    /** Archive file size in bytes (index + payloads, header included). */
+    uint64_t fileBytes() const;
+
+    /** Path backing this archive (empty = memory-backed). */
+    const std::string &path() const { return path_; }
+
+  private:
+    void openAndScan();
+    void appendRecordBytes(const RecordMeta &meta, uint32_t payloadCrc,
+                           const std::vector<uint8_t> &payload);
+
+    std::string path_;
+    /** Payload bytes for the memory-backed mode, indexed as records_. */
+    std::vector<std::vector<uint8_t>> memPayloads_;
+    std::vector<RecordEntry> records_;
+    std::map<std::pair<int, int>, std::vector<size_t>> index_;
+    ScanReport scanReport_;
+    uint64_t appendOffset_ = 0;
+};
+
+} // namespace earthplus::ground
+
+#endif // EARTHPLUS_GROUND_ARCHIVE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3) checksum.
+ *
+ * Integrity primitive shared by the downlink packet framing and the
+ * on-disk archive format: every payload that crosses the space-ground
+ * boundary or the memory-disk boundary carries a CRC so corruption is
+ * detected instead of decoded as garbage.
+ */
+
+#ifndef EARTHPLUS_GROUND_CRC32_HH
+#define EARTHPLUS_GROUND_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace earthplus::ground {
+
+/**
+ * CRC-32 of a byte range (IEEE 802.3 polynomial, reflected,
+ * initial/final XOR 0xFFFFFFFF — the zlib/Ethernet convention, so
+ * crc32("123456789") == 0xCBF43926).
+ */
+uint32_t crc32(const uint8_t *data, size_t size);
+
+/** Incremental variant: feed `prev` the previous return value. */
+uint32_t crc32Update(uint32_t prev, const uint8_t *data, size_t size);
+
+} // namespace earthplus::ground
+
+#endif // EARTHPLUS_GROUND_CRC32_HH

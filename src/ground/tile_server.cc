@@ -1,0 +1,293 @@
+#include "ground/tile_server.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "codec/codec.hh"
+#include "raster/tile.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace earthplus::ground {
+
+DecodedTileCache::DecodedTileCache(size_t capacityBytes)
+    : shardCapacityBytes_(capacityBytes / kShards)
+{
+}
+
+DecodedTileCache::Shard &
+DecodedTileCache::shardFor(const Key &key)
+{
+    size_t h = std::hash<size_t>()(std::get<0>(key)) ^
+               std::hash<int>()(std::get<1>(key)) * 0x9e3779b9u;
+    return shards_[h % kShards];
+}
+
+bool
+DecodedTileCache::get(size_t recordIdx, int tile, int maxLayers,
+                      raster::Plane &out)
+{
+    Key key{recordIdx, tile, maxLayers};
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end())
+        return false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    out = it->second->pixels;
+    return true;
+}
+
+void
+DecodedTileCache::put(size_t recordIdx, int tile, int maxLayers,
+                      const raster::Plane &pixels)
+{
+    size_t bytes = static_cast<size_t>(pixels.width()) *
+                   static_cast<size_t>(pixels.height()) * sizeof(float);
+    if (bytes > shardCapacityBytes_)
+        return; // larger than a whole shard; never cacheable
+    Key key{recordIdx, tile, maxLayers};
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.count(key))
+        return; // another thread filled it first
+    shard.lru.push_front(Entry{key, pixels, bytes});
+    shard.map[key] = shard.lru.begin();
+    shard.sizeBytes += bytes;
+    while (shard.sizeBytes > shardCapacityBytes_ && !shard.lru.empty()) {
+        Entry &victim = shard.lru.back();
+        shard.sizeBytes -= victim.bytes;
+        shard.map.erase(victim.key);
+        shard.lru.pop_back();
+        ++shard.evictions;
+    }
+}
+
+size_t
+DecodedTileCache::sizeBytes() const
+{
+    size_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.sizeBytes;
+    }
+    return total;
+}
+
+uint64_t
+DecodedTileCache::evictions() const
+{
+    uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.evictions;
+    }
+    return total;
+}
+
+TileServer::TileServer(const Archive &archive, size_t cacheBytes)
+    : archive_(archive), cache_(cacheBytes)
+{
+}
+
+const TileServer::StreamInfo *
+TileServer::findInfo(size_t recordIdx) const
+{
+    std::lock_guard<std::mutex> lock(infoMutex_);
+    auto it = info_.find(recordIdx);
+    return it == info_.end() ? nullptr : &it->second;
+}
+
+const TileServer::StreamInfo &
+TileServer::rememberInfo(size_t recordIdx,
+                         const codec::EncodedImage &stream)
+{
+    StreamInfo parsed;
+    parsed.width = stream.width;
+    parsed.height = stream.height;
+    parsed.tileSize = stream.tileSize;
+    parsed.tileCoded = stream.tileCoded;
+    std::lock_guard<std::mutex> lock(infoMutex_);
+    return info_.emplace(recordIdx, std::move(parsed)).first->second;
+}
+
+TileResult
+TileServer::serve(const TileQuery &query)
+{
+    TileResult result;
+
+    // Resolve the delta chain: records at or before the query day,
+    // starting from the latest full download among them. Append order
+    // is download-*completion* order, which ARQ retransmissions can
+    // reorder relative to capture order, so sort by capture day.
+    std::vector<size_t> chain = archive_.chain(query.locationId,
+                                               query.band);
+    std::vector<size_t> relevant;
+    for (size_t idx : chain)
+        if (archive_.record(idx).meta.captureDay <= query.day)
+            relevant.push_back(idx);
+    if (relevant.empty()) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.queries;
+        return result;
+    }
+    std::stable_sort(relevant.begin(), relevant.end(),
+                     [this](size_t a, size_t b) {
+                         return archive_.record(a).meta.captureDay <
+                                archive_.record(b).meta.captureDay;
+                     });
+    size_t firstUseful = 0;
+    for (size_t i = 0; i < relevant.size(); ++i)
+        if (archive_.record(relevant[i]).meta.fullDownload)
+            firstUseful = i;
+    relevant.erase(relevant.begin(),
+                   relevant.begin() + static_cast<ptrdiff_t>(firstUseful));
+
+    // Memoized stream geometry: no payload I/O on the warm path. A
+    // record parsed cold here is kept for this query, so the miss
+    // branch below does not load + parse the same payload twice.
+    std::map<size_t, codec::EncodedImage> parsedThisQuery;
+    std::vector<const StreamInfo *> infos;
+    infos.reserve(relevant.size());
+    for (size_t idx : relevant) {
+        if (const StreamInfo *hit = findInfo(idx)) {
+            infos.push_back(hit);
+            continue;
+        }
+        // Parse outside the info lock; concurrent first touches of
+        // the same record both parse, the second insert is a no-op.
+        codec::EncodedImage stream = codec::EncodedImage::deserialize(
+            archive_.loadPayload(idx));
+        infos.push_back(&rememberInfo(idx, stream));
+        parsedThisQuery.emplace(idx, std::move(stream));
+    }
+    const StreamInfo &newest = *infos.back();
+    raster::TileGrid grid(newest.width, newest.height, newest.tileSize);
+    for (const StreamInfo *info : infos)
+        EP_ASSERT(info->width == newest.width &&
+                      info->height == newest.height &&
+                      info->tileSize == newest.tileSize,
+                  "archive chain mixes geometries for location %d band %d",
+                  query.locationId, query.band);
+
+    // Clip the request to the image.
+    int x0 = std::max(query.x0, 0);
+    int y0 = std::max(query.y0, 0);
+    int x1 = std::min(query.x0 + query.width, newest.width);
+    int y1 = std::min(query.y0 + query.height, newest.height);
+    if (x0 >= x1 || y0 >= y1) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.queries;
+        return result;
+    }
+
+    result.found = true;
+    result.pixels = raster::Plane(x1 - x0, y1 - y0, 0.0f);
+
+    // Newest record wins per tile: walk streams newest -> oldest and
+    // pick the first that coded the tile.
+    int tx0 = x0 / newest.tileSize;
+    int ty0 = y0 / newest.tileSize;
+    int tx1 = (x1 - 1) / newest.tileSize;
+    int ty1 = (y1 - 1) / newest.tileSize;
+    // Tiles wanted from each stream (by relevant-chain position).
+    std::vector<std::vector<int>> wanted(relevant.size());
+    for (int ty = ty0; ty <= ty1; ++ty) {
+        for (int tx = tx0; tx <= tx1; ++tx) {
+            int t = grid.tileIndex(tx, ty);
+            for (size_t s = relevant.size(); s-- > 0;) {
+                if (infos[s]->tileCoded[static_cast<size_t>(t)]) {
+                    wanted[s].push_back(t);
+                    result.servedDay = std::max(
+                        result.servedDay,
+                        archive_.record(relevant[s]).meta.captureDay);
+                    break;
+                }
+            }
+        }
+    }
+
+    for (size_t s = 0; s < relevant.size(); ++s) {
+        if (wanted[s].empty())
+            continue;
+        size_t recordIdx = relevant[s];
+        // Serve cached tiles; collect the rest for one batched decode.
+        std::vector<int> misses;
+        std::vector<std::pair<int, raster::Plane>> tiles;
+        for (int t : wanted[s]) {
+            raster::Plane cached;
+            if (cache_.get(recordIdx, t, query.maxLayers, cached)) {
+                tiles.emplace_back(t, std::move(cached));
+                ++result.tilesFromCache;
+            } else {
+                misses.push_back(t);
+            }
+        }
+        if (!misses.empty()) {
+            // Only a miss pays for payload load + stream parse, and a
+            // stream already parsed for geometry this query is reused.
+            auto itParsed = parsedThisQuery.find(recordIdx);
+            codec::EncodedImage local;
+            const codec::EncodedImage *stream;
+            if (itParsed != parsedThisQuery.end()) {
+                stream = &itParsed->second;
+            } else {
+                local = codec::EncodedImage::deserialize(
+                    archive_.loadPayload(recordIdx));
+                stream = &local;
+            }
+            auto decoded = codec::decodeTiles(*stream, misses,
+                                              query.maxLayers);
+            for (size_t i = 0; i < misses.size(); ++i) {
+                cache_.put(recordIdx, misses[i], query.maxLayers,
+                           decoded[i]);
+                tiles.emplace_back(misses[i], std::move(decoded[i]));
+                ++result.tilesDecoded;
+            }
+        }
+        for (auto &[t, pixels] : tiles) {
+            raster::TileRect r = grid.rect(t);
+            // Intersection of this tile with the clipped request.
+            int ix0 = std::max(r.x0, x0);
+            int iy0 = std::max(r.y0, y0);
+            int ix1 = std::min(r.x0 + r.width, x1);
+            int iy1 = std::min(r.y0 + r.height, y1);
+            if (ix0 >= ix1 || iy0 >= iy1)
+                continue;
+            result.pixels.paste(pixels.crop(ix0 - r.x0, iy0 - r.y0,
+                                            ix1 - ix0, iy1 - iy0),
+                                ix0 - x0, iy0 - y0);
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++stats_.queries;
+    stats_.tilesDecoded += static_cast<uint64_t>(result.tilesDecoded);
+    stats_.tilesFromCache += static_cast<uint64_t>(result.tilesFromCache);
+    stats_.cacheEvictions = cache_.evictions();
+    return result;
+}
+
+std::vector<TileResult>
+TileServer::serveBatch(const std::vector<TileQuery> &batch)
+{
+    return util::parallelMap(batch.size(), [&](size_t i) {
+        return serve(batch[i]);
+    });
+}
+
+ServerStats
+TileServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+void
+TileServer::resetStats()
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    stats_ = ServerStats{};
+}
+
+} // namespace earthplus::ground

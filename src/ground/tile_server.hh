@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Decode-on-demand tile server over the encoded archive.
+ *
+ * Consumers of the ground segment do not want whole downloads — they
+ * ask for "this field, that day, band 3" (a tile rectangle). Decoding
+ * the full delta chain per request would be prohibitively expensive
+ * at serving scale, so the server:
+ *
+ *  - resolves a (location, day, band) to its delta chain: the latest
+ *    full download at or before the day, plus every delta after it,
+ *    newest record wins per tile;
+ *  - decodes only the tiles intersecting the requested rectangle
+ *    (codec::decodeTiles — tiles are self-contained sub-chunks);
+ *  - keeps decoded tiles in a size-bounded LRU cache shared by all
+ *    queries, so a warm working set serves from memory;
+ *  - executes batches fanned across the util::parallel thread pool
+ *    (serveBatch), the serving-throughput path bench_ground_serving
+ *    measures.
+ */
+
+#ifndef EARTHPLUS_GROUND_TILE_SERVER_HH
+#define EARTHPLUS_GROUND_TILE_SERVER_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "ground/archive.hh"
+#include "raster/plane.hh"
+
+namespace earthplus::codec {
+struct EncodedImage;
+}
+
+namespace earthplus::ground {
+
+/** One tile-rectangle request. */
+struct TileQuery
+{
+    int locationId = 0;
+    /** Serve the image state as of this day. */
+    double day = 0.0;
+    int band = 0;
+    /** Requested pixel rectangle (clipped to the image). */
+    int x0 = 0;
+    int y0 = 0;
+    int width = 0;
+    int height = 0;
+    /** Decode only the first maxLayers quality layers (-1 = all). */
+    int maxLayers = -1;
+};
+
+/** Answer to one TileQuery. */
+struct TileResult
+{
+    /** False when no archived download covers the query. */
+    bool found = false;
+    /** Requested pixels (clipped rectangle, zero-filled where no
+     *  record ever covered a tile). */
+    raster::Plane pixels;
+    /** Capture day of the newest record that contributed. */
+    double servedDay = 0.0;
+    /** Tiles whose decode ran for this query (cache misses). */
+    int tilesDecoded = 0;
+    /** Tiles served from the decoded-tile cache. */
+    int tilesFromCache = 0;
+};
+
+/** Aggregate serving statistics. */
+struct ServerStats
+{
+    uint64_t queries = 0;
+    uint64_t tilesDecoded = 0;
+    uint64_t tilesFromCache = 0;
+    uint64_t cacheEvictions = 0;
+
+    /** Warm-cache effectiveness in [0, 1]. */
+    double hitRate() const
+    {
+        uint64_t total = tilesDecoded + tilesFromCache;
+        return total ? static_cast<double>(tilesFromCache) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * Size-bounded LRU cache of decoded tiles, keyed by
+ * (record index, tile index, layer count). Thread-safe; internally
+ * sharded by key hash so concurrent serving threads do not contend on
+ * one mutex (each shard owns an equal slice of the byte budget and
+ * its own LRU list).
+ */
+class DecodedTileCache
+{
+  public:
+    /** @param capacityBytes Pixel-storage budget (0 disables caching). */
+    explicit DecodedTileCache(size_t capacityBytes);
+
+    /** Look up a decoded tile; true and fills `out` on a hit. */
+    bool get(size_t recordIdx, int tile, int maxLayers,
+             raster::Plane &out);
+
+    /** Insert a decoded tile, evicting LRU entries over budget. */
+    void put(size_t recordIdx, int tile, int maxLayers,
+             const raster::Plane &pixels);
+
+    /** Bytes currently cached. */
+    size_t sizeBytes() const;
+
+    /** Entries evicted so far. */
+    uint64_t evictions() const;
+
+  private:
+    static constexpr size_t kShards = 8;
+
+    using Key = std::tuple<size_t, int, int>;
+    struct Entry
+    {
+        Key key;
+        raster::Plane pixels;
+        size_t bytes;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<Entry> lru; // front = most recent
+        std::map<Key, std::list<Entry>::iterator> map;
+        size_t sizeBytes = 0;
+        uint64_t evictions = 0;
+    };
+
+    Shard &shardFor(const Key &key);
+
+    size_t shardCapacityBytes_;
+    Shard shards_[kShards];
+};
+
+/**
+ * Serves tile queries from an Archive.
+ */
+class TileServer
+{
+  public:
+    /**
+     * @param archive Archive to serve from (must outlive the server).
+     *        The server memoizes stream geometry and decoded tiles by
+     *        record index; appends are fine (new indices), but
+     *        Archive::compact() reassigns indices — discard the
+     *        server and build a fresh one after compacting.
+     * @param cacheBytes Decoded-tile cache budget in bytes.
+     */
+    TileServer(const Archive &archive, size_t cacheBytes = 64u << 20);
+
+    /** Answer one query. Thread-safe. */
+    TileResult serve(const TileQuery &query);
+
+    /**
+     * Answer a batch of queries, fanned across the global thread pool;
+     * results are returned in query order.
+     */
+    std::vector<TileResult> serveBatch(const std::vector<TileQuery> &batch);
+
+    /** Aggregate statistics since construction. */
+    ServerStats stats() const;
+
+    /** Reset aggregate statistics (cache contents are kept). */
+    void resetStats();
+
+  private:
+    /**
+     * Memoized per-record stream geometry (dimensions + coded-tile
+     * flags), so warm-path queries resolve which record serves each
+     * tile without re-reading or re-parsing archive payloads.
+     */
+    struct StreamInfo
+    {
+        int width = 0;
+        int height = 0;
+        int tileSize = 0;
+        std::vector<uint8_t> tileCoded;
+    };
+
+    /** Memoized geometry for a record, or null when not yet parsed. */
+    const StreamInfo *findInfo(size_t recordIdx) const;
+
+    /** Memoize geometry extracted from an already-parsed stream. */
+    const StreamInfo &rememberInfo(size_t recordIdx,
+                                   const codec::EncodedImage &stream);
+
+    const Archive &archive_;
+    DecodedTileCache cache_;
+    mutable std::mutex infoMutex_;
+    std::map<size_t, StreamInfo> info_;
+    mutable std::mutex statsMutex_;
+    ServerStats stats_;
+};
+
+} // namespace earthplus::ground
+
+#endif // EARTHPLUS_GROUND_TILE_SERVER_HH

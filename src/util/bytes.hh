@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Little-endian POD byte (de)serialization helpers.
+ *
+ * Shared by every wire/file format in the library (codec streams,
+ * downlink packets, the ground archive) so byte-layout-critical code
+ * lives in exactly one place. All formats assume a little-endian host
+ * (the only targets this library builds for); memcpy keeps the
+ * accesses alignment-safe and sanitizer-clean.
+ */
+
+#ifndef EARTHPLUS_UTIL_BYTES_HH
+#define EARTHPLUS_UTIL_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace earthplus::util {
+
+/** Append the raw bytes of a POD value to `out`. */
+template <typename T>
+inline void
+appendPod(std::vector<uint8_t> &out, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "appendPod requires a trivially copyable type");
+    const auto *p = reinterpret_cast<const uint8_t *>(&v);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+/**
+ * Read a POD value at byte offset `pos`. The caller bounds-checks;
+ * this is the raw accessor used after a buffer's size is validated.
+ */
+template <typename T>
+inline T
+readPodAt(const uint8_t *in, size_t pos)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "readPodAt requires a trivially copyable type");
+    T v;
+    std::memcpy(&v, in + pos, sizeof(T));
+    return v;
+}
+
+} // namespace earthplus::util
+
+#endif // EARTHPLUS_UTIL_BYTES_HH

@@ -1,0 +1,766 @@
+/**
+ * @file
+ * Tests for the ground segment: CRC32, packet framing/reassembly, the
+ * lossy ARQ downlink channel, the persistent encoded archive
+ * (including corruption recovery), the decode-on-demand tile server,
+ * and the end-to-end downlink -> archive -> serve path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "codec/codec.hh"
+#include "core/simulation.hh"
+#include "ground/archive.hh"
+#include "ground/crc32.hh"
+#include "ground/packet.hh"
+#include "ground/station.hh"
+#include "ground/tile_server.hh"
+#include "raster/metrics.hh"
+#include "synth/dataset.hh"
+#include "util/rng.hh"
+
+using namespace earthplus;
+using namespace earthplus::ground;
+
+namespace {
+
+/** Temp file path that cleans up after itself. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {
+        std::remove(path_.c_str());
+    }
+
+    ~TempPath() { std::remove(path_.c_str()); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Deterministic pseudo-random payload. */
+std::vector<uint8_t>
+randomPayload(size_t size, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out(size);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    return out;
+}
+
+/** Natural-image-like test content. */
+raster::Plane
+testPlane(int w, int h, uint64_t seed)
+{
+    raster::Plane p(w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = 0.5f +
+                         0.3f * std::sin(x * 0.05f) * std::cos(y * 0.07f) +
+                         static_cast<float>(rng.normal(0.0, 0.01));
+    p.clampTo(0.0f, 1.0f);
+    return p;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ crc32
+
+TEST(Crc32, KnownVector)
+{
+    // The canonical IEEE 802.3 check value.
+    const char *s = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const uint8_t *>(s), 9), 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    auto payload = randomPayload(1000, 7);
+    uint32_t oneShot = crc32(payload.data(), payload.size());
+    uint32_t inc = crc32(payload.data(), 400);
+    inc = crc32Update(inc, payload.data() + 400, 600);
+    EXPECT_EQ(inc, oneShot);
+}
+
+// ---------------------------------------------------------------- packets
+
+TEST(Packet, RoundTripAllInOrder)
+{
+    auto payload = randomPayload(10000, 1);
+    auto packets = packetize(42, payload, 1024);
+    EXPECT_EQ(packets.size(), 10u); // ceil(10000/1024)
+
+    StreamReassembler rx(42);
+    for (const auto &p : packets)
+        EXPECT_EQ(rx.accept(p), PacketVerdict::Accepted);
+    EXPECT_TRUE(rx.complete());
+    EXPECT_EQ(rx.payload(), payload);
+}
+
+TEST(Packet, OutOfOrderAndDuplicates)
+{
+    auto payload = randomPayload(5000, 2);
+    auto packets = packetize(7, payload, 512);
+    StreamReassembler rx(7);
+    for (size_t i = packets.size(); i-- > 0;)
+        EXPECT_EQ(rx.accept(packets[i]), PacketVerdict::Accepted);
+    EXPECT_EQ(rx.accept(packets[0]), PacketVerdict::Duplicate);
+    EXPECT_TRUE(rx.complete());
+    EXPECT_EQ(rx.payload(), payload);
+}
+
+TEST(Packet, EmptyPayloadStillCompletes)
+{
+    auto packets = packetize(1, {}, 256);
+    ASSERT_EQ(packets.size(), 1u);
+    StreamReassembler rx(1);
+    EXPECT_EQ(rx.accept(packets[0]), PacketVerdict::Accepted);
+    EXPECT_TRUE(rx.complete());
+    EXPECT_TRUE(rx.payload().empty());
+}
+
+TEST(Packet, CorruptPayloadIsDropped)
+{
+    auto payload = randomPayload(2000, 3);
+    auto packets = packetize(9, payload, 500);
+    // Flip one payload byte of packet 2: CRC must catch it.
+    packets[2][kPacketHeaderBytes + 10] ^= 0xFF;
+    StreamReassembler rx(9);
+    EXPECT_EQ(rx.accept(packets[2]), PacketVerdict::BadPayloadCrc);
+    EXPECT_EQ(rx.receivedCount(), 0u);
+}
+
+TEST(Packet, CorruptHeaderIsRejected)
+{
+    auto payload = randomPayload(100, 4);
+    auto packets = packetize(9, payload, 500);
+    auto bad = packets[0];
+    bad[5] ^= 0x01; // streamId byte: header CRC mismatch
+    StreamReassembler rx(9);
+    EXPECT_EQ(rx.accept(bad), PacketVerdict::BadHeader);
+
+    auto truncated = packets[0];
+    truncated.resize(kPacketHeaderBytes - 4);
+    EXPECT_EQ(rx.accept(truncated), PacketVerdict::BadHeader);
+
+    EXPECT_EQ(rx.accept(packets[0]), PacketVerdict::Accepted);
+}
+
+TEST(Packet, WrongStreamRejected)
+{
+    auto packets = packetize(5, randomPayload(100, 5), 64);
+    StreamReassembler rx(6);
+    EXPECT_EQ(rx.accept(packets[0]), PacketVerdict::WrongStream);
+}
+
+TEST(Packet, MissingSeqsNamesTheGaps)
+{
+    auto payload = randomPayload(4000, 6);
+    auto packets = packetize(3, payload, 1000);
+    ASSERT_EQ(packets.size(), 4u);
+    StreamReassembler rx(3);
+    rx.accept(packets[0]);
+    rx.accept(packets[3]);
+    EXPECT_EQ(rx.missingSeqs(), (std::vector<uint32_t>{1, 2}));
+}
+
+// ---------------------------------------------------------------- channel
+
+TEST(DownlinkChannel, LosslessDeliversFirstContact)
+{
+    ChannelParams cp;
+    cp.payloadBytesPerPacket = 256;
+    cp.lossProbability = 0.0;
+    cp.bytesPerContact = 1e9;
+    DownlinkChannel ch(cp);
+    auto payload = randomPayload(10000, 8);
+    uint32_t id = ch.submit(payload);
+    auto report = ch.runContact();
+    ASSERT_EQ(report.delivered.size(), 1u);
+    EXPECT_EQ(report.delivered[0].streamId, id);
+    EXPECT_EQ(report.delivered[0].payload, payload);
+    EXPECT_EQ(ch.stats().streamsCompleted, 1u);
+    EXPECT_EQ(ch.stats().packetsRetransmitted, 0u);
+}
+
+TEST(DownlinkChannel, LossyRecoversViaRetransmission)
+{
+    ChannelParams cp;
+    cp.payloadBytesPerPacket = 128;
+    cp.lossProbability = 0.2; // well above the 10% target
+    cp.bytesPerContact = 1e9;
+    cp.retentionContacts = 4;
+    cp.seed = 99;
+    DownlinkChannel ch(cp);
+    auto payload = randomPayload(50000, 9);
+    ch.submit(payload);
+
+    std::vector<uint8_t> got;
+    for (int contact = 0; contact < 4 && got.empty(); ++contact) {
+        auto report = ch.runContact();
+        if (!report.delivered.empty())
+            got = std::move(report.delivered[0].payload);
+    }
+    ASSERT_FALSE(got.empty()) << "transfer did not complete in 4 contacts";
+    EXPECT_EQ(got, payload); // byte-identical after loss + ARQ
+    EXPECT_GT(ch.stats().packetsLost, 0u);
+    EXPECT_GT(ch.stats().packetsRetransmitted, 0u);
+}
+
+TEST(DownlinkChannel, ContactBudgetSpillsToNextContact)
+{
+    ChannelParams cp;
+    cp.payloadBytesPerPacket = 1000;
+    cp.lossProbability = 0.0;
+    // Budget fits ~5 packets (header included) per contact.
+    cp.bytesPerContact = 5 * (1000 + kPacketHeaderBytes) + 10;
+    cp.retentionContacts = 10;
+    DownlinkChannel ch(cp);
+    ch.submit(randomPayload(10000, 10)); // 10 packets
+    auto first = ch.runContact();
+    EXPECT_TRUE(first.delivered.empty());
+    auto second = ch.runContact();
+    ASSERT_EQ(second.delivered.size(), 1u);
+}
+
+TEST(DownlinkChannel, RetentionDropsStaleTransfers)
+{
+    ChannelParams cp;
+    cp.payloadBytesPerPacket = 100;
+    cp.lossProbability = 0.0;
+    cp.bytesPerContact = 50.0; // below one packet: nothing ever flows
+    cp.retentionContacts = 2;
+    DownlinkChannel ch(cp);
+    uint32_t id = ch.submit(randomPayload(1000, 11));
+    EXPECT_TRUE(ch.runContact().failed.empty());
+    auto report = ch.runContact();
+    ASSERT_EQ(report.failed.size(), 1u);
+    EXPECT_EQ(report.failed[0], id);
+    EXPECT_EQ(ch.stats().streamsFailed, 1u);
+    EXPECT_EQ(ch.pendingCount(), 0u);
+}
+
+// ---------------------------------------------------------------- archive
+
+TEST(Archive, AppendScanReopen)
+{
+    TempPath path("archive_reopen.epar");
+    RecordMeta meta;
+    meta.locationId = 3;
+    meta.satelliteId = 1;
+    meta.band = 2;
+    meta.captureDay = 12.5;
+    meta.referenceDay = 10.0;
+    meta.fullDownload = true;
+    auto payload = randomPayload(3000, 12);
+    {
+        Archive archive(path.str());
+        EXPECT_EQ(archive.recordCount(), 0u);
+        archive.append(meta, payload);
+        RecordMeta delta = meta;
+        delta.captureDay = 13.5;
+        delta.fullDownload = false;
+        archive.append(delta, randomPayload(500, 13));
+    }
+    Archive reopened(path.str());
+    ASSERT_EQ(reopened.recordCount(), 2u);
+    EXPECT_FALSE(reopened.scanReport().truncatedTail);
+    const RecordEntry &r0 = reopened.record(0);
+    EXPECT_EQ(r0.meta.locationId, 3);
+    EXPECT_EQ(r0.meta.satelliteId, 1);
+    EXPECT_EQ(r0.meta.band, 2);
+    EXPECT_DOUBLE_EQ(r0.meta.captureDay, 12.5);
+    EXPECT_DOUBLE_EQ(r0.meta.referenceDay, 10.0);
+    EXPECT_TRUE(r0.meta.fullDownload);
+    EXPECT_EQ(reopened.loadPayload(0), payload);
+    EXPECT_EQ(reopened.chain(3, 2), (std::vector<size_t>{0, 1}));
+    EXPECT_TRUE(reopened.chain(3, 0).empty());
+}
+
+TEST(Archive, TruncatedTailIsRecovered)
+{
+    TempPath path("archive_truncated.epar");
+    auto payload = randomPayload(2000, 14);
+    uint64_t validBytes = 0;
+    {
+        Archive archive(path.str());
+        RecordMeta meta;
+        meta.locationId = 1;
+        archive.append(meta, payload);
+        validBytes = archive.fileBytes();
+        meta.captureDay = 1.0;
+        archive.append(meta, randomPayload(2000, 15));
+    }
+    // Cut the file mid-way through the second record's payload.
+    {
+        std::FILE *f = std::fopen(path.str().c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        long size = std::ftell(f);
+        std::vector<uint8_t> bytes(static_cast<size_t>(size) - 700);
+        std::fseek(f, 0, SEEK_SET);
+        ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+        std::fclose(f);
+        std::FILE *w = std::fopen(path.str().c_str(), "wb");
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), w),
+                  bytes.size());
+        std::fclose(w);
+    }
+    Archive recovered(path.str());
+    EXPECT_TRUE(recovered.scanReport().truncatedTail);
+    ASSERT_EQ(recovered.recordCount(), 1u);
+    EXPECT_EQ(recovered.loadPayload(0), payload);
+    EXPECT_EQ(recovered.fileBytes(), validBytes);
+
+    // The archive stays appendable after recovery.
+    RecordMeta meta;
+    meta.locationId = 1;
+    meta.captureDay = 2.0;
+    auto fresh = randomPayload(100, 16);
+    recovered.append(meta, fresh);
+    Archive again(path.str());
+    ASSERT_EQ(again.recordCount(), 2u);
+    EXPECT_FALSE(again.scanReport().truncatedTail);
+    EXPECT_EQ(again.loadPayload(1), fresh);
+}
+
+TEST(Archive, CorruptPayloadTailDiscarded)
+{
+    TempPath path("archive_corrupt.epar");
+    {
+        Archive archive(path.str());
+        RecordMeta meta;
+        archive.append(meta, randomPayload(1000, 17));
+    }
+    // Flip a byte inside the payload (the record tail).
+    {
+        std::FILE *f = std::fopen(path.str().c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, -20, SEEK_END);
+        uint8_t b = 0;
+        ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+        b ^= 0xFF;
+        std::fseek(f, -20, SEEK_END);
+        ASSERT_EQ(std::fwrite(&b, 1, 1, f), 1u);
+        std::fclose(f);
+    }
+    Archive recovered(path.str());
+    EXPECT_TRUE(recovered.scanReport().truncatedTail);
+    EXPECT_EQ(recovered.recordCount(), 0u);
+}
+
+TEST(Archive, CompactDropsSupersededRecords)
+{
+    Archive archive(""); // memory-backed
+    RecordMeta meta;
+    meta.locationId = 1;
+    meta.band = 0;
+    auto mk = [&](double day, bool full, uint64_t seed) {
+        RecordMeta m = meta;
+        m.captureDay = day;
+        m.fullDownload = full;
+        archive.append(m, randomPayload(300, seed));
+    };
+    mk(1.0, true, 20);
+    mk(2.0, false, 21);
+    mk(3.0, true, 22); // supersedes records 0 and 1
+    mk(4.0, false, 23);
+    auto tail = randomPayload(300, 23);
+
+    uint64_t reclaimed = archive.compact();
+    EXPECT_GT(reclaimed, 0u);
+    ASSERT_EQ(archive.recordCount(), 2u);
+    EXPECT_DOUBLE_EQ(archive.record(0).meta.captureDay, 3.0);
+    EXPECT_TRUE(archive.record(0).meta.fullDownload);
+    EXPECT_DOUBLE_EQ(archive.record(1).meta.captureDay, 4.0);
+    EXPECT_EQ(archive.loadPayload(1), tail);
+}
+
+TEST(Archive, CompactUsesCaptureDayNotAppendOrder)
+{
+    // ARQ can land records out of capture order: here an old full
+    // download (day 1) completes *after* the day-3 full and the day-4
+    // delta. Compaction must keep everything from the latest-by-day
+    // full (day 3) and drop only the day-1 record, despite it being
+    // the newest append.
+    Archive archive("");
+    RecordMeta meta;
+    meta.locationId = 7;
+    auto add = [&](double day, bool full, uint64_t seed) {
+        RecordMeta m = meta;
+        m.captureDay = day;
+        m.fullDownload = full;
+        archive.append(m, randomPayload(200, seed));
+    };
+    add(3.0, true, 70);
+    add(4.0, false, 71);
+    add(1.0, true, 72); // late-completing stale download
+    archive.compact();
+    ASSERT_EQ(archive.recordCount(), 2u);
+    EXPECT_DOUBLE_EQ(archive.record(0).meta.captureDay, 3.0);
+    EXPECT_DOUBLE_EQ(archive.record(1).meta.captureDay, 4.0);
+}
+
+// ----------------------------------------------------- codec::decodeTiles
+
+TEST(DecodeTiles, SubsetMatchesFullDecode)
+{
+    raster::Plane img = testPlane(192, 128, 30);
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 2.0;
+    codec::EncodedImage enc = codec::encode(img, ep);
+    raster::Plane full = codec::decode(enc);
+
+    raster::TileGrid grid(192, 128, ep.tileSize);
+    std::vector<int> tiles{0, 2, grid.tileCount() - 1};
+    auto decoded = codec::decodeTiles(enc, tiles);
+    ASSERT_EQ(decoded.size(), tiles.size());
+    for (size_t i = 0; i < tiles.size(); ++i) {
+        raster::TileRect r = grid.rect(tiles[i]);
+        raster::Plane expect = full.crop(r.x0, r.y0, r.width, r.height);
+        ASSERT_EQ(decoded[i].width(), expect.width());
+        ASSERT_EQ(decoded[i].height(), expect.height());
+        for (int y = 0; y < expect.height(); ++y)
+            for (int x = 0; x < expect.width(); ++x)
+                EXPECT_EQ(decoded[i].at(x, y), expect.at(x, y));
+    }
+}
+
+TEST(DecodeTiles, UncodedTileDecodesToZeros)
+{
+    raster::Plane img = testPlane(128, 128, 31);
+    raster::TileGrid grid(128, 128, 64);
+    raster::TileMask roi(grid);
+    roi.set(0, true); // only tile 0 coded
+    codec::EncodeParams ep;
+    ep.roi = &roi;
+    codec::EncodedImage enc = codec::encode(img, ep);
+    auto decoded = codec::decodeTiles(enc, {1});
+    ASSERT_EQ(decoded.size(), 1u);
+    for (int y = 0; y < decoded[0].height(); ++y)
+        for (int x = 0; x < decoded[0].width(); ++x)
+            EXPECT_EQ(decoded[0].at(x, y), 0.0f);
+}
+
+// ------------------------------------------------------------ tile server
+
+namespace {
+
+/** Archive with a full download at day 1 and a delta at day 2. */
+void
+buildChain(Archive &archive, const raster::Plane &base,
+           const raster::Plane &changed, int tileSize)
+{
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    ep.tileSize = tileSize;
+    codec::EncodedImage full = codec::encode(base, ep);
+    RecordMeta meta;
+    meta.locationId = 1;
+    meta.band = 0;
+    meta.captureDay = 1.0;
+    meta.fullDownload = true;
+    archive.append(meta, full.serialize());
+
+    // Delta: only tile 0 re-coded from `changed`.
+    raster::TileGrid grid(base.width(), base.height(), tileSize);
+    raster::TileMask roi(grid);
+    roi.set(0, true);
+    ep.roi = &roi;
+    codec::EncodedImage delta = codec::encode(changed, ep);
+    meta.captureDay = 2.0;
+    meta.fullDownload = false;
+    meta.referenceDay = 1.0;
+    archive.append(meta, delta.serialize());
+}
+
+} // namespace
+
+TEST(TileServer, ServesFullDownloadRect)
+{
+    Archive archive("");
+    raster::Plane base = testPlane(128, 128, 40);
+    raster::Plane changed = testPlane(128, 128, 41);
+    buildChain(archive, base, changed, 64);
+
+    TileServer server(archive);
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 1.5; // before the delta
+    q.band = 0;
+    q.x0 = 0;
+    q.y0 = 0;
+    q.width = 128;
+    q.height = 128;
+    TileResult r = server.serve(q);
+    ASSERT_TRUE(r.found);
+    EXPECT_DOUBLE_EQ(r.servedDay, 1.0);
+    EXPECT_EQ(r.tilesDecoded, 4);
+
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    raster::Plane expect = codec::decode(codec::encode(base, ep));
+    EXPECT_GT(raster::psnr(expect, r.pixels), 90.0);
+}
+
+TEST(TileServer, DeltaChainNewestTileWins)
+{
+    Archive archive("");
+    raster::Plane base = testPlane(128, 128, 42);
+    raster::Plane changed = testPlane(128, 128, 43);
+    buildChain(archive, base, changed, 64);
+
+    TileServer server(archive);
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 2.5; // after the delta
+    q.band = 0;
+    q.x0 = 0;
+    q.y0 = 0;
+    q.width = 128;
+    q.height = 128;
+    TileResult r = server.serve(q);
+    ASSERT_TRUE(r.found);
+    EXPECT_DOUBLE_EQ(r.servedDay, 2.0);
+
+    // Tile 0 must come from the delta, the other tiles from the full
+    // download.
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    raster::Plane fromBase = codec::decode(codec::encode(base, ep));
+    raster::Plane tile0 = r.pixels.crop(0, 0, 64, 64);
+    raster::Plane tile1 = r.pixels.crop(64, 0, 64, 64);
+    EXPECT_LT(raster::psnr(fromBase.crop(0, 0, 64, 64), tile0), 40.0);
+    EXPECT_GT(raster::psnr(fromBase.crop(64, 0, 64, 64), tile1), 90.0);
+}
+
+TEST(TileServer, QueriesBeforeFirstRecordAreNotFound)
+{
+    Archive archive("");
+    raster::Plane base = testPlane(128, 128, 44);
+    buildChain(archive, base, base, 64);
+    TileServer server(archive);
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 0.5;
+    q.width = 10;
+    q.height = 10;
+    EXPECT_FALSE(server.serve(q).found);
+    TileQuery other = q;
+    other.day = 1.5;
+    other.locationId = 9;
+    EXPECT_FALSE(server.serve(other).found);
+}
+
+TEST(TileServer, CacheHitsOnRepeatAndBatchMatchesSerial)
+{
+    Archive archive("");
+    raster::Plane base = testPlane(256, 256, 45);
+    raster::Plane changed = testPlane(256, 256, 46);
+    buildChain(archive, base, changed, 64);
+
+    TileServer server(archive);
+    std::vector<TileQuery> batch;
+    Rng rng(47);
+    for (int i = 0; i < 32; ++i) {
+        TileQuery q;
+        q.locationId = 1;
+        q.day = (i % 2) ? 1.5 : 2.5;
+        q.x0 = static_cast<int>(rng.uniformInt(0, 200));
+        q.y0 = static_cast<int>(rng.uniformInt(0, 200));
+        q.width = 80;
+        q.height = 80;
+        batch.push_back(q);
+    }
+    auto results = server.serveBatch(batch);
+    ASSERT_EQ(results.size(), batch.size());
+
+    // Second, identical batch: every tile is warm.
+    auto warm = server.serveBatch(batch);
+    int warmDecodes = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        warmDecodes += warm[i].tilesDecoded;
+        ASSERT_EQ(warm[i].pixels.width(), results[i].pixels.width());
+        for (int y = 0; y < warm[i].pixels.height(); ++y)
+            for (int x = 0; x < warm[i].pixels.width(); ++x)
+                ASSERT_EQ(warm[i].pixels.at(x, y),
+                          results[i].pixels.at(x, y));
+    }
+    EXPECT_EQ(warmDecodes, 0);
+    EXPECT_GT(server.stats().hitRate(), 0.4);
+}
+
+TEST(TileServer, CacheEvictsUnderTightBudget)
+{
+    Archive archive("");
+    raster::Plane base = testPlane(256, 256, 48);
+    buildChain(archive, base, base, 64);
+
+    // Budget below the 16-tile working set (the cache shards the
+    // budget 8 ways; ~20 KB per shard holds one 16 KB tile, and 16
+    // tiles over 8 shards guarantee some shard overflows).
+    TileServer server(archive, 8 * 20000);
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 2.5;
+    q.width = 256;
+    q.height = 256;
+    server.serve(q);
+    server.serve(q);
+    EXPECT_GT(server.stats().cacheEvictions, 0u);
+}
+
+// --------------------------------------------------------- ground station
+
+TEST(GroundStation, GoldenRoundTripWithLossAndRetransmission)
+{
+    // The acceptance path: encode -> packetize -> >=10% loss ->
+    // retransmit -> reassemble -> byte-identical EncodedImage.
+    GroundSegmentParams gp;
+    gp.enabled = true;
+    gp.channel.payloadBytesPerPacket = 256;
+    gp.channel.lossProbability = 0.15;
+    gp.channel.bytesPerContact = 1e9;
+    gp.channel.retentionContacts = 4;
+    gp.channel.seed = 50;
+    gp.contactsPerDay = 4;
+
+    int completions = 0;
+    std::vector<uint8_t> submitted;
+    GroundStation station(gp, [&](const CaptureDownload &d) {
+        ++completions;
+        EXPECT_EQ(d.locationId, 5);
+    });
+
+    raster::Plane img = testPlane(128, 128, 51);
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 2.0;
+    codec::EncodedImage enc = codec::encode(img, ep);
+    submitted = enc.serialize();
+
+    CaptureDownload download;
+    download.locationId = 5;
+    download.satelliteId = 0;
+    download.captureDay = 3.1;
+    download.fullDownload = true;
+    download.bandPayloads.push_back(submitted);
+    station.submit(std::move(download));
+
+    station.advanceTo(4.5);
+    StationStats stats = station.stats();
+    ASSERT_EQ(stats.capturesCompleted, 1u);
+    EXPECT_EQ(stats.capturesFailed, 0u);
+    EXPECT_EQ(stats.capturesByteIdentical, 1u);
+    EXPECT_GT(stats.channel.packetsLost, 0u);
+    EXPECT_GT(stats.channel.packetsRetransmitted, 0u);
+    EXPECT_EQ(completions, 1);
+
+    // The archived payload deserializes into the identical stream.
+    ASSERT_EQ(station.archive().recordCount(), 1u);
+    EXPECT_EQ(station.archive().loadPayload(0), submitted);
+    codec::EncodedImage back =
+        codec::EncodedImage::deserialize(station.archive().loadPayload(0));
+    EXPECT_EQ(back.serialize(), submitted);
+}
+
+TEST(GroundStation, MultiContactMultiCapture)
+{
+    GroundSegmentParams gp;
+    gp.enabled = true;
+    gp.channel.payloadBytesPerPacket = 512;
+    gp.channel.lossProbability = 0.10;
+    gp.channel.bytesPerContact = 60e3; // forces multi-contact transfers
+    gp.channel.retentionContacts = 6;
+    gp.channel.seed = 52;
+    gp.contactsPerDay = 7;
+
+    GroundStation station(gp, nullptr);
+    std::vector<std::vector<uint8_t>> payloads;
+    for (int i = 0; i < 4; ++i) {
+        CaptureDownload d;
+        d.locationId = 1;
+        d.captureDay = 1.0 + 0.1 * i;
+        d.fullDownload = (i == 0);
+        payloads.push_back(
+            randomPayload(20000 + 1000 * static_cast<size_t>(i),
+                          60 + static_cast<uint64_t>(i)));
+        d.bandPayloads.push_back(payloads.back());
+        station.submit(std::move(d));
+    }
+    station.advanceTo(3.0);
+    StationStats stats = station.stats();
+    EXPECT_EQ(stats.capturesCompleted, 4u);
+    EXPECT_EQ(stats.capturesFailed, 0u);
+    EXPECT_EQ(stats.capturesByteIdentical, 4u);
+    ASSERT_EQ(station.archive().recordCount(), 4u);
+    // Records land in completion order, which ARQ may reorder; match
+    // them to their submissions by capture day.
+    for (size_t i = 0; i < 4; ++i) {
+        const RecordEntry &rec = station.archive().record(i);
+        int submitIdx = static_cast<int>(
+            std::lround((rec.meta.captureDay - 1.0) / 0.1));
+        ASSERT_GE(submitIdx, 0);
+        ASSERT_LT(submitIdx, 4);
+        EXPECT_EQ(station.archive().loadPayload(i),
+                  payloads[static_cast<size_t>(submitIdx)]);
+    }
+}
+
+// ------------------------------------------------- end-to-end simulation
+
+TEST(GroundSegmentE2E, SimulationDeliversEverythingUnderLoss)
+{
+    synth::DatasetSpec spec = synth::largeConstellationDataset(128, 128);
+    spec.startDay = 120.0;
+    spec.endDay = 132.0;
+
+    core::SimParams params;
+    params.maxCaptures = 6;
+    params.groundSegment.enabled = true;
+    params.groundSegment.channel.lossProbability = 0.12;
+    params.groundSegment.channel.payloadBytesPerPacket = 1024;
+    params.groundSegment.channel.bytesPerContact = 15e9;
+    params.groundSegment.channel.retentionContacts = 4;
+
+    core::LocationSimulation sim(spec, 0, core::SystemKind::EarthPlus,
+                                 params);
+    core::SimSummary summary = sim.run();
+
+    EXPECT_TRUE(summary.groundEnabled);
+    EXPECT_GT(summary.processedCount, 0);
+    const ground::StationStats &gs = summary.groundStats;
+    EXPECT_EQ(gs.capturesFailed, 0u);
+    EXPECT_GT(gs.capturesCompleted, 0u);
+    // Every completed download must be byte-identical despite >=10%
+    // simulated packet loss.
+    EXPECT_EQ(gs.capturesByteIdentical, gs.capturesCompleted);
+    EXPECT_GT(gs.channel.packetsLost, 0u);
+    EXPECT_GT(gs.channel.packetsRetransmitted, 0u);
+
+    // The archive now feeds the tile server: serve a rect from the
+    // most recent capture of band 0.
+    ASSERT_NE(sim.groundStation(), nullptr);
+    ground::Archive &archive = sim.groundStation()->archive();
+    ASSERT_GT(archive.recordCount(), 0u);
+    TileServer server(archive);
+    TileQuery q;
+    q.locationId = spec.locations[0].locationId;
+    q.day = spec.endDay + 10.0;
+    q.band = 0;
+    q.width = 128;
+    q.height = 128;
+    TileResult r = server.serve(q);
+    EXPECT_TRUE(r.found);
+    EXPECT_GT(r.tilesDecoded, 0);
+}
