@@ -11,7 +11,13 @@
 #ifndef EARTHPLUS_BENCH_COMMON_HH
 #define EARTHPLUS_BENCH_COMMON_HH
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/doves_spec.hh"
 #include "core/simulation.hh"
@@ -21,6 +27,123 @@
 namespace epbench {
 
 using namespace earthplus;
+
+// ------------------------------------------------------------ JSON mode
+//
+// Every bench binary accepts `--json <path>` and, when given, writes a
+// machine-readable BENCH_<name>.json next to its human-readable table.
+// CI uploads these as artifacts and diffs them in ci/perf_gate.py, so
+// the perf trajectory of the repo is recorded per commit.
+//
+// Schema:
+//   {
+//     "bench": "<name>",
+//     "results": [
+//       {"name": "<row>", "params": {"k": "v", ...},
+//        "median_ms": <number>, "mb_per_s": <number>},
+//       ...
+//     ]
+//   }
+
+/** Accumulates bench rows and writes the BENCH_<name>.json schema. */
+class JsonReporter
+{
+  public:
+    explicit JsonReporter(std::string benchName)
+        : bench_(std::move(benchName))
+    {
+    }
+
+    /** Path following a `--json` flag, or empty when absent. */
+    static std::string
+    pathFromArgs(int argc, char **argv)
+    {
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], "--json") == 0)
+                return argv[i + 1];
+        return "";
+    }
+
+    /**
+     * Record one measurement row.
+     *
+     * @param name Kernel/series name.
+     * @param params Key/value qualifiers (dispatch level, sizes, ...).
+     * @param medianMs Median wall time per iteration in milliseconds.
+     * @param mbPerS Throughput in MB/s (0 when not meaningful).
+     */
+    void
+    add(const std::string &name,
+        std::vector<std::pair<std::string, std::string>> params,
+        double medianMs, double mbPerS)
+    {
+        Row r;
+        r.name = name;
+        r.params = std::move(params);
+        r.medianMs = medianMs;
+        r.mbPerS = mbPerS;
+        rows_.push_back(std::move(r));
+    }
+
+    /** Serialize all rows to the schema above. */
+    std::string
+    toJson() const
+    {
+        std::ostringstream out;
+        out << "{\n  \"bench\": \"" << escape(bench_)
+            << "\",\n  \"results\": [";
+        for (size_t i = 0; i < rows_.size(); ++i) {
+            const Row &r = rows_[i];
+            out << (i ? ",\n" : "\n") << "    {\"name\": \""
+                << escape(r.name) << "\", \"params\": {";
+            for (size_t j = 0; j < r.params.size(); ++j)
+                out << (j ? ", " : "") << "\"" << escape(r.params[j].first)
+                    << "\": \"" << escape(r.params[j].second) << "\"";
+            out << "}, \"median_ms\": " << r.medianMs
+                << ", \"mb_per_s\": " << r.mbPerS << "}";
+        }
+        out << "\n  ]\n}\n";
+        return out.str();
+    }
+
+    /** Write to `path` (no-op on empty path). True on success. */
+    bool
+    write(const std::string &path) const
+    {
+        if (path.empty())
+            return true;
+        std::ofstream f(path);
+        if (!f)
+            return false;
+        f << toJson();
+        std::cout << "wrote " << path << "\n";
+        return static_cast<bool>(f);
+    }
+
+  private:
+    struct Row
+    {
+        std::string name;
+        std::vector<std::pair<std::string, std::string>> params;
+        double medianMs = 0.0;
+        double mbPerS = 0.0;
+    };
+
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string bench_;
+    std::vector<Row> rows_;
+};
 
 /** Evaluation image edge (pixels) used by the simulation benches. */
 constexpr int kBenchImageSize = 256;

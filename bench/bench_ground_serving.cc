@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hh"
 #include "codec/codec.hh"
 #include "ground/archive.hh"
 #include "ground/tile_server.hh"
@@ -133,8 +134,10 @@ runBatch(TileServer &server, const std::vector<TileQuery> &queries)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string jsonPath = epbench::JsonReporter::pathFromArgs(argc, argv);
+    epbench::JsonReporter json("ground_serving");
     Archive archive("");
     buildArchive(archive);
     std::vector<TileQuery> queries = buildWorkload();
@@ -175,9 +178,19 @@ main()
                           "x",
                       Table::pct(stats.hitRate()),
                       std::to_string(stats.tilesFromCache)});
+        // q/s rows: median-ms is the per-batch wall time implied by
+        // the warm throughput; mb_per_s is not meaningful here.
+        json.add("warm_serving",
+                 {{"threads", std::to_string(threads)},
+                  {"queries", std::to_string(kQueries)}},
+                 1e3 * static_cast<double>(kQueries) / warmQps, 0.0);
     }
     util::ThreadPool::setGlobalThreads(dflt);
     table.print(std::cout);
+    if (!json.write(jsonPath)) {
+        std::cerr << "failed to write " << jsonPath << "\n";
+        return 1;
+    }
     if (std::thread::hardware_concurrency() <= 1)
         std::cout << "note: single-core host; warm speedup is "
                      "expected to be ~1x here and to scale with "

@@ -1,41 +1,122 @@
 #!/usr/bin/env bash
-# CI check: configure, build, run the test suite, then smoke-run the
-# runtime benchmark single- and multi-threaded and print the speedup.
+# CI check driver. Usage: ci/check.sh [mode]
+#
+#   build   configure, build, run the full ctest suite
+#   bench   smoke-run the end-to-end benches, emit BENCH_*.json
+#   perf    run bench_codec_kernels and gate it against the checked-in
+#           baseline (ci/perf_gate.py)
+#   asan    ASan+UBSan build of the byte-level parser suites
+#   all     everything above, in that order (default)
+#
+# Environment:
+#   BUILD_DIR      build tree (default: build)
+#   SAN_BUILD_DIR  sanitizer build tree (default: build-asan)
+#   ARTIFACTS_DIR  where BENCH_*.json land (default: $BUILD_DIR/bench-json)
+#   CMAKE_ARGS     extra configure arguments (e.g. -DEARTHPLUS_WERROR=ON)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+MODE="${1:-all}"
 BUILD_DIR="${BUILD_DIR:-build}"
-
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j
-
-# Smoke the end-to-end engine: the bench prints a thread-count sweep
-# (1, 2, 4, default) with wall-clock and speedup per row. Speedup on
-# single-core CI runners is naturally ~1x; the table is informational,
-# the run itself must succeed.
-if [ -x "$BUILD_DIR/bench_fig16_runtime" ]; then
-    "$BUILD_DIR/bench_fig16_runtime" --benchmark_min_time=0.05
-else
-    echo "bench_fig16_runtime not built (google-benchmark missing); skipped"
-fi
-
-# Smoke the ground-segment serving path: queries/sec and cache hit
-# rate vs. thread count (informational; the run must succeed).
-"$BUILD_DIR/bench_ground_serving"
-
-# ASan+UBSan configuration: the byte-level parsers (downlink packets,
-# archive file format, codec streams) must be sanitizer-clean on both
-# their happy paths and their corruption-recovery paths. Scoped to the
-# suites that exercise those parsers so CI time stays bounded.
 SAN_BUILD_DIR="${SAN_BUILD_DIR:-build-asan}"
-cmake -B "$SAN_BUILD_DIR" -S . \
-      -DCMAKE_BUILD_TYPE=Debug \
-      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-cmake --build "$SAN_BUILD_DIR" -j \
-      --target ground_test uplink_planner_test codec_test
-ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure \
-      -R 'ground_test|uplink_planner_test|codec_test'
+ARTIFACTS_DIR="${ARTIFACTS_DIR:-$BUILD_DIR/bench-json}"
 
-echo "ci/check.sh: all checks passed"
+configure_and_build() {
+    # shellcheck disable=SC2086
+    cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
+    cmake --build "$BUILD_DIR" -j
+}
+
+run_tests() {
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+}
+
+run_benches() {
+    mkdir -p "$ARTIFACTS_DIR"
+    # Smoke the end-to-end engine: the bench prints a thread-count sweep
+    # (1, 2, 4, default) with wall-clock and speedup per row. Speedup on
+    # single-core CI runners is naturally ~1x; the table is
+    # informational, the run itself must succeed.
+    if [ -x "$BUILD_DIR/bench_fig16_runtime" ]; then
+        "$BUILD_DIR/bench_fig16_runtime" --benchmark_min_time=0.05
+    else
+        echo "bench_fig16_runtime not built (google-benchmark missing); skipped"
+    fi
+
+    # Smoke the ground-segment serving path: queries/sec and cache hit
+    # rate vs. thread count (informational; the run must succeed). The
+    # JSON lands in the artifacts dir for the perf trajectory.
+    "$BUILD_DIR/bench_ground_serving" \
+        --json "$ARTIFACTS_DIR/BENCH_ground_serving.json"
+}
+
+run_perf_gate() {
+    mkdir -p "$ARTIFACTS_DIR"
+    # Gated numbers must come from an optimization level matching the
+    # checked-in baseline: pin Release (the CMakeLists default is
+    # RelWithDebInfo, whose -O2 auto-vectorizes the scalar reference
+    # differently and skews every speedup-over-scalar ratio). A
+    # dedicated tree keeps this from thrashing $BUILD_DIR's cache.
+    local perf_dir="${PERF_BUILD_DIR:-${BUILD_DIR}-perf}"
+    # shellcheck disable=SC2086
+    cmake -B "$perf_dir" -S . ${CMAKE_ARGS:-} -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$perf_dir" -j --target bench_codec_kernels
+    # Per-kernel throughput at every dispatch level, as machine-readable
+    # JSON (uploaded as a CI artifact), then the regression gate: fail
+    # on >25% drop in speedup-over-scalar vs the checked-in baseline,
+    # or on the 9/7 lifting kernel dipping below 2x under AVX2.
+    # 21 reps keeps the medians stable enough for the 25% gate margin
+    # on noisy shared runners.
+    "$perf_dir/bench_codec_kernels" --reps 21 \
+        --json "$ARTIFACTS_DIR/BENCH_codec_kernels.json"
+    python3 ci/perf_gate.py \
+        --baseline ci/BENCH_codec_kernels.baseline.json \
+        --fresh "$ARTIFACTS_DIR/BENCH_codec_kernels.json"
+}
+
+run_asan() {
+    # ASan+UBSan configuration: the byte-level parsers (downlink
+    # packets, archive file format, codec streams) and the SIMD kernels
+    # must be sanitizer-clean on both their happy paths and their
+    # corruption-recovery paths. Scoped to the suites that exercise
+    # those parsers so CI time stays bounded.
+    # shellcheck disable=SC2086
+    cmake -B "$SAN_BUILD_DIR" -S . ${CMAKE_ARGS:-} \
+          -DCMAKE_BUILD_TYPE=Debug \
+          -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+    cmake --build "$SAN_BUILD_DIR" -j \
+          --target ground_test uplink_planner_test codec_test simd_test
+    ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure \
+          -R 'ground_test|uplink_planner_test|codec_test|simd_test'
+}
+
+case "$MODE" in
+build)
+    configure_and_build
+    run_tests
+    ;;
+bench)
+    configure_and_build
+    run_benches
+    ;;
+perf)
+    run_perf_gate
+    ;;
+asan)
+    run_asan
+    ;;
+all)
+    configure_and_build
+    run_tests
+    run_benches
+    run_perf_gate
+    run_asan
+    ;;
+*)
+    echo "usage: ci/check.sh [build|bench|perf|asan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "ci/check.sh: $MODE checks passed"

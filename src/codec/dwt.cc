@@ -1,199 +1,41 @@
 #include "codec/dwt.hh"
 
-#include <algorithm>
+#include <utility>
 
+#include "codec/kernels.hh"
 #include "util/logging.hh"
 
 namespace earthplus::codec {
 
 namespace {
 
-// Daubechies-Sweldens lifting factorization of CDF 9/7.
-constexpr double kAlpha = -1.586134342059924;
-constexpr double kBeta = -0.052980118572961;
-constexpr double kGamma = 0.882911075530934;
-constexpr double kDelta = 0.443506852043971;
-constexpr double kZeta = 1.149604398860241;
-
-// Clamped access implements whole-sample symmetric extension for the
-// two-tap lifting stencils used below.
-template <typename T>
-T
-at(const std::vector<T> &v, int i)
-{
-    int n = static_cast<int>(v.size());
-    return v[static_cast<size_t>(std::clamp(i, 0, n - 1))];
-}
-
-/** One forward 9/7 lifting pass over a strided 1D signal. */
-void
-forward97Line(float *x, int n, int stride, std::vector<float> &s,
-              std::vector<float> &d)
-{
-    if (n < 2)
-        return;
-    int ns = (n + 1) / 2;
-    int nd = n / 2;
-    s.resize(static_cast<size_t>(ns));
-    d.resize(static_cast<size_t>(nd));
-    for (int i = 0; i < ns; ++i)
-        s[static_cast<size_t>(i)] = x[2 * i * stride];
-    for (int i = 0; i < nd; ++i)
-        d[static_cast<size_t>(i)] = x[(2 * i + 1) * stride];
-
-    for (int i = 0; i < nd; ++i)
-        d[i] += static_cast<float>(kAlpha * (at(s, i) + at(s, i + 1)));
-    for (int i = 0; i < ns; ++i)
-        s[i] += static_cast<float>(kBeta * (at(d, i - 1) + at(d, i)));
-    for (int i = 0; i < nd; ++i)
-        d[i] += static_cast<float>(kGamma * (at(s, i) + at(s, i + 1)));
-    for (int i = 0; i < ns; ++i)
-        s[i] += static_cast<float>(kDelta * (at(d, i - 1) + at(d, i)));
-
-    for (int i = 0; i < ns; ++i)
-        x[i * stride] = static_cast<float>(s[i] * kZeta);
-    for (int i = 0; i < nd; ++i)
-        x[(ns + i) * stride] = static_cast<float>(d[i] / kZeta);
-}
-
-/** One inverse 9/7 lifting pass. */
-void
-inverse97Line(float *x, int n, int stride, std::vector<float> &s,
-              std::vector<float> &d)
-{
-    if (n < 2)
-        return;
-    int ns = (n + 1) / 2;
-    int nd = n / 2;
-    s.resize(static_cast<size_t>(ns));
-    d.resize(static_cast<size_t>(nd));
-    for (int i = 0; i < ns; ++i)
-        s[static_cast<size_t>(i)] =
-            static_cast<float>(x[i * stride] / kZeta);
-    for (int i = 0; i < nd; ++i)
-        d[static_cast<size_t>(i)] =
-            static_cast<float>(x[(ns + i) * stride] * kZeta);
-
-    for (int i = 0; i < ns; ++i)
-        s[i] -= static_cast<float>(kDelta * (at(d, i - 1) + at(d, i)));
-    for (int i = 0; i < nd; ++i)
-        d[i] -= static_cast<float>(kGamma * (at(s, i) + at(s, i + 1)));
-    for (int i = 0; i < ns; ++i)
-        s[i] -= static_cast<float>(kBeta * (at(d, i - 1) + at(d, i)));
-    for (int i = 0; i < nd; ++i)
-        d[i] -= static_cast<float>(kAlpha * (at(s, i) + at(s, i + 1)));
-
-    for (int i = 0; i < ns; ++i)
-        x[2 * i * stride] = s[static_cast<size_t>(i)];
-    for (int i = 0; i < nd; ++i)
-        x[(2 * i + 1) * stride] = d[static_cast<size_t>(i)];
-}
-
-/** One forward 5/3 lifting pass over a strided integer signal. */
-void
-forward53Line(int32_t *x, int n, int stride, std::vector<int32_t> &s,
-              std::vector<int32_t> &d)
-{
-    if (n < 2)
-        return;
-    int ns = (n + 1) / 2;
-    int nd = n / 2;
-    s.resize(static_cast<size_t>(ns));
-    d.resize(static_cast<size_t>(nd));
-    for (int i = 0; i < ns; ++i)
-        s[static_cast<size_t>(i)] = x[2 * i * stride];
-    for (int i = 0; i < nd; ++i)
-        d[static_cast<size_t>(i)] = x[(2 * i + 1) * stride];
-
-    for (int i = 0; i < nd; ++i)
-        d[i] -= (at(s, i) + at(s, i + 1)) >> 1;
-    for (int i = 0; i < ns; ++i)
-        s[i] += (at(d, i - 1) + at(d, i) + 2) >> 2;
-
-    for (int i = 0; i < ns; ++i)
-        x[i * stride] = s[static_cast<size_t>(i)];
-    for (int i = 0; i < nd; ++i)
-        x[(ns + i) * stride] = d[static_cast<size_t>(i)];
-}
-
-/** One inverse 5/3 lifting pass. */
-void
-inverse53Line(int32_t *x, int n, int stride, std::vector<int32_t> &s,
-              std::vector<int32_t> &d)
-{
-    if (n < 2)
-        return;
-    int ns = (n + 1) / 2;
-    int nd = n / 2;
-    s.resize(static_cast<size_t>(ns));
-    d.resize(static_cast<size_t>(nd));
-    for (int i = 0; i < ns; ++i)
-        s[static_cast<size_t>(i)] = x[i * stride];
-    for (int i = 0; i < nd; ++i)
-        d[static_cast<size_t>(i)] = x[(ns + i) * stride];
-
-    for (int i = 0; i < ns; ++i)
-        s[i] -= (at(d, i - 1) + at(d, i) + 2) >> 2;
-    for (int i = 0; i < nd; ++i)
-        d[i] += (at(s, i) + at(s, i + 1)) >> 1;
-
-    for (int i = 0; i < ns; ++i)
-        x[2 * i * stride] = s[static_cast<size_t>(i)];
-    for (int i = 0; i < nd; ++i)
-        x[(2 * i + 1) * stride] = d[static_cast<size_t>(i)];
-}
-
 /**
- * Apply a 1D pass to one decomposition level.
- *
- * The forward transform runs rows then columns; the inverse must mirror
- * it exactly (columns then rows) because the integer 5/3 lifting steps
- * contain floors and do not commute across axes.
+ * Multi-level driver. Each decomposition level is one kernel-table
+ * call that transforms the active top-left rectangle in place; the
+ * kernels run rows then columns forward (columns in vector-width
+ * batches) and the exact mirror on the inverse, because the integer
+ * 5/3 lifting steps contain floors and do not commute across axes.
  */
-template <typename T, typename LineFn>
-void
-transformLevel(std::vector<T> &data, int fullWidth, int w, int h,
-               bool rowsFirst, LineFn line)
-{
-    std::vector<T> s, d;
-    auto doRows = [&]() {
-        for (int y = 0; y < h; ++y)
-            line(data.data() + static_cast<size_t>(y) * fullWidth, w, 1,
-                 s, d);
-    };
-    auto doCols = [&]() {
-        for (int x = 0; x < w; ++x)
-            line(data.data() + x, h, fullWidth, s, d);
-    };
-    if (rowsFirst) {
-        doRows();
-        doCols();
-    } else {
-        doCols();
-        doRows();
-    }
-}
-
-template <typename T, typename LineFn>
+template <typename T, typename LevelFn>
 void
 forwardMulti(std::vector<T> &data, int width, int height, int levels,
-             LineFn line)
+             LevelFn level)
 {
     EP_ASSERT(static_cast<size_t>(width) * static_cast<size_t>(height) ==
               data.size(), "dwt buffer size mismatch");
     EP_ASSERT(levels >= 0, "negative dwt levels");
     int w = width, h = height;
     for (int l = 0; l < levels && (w > 1 || h > 1); ++l) {
-        transformLevel(data, width, w, h, true, line);
+        level(data.data(), width, w, h);
         w = (w + 1) / 2;
         h = (h + 1) / 2;
     }
 }
 
-template <typename T, typename LineFn>
+template <typename T, typename LevelFn>
 void
 inverseMulti(std::vector<T> &data, int width, int height, int levels,
-             LineFn line)
+             LevelFn level)
 {
     EP_ASSERT(static_cast<size_t>(width) * static_cast<size_t>(height) ==
               data.size(), "dwt buffer size mismatch");
@@ -207,7 +49,7 @@ inverseMulti(std::vector<T> &data, int width, int height, int levels,
         h = (h + 1) / 2;
     }
     for (auto it = sizes.rbegin(); it != sizes.rend(); ++it)
-        transformLevel(data, width, it->first, it->second, false, line);
+        level(data.data(), width, it->first, it->second);
 }
 
 } // anonymous namespace
@@ -215,25 +57,29 @@ inverseMulti(std::vector<T> &data, int width, int height, int levels,
 void
 forwardDwt97(std::vector<float> &data, int width, int height, int levels)
 {
-    forwardMulti(data, width, height, levels, forward97Line);
+    const kernels::KernelTable &k = kernels::active();
+    forwardMulti(data, width, height, levels, k.fwd97);
 }
 
 void
 inverseDwt97(std::vector<float> &data, int width, int height, int levels)
 {
-    inverseMulti(data, width, height, levels, inverse97Line);
+    const kernels::KernelTable &k = kernels::active();
+    inverseMulti(data, width, height, levels, k.inv97);
 }
 
 void
 forwardDwt53(std::vector<int32_t> &data, int width, int height, int levels)
 {
-    forwardMulti(data, width, height, levels, forward53Line);
+    const kernels::KernelTable &k = kernels::active();
+    forwardMulti(data, width, height, levels, k.fwd53);
 }
 
 void
 inverseDwt53(std::vector<int32_t> &data, int width, int height, int levels)
 {
-    inverseMulti(data, width, height, levels, inverse53Line);
+    const kernels::KernelTable &k = kernels::active();
+    inverseMulti(data, width, height, levels, k.inv53);
 }
 
 std::vector<uint8_t>

@@ -1,0 +1,61 @@
+#include "codec/kernels.hh"
+
+namespace earthplus::codec::kernels {
+
+namespace detail {
+
+// Defined one per translation unit so each can be compiled with its
+// own ISA flags; a factory returns nullptr when its level was not
+// compiled in.
+const KernelTable *scalarTable();
+const KernelTable *sse2Table();
+const KernelTable *avx2Table();
+const KernelTable *neonTable();
+
+} // namespace detail
+
+const KernelTable *
+forLevel(util::simd::Level level)
+{
+    using util::simd::Level;
+    if (!util::simd::cpuSupports(level))
+        return nullptr;
+    switch (level) {
+    case Level::Scalar:
+        return detail::scalarTable();
+    case Level::SSE2:
+        return detail::sse2Table();
+    case Level::AVX2:
+        return detail::avx2Table();
+    case Level::NEON:
+        return detail::neonTable();
+    }
+    return nullptr;
+}
+
+const KernelTable &
+active()
+{
+    if (const KernelTable *t = forLevel(util::simd::activeLevel()))
+        return *t;
+    // The CPU claims a level this binary was not compiled with (e.g.
+    // an AVX2 host running a build whose AVX2 TU lacked -mavx2): fall
+    // back to the strongest table that did compile in, not scalar.
+    const KernelTable *best = detail::scalarTable();
+    for (util::simd::Level l : availableLevels())
+        best = forLevel(l);
+    return *best;
+}
+
+std::vector<util::simd::Level>
+availableLevels()
+{
+    using util::simd::Level;
+    std::vector<Level> out;
+    for (Level l : {Level::Scalar, Level::SSE2, Level::AVX2, Level::NEON})
+        if (forLevel(l))
+            out.push_back(l);
+    return out;
+}
+
+} // namespace earthplus::codec::kernels

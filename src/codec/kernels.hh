@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Vectorized codec kernels with runtime dispatch.
+ *
+ * One KernelTable per instruction set (scalar, SSE2, AVX2, NEON); all
+ * tables are instantiated from the same generic implementation
+ * (kernels_impl.hh) at different vector widths, so every lane of every
+ * vector kernel performs exactly the single-precision IEEE dataflow of
+ * the scalar kernel. Combined with `-ffp-contract=off` (no FMA
+ * fusion), this makes encoded streams byte-identical across dispatch
+ * levels — the golden guarantee the codec tests assert.
+ *
+ * The tables cover the per-tile hot paths: the 9/7 and 5/3 lifting
+ * passes (columns processed in vector-width batches instead of strided
+ * single lanes), the deadzone quantizer and its midpoint dequantizer,
+ * the sign/magnitude split/combine, and the pixel<->coefficient
+ * conversion loops.
+ */
+
+#ifndef EARTHPLUS_CODEC_KERNELS_HH
+#define EARTHPLUS_CODEC_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/simd.hh"
+
+namespace earthplus::codec::kernels {
+
+/**
+ * Function table for one dispatch level.
+ *
+ * DWT entries transform one decomposition level of a row-major buffer
+ * in place: `fullWidth` is the allocation stride, (w, h) the active
+ * top-left rectangle. Pointer-pair kernels operate on `n` contiguous
+ * elements.
+ */
+struct KernelTable
+{
+    /** Dispatch level this table was compiled for. */
+    util::simd::Level level;
+    /** Float lanes per vector op (1 for scalar). */
+    int laneWidth;
+
+    // --- 2D lifting passes, one decomposition level each ---
+    /** Forward CDF 9/7: rows then columns. */
+    void (*fwd97)(float *data, int fullWidth, int w, int h);
+    /** Inverse CDF 9/7: columns then rows. */
+    void (*inv97)(float *data, int fullWidth, int w, int h);
+    /** Forward LeGall 5/3 (reversible integer). */
+    void (*fwd53)(int32_t *data, int fullWidth, int w, int h);
+    /** Inverse LeGall 5/3. */
+    void (*inv53)(int32_t *data, int fullWidth, int w, int h);
+
+    // --- quantize / dequantize / sign-magnitude ---
+    /** mag = trunc(|c| * inv), sign = (c < 0). */
+    void (*quantF32)(const float *coeffs, size_t n, float inv,
+                     uint32_t *mag, uint8_t *sign);
+    /** Integer-coefficient variant of quantF32. */
+    void (*quantI32)(const int32_t *coeffs, size_t n, float inv,
+                     uint32_t *mag, uint8_t *sign);
+    /** Lossless split: mag = |c|, sign = (c < 0). */
+    void (*splitI32)(const int32_t *coeffs, size_t n, uint32_t *mag,
+                     uint8_t *sign);
+    /** Lossless combine: c = sign ? -mag : mag. */
+    void (*combineI32)(const uint32_t *mag, const uint8_t *sign, size_t n,
+                       int32_t *coeffs);
+    /**
+     * Midpoint dequantizer to float: 0 when mag == 0, else
+     * +/-(mag + 2^(low-1)) * step.
+     */
+    void (*dequant97)(const uint32_t *mag, const uint8_t *sign,
+                      const uint8_t *low, size_t n, float step,
+                      float *coeffs);
+    /** Midpoint dequantizer to int32 (round-to-nearest-even). */
+    void (*dequant53)(const uint32_t *mag, const uint8_t *sign,
+                      const uint8_t *low, size_t n, float toInt,
+                      int32_t *coeffs);
+    /** Maximum magnitude (0 for empty input). */
+    uint32_t (*maxU32)(const uint32_t *mag, size_t n);
+
+    // --- pixel <-> coefficient conversions ---
+    /** out = in - 0.5 (center pixels for the 9/7 path). */
+    void (*centerF)(const float *in, size_t n, float *out);
+    /** out = clamp(in + 0.5, lo, hi). */
+    void (*uncenterClampF)(const float *in, size_t n, float lo, float hi,
+                           float *out);
+    /**
+     * out = roundNearestEven((clamp01? clamp(in,0,1) : in) - sub) * mul)
+     *       - off. Integer pixel mapping for the 5/3 paths.
+     */
+    void (*pixelsToI32)(const float *in, size_t n, bool clamp01, float sub,
+                        float mul, int32_t off, int32_t *out);
+    /** out = clamp((in + off) * invScale, lo, hi). */
+    void (*i32ToPixels)(const int32_t *in, size_t n, float off,
+                        float invScale, float lo, float hi, float *out);
+};
+
+/** Table for the currently active dispatch level (util::simd). */
+const KernelTable &active();
+
+/**
+ * Table for a specific level, or nullptr when that level was not
+ * compiled in or the CPU cannot run it.
+ */
+const KernelTable *forLevel(util::simd::Level level);
+
+/** Levels with a usable table on this machine, weakest first. */
+std::vector<util::simd::Level> availableLevels();
+
+} // namespace earthplus::codec::kernels
+
+#endif // EARTHPLUS_CODEC_KERNELS_HH

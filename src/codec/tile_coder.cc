@@ -4,6 +4,7 @@
 #include <climits>
 #include <cmath>
 
+#include "codec/kernels.hh"
 #include "util/logging.hh"
 
 namespace earthplus::codec {
@@ -43,65 +44,43 @@ TileEncoder::TileEncoder(const raster::Plane &tile,
     visited_.assign(n, 0);
     orient_ = subbandOrientation(width_, height_, params_.dwtLevels);
 
+    // Pixel conversion, quantization and the sign/magnitude split run
+    // through the dispatched kernel table; every level shares the
+    // scalar single-precision dataflow, so the quantized coefficients
+    // (and therefore the encoded stream) do not depend on the level.
+    const kernels::KernelTable &K = kernels::active();
+    const float *pixels = tile.row(0);
     if (params_.lossless) {
         EP_ASSERT(params_.wavelet == Wavelet::LeGall53,
                   "lossless coding requires the 5/3 wavelet");
-        double scale = static_cast<double>((1 << params_.losslessDepth) - 1);
+        float scale =
+            static_cast<float>((1 << params_.losslessDepth) - 1);
         int32_t offset = 1 << (params_.losslessDepth - 1);
         std::vector<int32_t> coeffs(n);
-        for (int y = 0; y < height_; ++y) {
-            const float *row = tile.row(y);
-            for (int x = 0; x < width_; ++x) {
-                double v = std::clamp(static_cast<double>(row[x]), 0.0, 1.0);
-                coeffs[static_cast<size_t>(y) * width_ + x] =
-                    static_cast<int32_t>(std::lround(v * scale)) - offset;
-            }
-        }
+        K.pixelsToI32(pixels, n, true, 0.0f, scale, offset,
+                      coeffs.data());
         forwardDwt53(coeffs, width_, height_, params_.dwtLevels);
-        for (size_t i = 0; i < n; ++i) {
-            int32_t c = coeffs[i];
-            magnitude_[i] = static_cast<uint32_t>(c < 0 ? -c : c);
-            sign_[i] = c < 0 ? 1 : 0;
-        }
+        K.splitI32(coeffs.data(), n, magnitude_.data(), sign_.data());
     } else if (params_.wavelet == Wavelet::CDF97) {
         std::vector<float> coeffs(n);
-        for (int y = 0; y < height_; ++y) {
-            const float *row = tile.row(y);
-            for (int x = 0; x < width_; ++x)
-                coeffs[static_cast<size_t>(y) * width_ + x] = row[x] - 0.5f;
-        }
+        K.centerF(pixels, n, coeffs.data());
         forwardDwt97(coeffs, width_, height_, params_.dwtLevels);
-        double inv = 1.0 / params_.quantStep;
-        for (size_t i = 0; i < n; ++i) {
-            double c = coeffs[i];
-            // Deadzone scalar quantizer.
-            magnitude_[i] =
-                static_cast<uint32_t>(std::floor(std::abs(c) * inv));
-            sign_[i] = c < 0 ? 1 : 0;
-        }
+        // Deadzone scalar quantizer.
+        float inv = static_cast<float>(1.0 / params_.quantStep);
+        K.quantF32(coeffs.data(), n, inv, magnitude_.data(),
+                   sign_.data());
     } else {
         // Lossy 5/3: integer transform of 8-bit-scaled pixels, then the
         // same deadzone quantizer in 1/255 units.
         std::vector<int32_t> icoeffs(n);
-        for (int y = 0; y < height_; ++y) {
-            const float *row = tile.row(y);
-            for (int x = 0; x < width_; ++x)
-                icoeffs[static_cast<size_t>(y) * width_ + x] =
-                    static_cast<int32_t>(
-                        std::lround((row[x] - 0.5f) * 255.0f));
-        }
+        K.pixelsToI32(pixels, n, false, 0.5f, 255.0f, 0, icoeffs.data());
         forwardDwt53(icoeffs, width_, height_, params_.dwtLevels);
-        double inv = 1.0 / (params_.quantStep * 255.0);
-        for (size_t i = 0; i < n; ++i) {
-            double c = icoeffs[i];
-            magnitude_[i] =
-                static_cast<uint32_t>(std::floor(std::abs(c) * inv));
-            sign_[i] = c < 0 ? 1 : 0;
-        }
+        float inv = static_cast<float>(1.0 / (params_.quantStep * 255.0));
+        K.quantI32(icoeffs.data(), n, inv, magnitude_.data(),
+                   sign_.data());
     }
 
-    for (size_t i = 0; i < n; ++i)
-        maxPlane_ = std::max(maxPlane_, highestBit(magnitude_[i]));
+    maxPlane_ = highestBit(K.maxU32(magnitude_.data(), n));
     EP_ASSERT(maxPlane_ <= kMaxPlaneLimit,
               "coefficient magnitude overflows bitplane header (%d)",
               maxPlane_);
@@ -340,77 +319,57 @@ TileDecoder::reconstruct() const
     size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
     raster::Plane out(width_, height_);
     bool fullyDecoded = nextPlane_ < 0;
+    const kernels::KernelTable &K = kernels::active();
 
     if (params_.lossless && fullyDecoded) {
         std::vector<int32_t> coeffs(n);
-        for (size_t i = 0; i < n; ++i) {
-            int32_t m = static_cast<int32_t>(magnitude_[i]);
-            coeffs[i] = sign_[i] ? -m : m;
-        }
+        K.combineI32(magnitude_.data(), sign_.data(), n, coeffs.data());
         inverseDwt53(coeffs, width_, height_, params_.dwtLevels);
-        double scale = static_cast<double>((1 << params_.losslessDepth) - 1);
-        int32_t offset = 1 << (params_.losslessDepth - 1);
-        for (int y = 0; y < height_; ++y) {
-            float *row = out.row(y);
-            for (int x = 0; x < width_; ++x) {
-                int32_t v = coeffs[static_cast<size_t>(y) * width_ + x] +
-                            offset;
-                row[x] = static_cast<float>(v / scale);
-            }
-        }
+        float invScale = static_cast<float>(
+            1.0 / ((1 << params_.losslessDepth) - 1));
+        float offset =
+            static_cast<float>(1 << (params_.losslessDepth - 1));
+        K.i32ToPixels(coeffs.data(), n, offset, invScale, 0.0f, 1.0f,
+                      out.row(0));
         return out;
     }
 
     // Midpoint reconstruction: for coefficient i the bits above
     // lowPlane_[i] are exact, so |c| lies in [m, m + 2^lowPlane[i])
-    // quantizer steps; add half of that uncertainty when significant.
-    auto midpoint = [&](size_t i) {
-        double m = static_cast<double>(magnitude_[i]);
-        if (m <= 0.0)
-            return 0.0;
-        double mag = m + std::ldexp(0.5, lowPlane_[i]);
-        return sign_[i] ? -mag : mag;
-    };
+    // quantizer steps; the dequant kernels add half of that
+    // uncertainty when significant (and decode zero otherwise).
 
     if (params_.wavelet == Wavelet::CDF97) {
         std::vector<float> coeffs(n);
-        for (size_t i = 0; i < n; ++i)
-            coeffs[i] = static_cast<float>(midpoint(i) * params_.quantStep);
+        K.dequant97(magnitude_.data(), sign_.data(), lowPlane_.data(), n,
+                    static_cast<float>(params_.quantStep), coeffs.data());
         inverseDwt97(coeffs, width_, height_, params_.dwtLevels);
-        for (int y = 0; y < height_; ++y) {
-            float *row = out.row(y);
-            for (int x = 0; x < width_; ++x)
-                row[x] = coeffs[static_cast<size_t>(y) * width_ + x] + 0.5f;
-        }
-        out.clampTo(0.0f, 1.0f);
+        K.uncenterClampF(coeffs.data(), n, 0.0f, 1.0f, out.row(0));
         return out;
     }
 
     // 5/3 integer path: lossy 5/3 (quantizer in 1/255 units) or a
     // truncated lossless stream (quantizer step 1).
     std::vector<int32_t> coeffs(n);
-    double toInt = params_.lossless ? 1.0 : params_.quantStep * 255.0;
-    for (size_t i = 0; i < n; ++i)
-        coeffs[i] = static_cast<int32_t>(std::lround(midpoint(i) * toInt));
+    float toInt = params_.lossless
+        ? 1.0f
+        : static_cast<float>(params_.quantStep * 255.0);
+    K.dequant53(magnitude_.data(), sign_.data(), lowPlane_.data(), n,
+                toInt, coeffs.data());
     inverseDwt53(coeffs, width_, height_, params_.dwtLevels);
 
-    double scale;
-    double offset;
+    float invScale;
+    float offset;
     if (params_.lossless) {
-        scale = static_cast<double>((1 << params_.losslessDepth) - 1);
-        offset = static_cast<double>(1 << (params_.losslessDepth - 1));
+        invScale = static_cast<float>(
+            1.0 / ((1 << params_.losslessDepth) - 1));
+        offset = static_cast<float>(1 << (params_.losslessDepth - 1));
     } else {
-        scale = 255.0;
-        offset = 0.5 * 255.0;
+        invScale = static_cast<float>(1.0 / 255.0);
+        offset = 127.5f;
     }
-    for (int y = 0; y < height_; ++y) {
-        float *row = out.row(y);
-        for (int x = 0; x < width_; ++x) {
-            double v = coeffs[static_cast<size_t>(y) * width_ + x];
-            row[x] = static_cast<float>((v + offset) / scale);
-        }
-    }
-    out.clampTo(0.0f, 1.0f);
+    K.i32ToPixels(coeffs.data(), n, offset, invScale, 0.0f, 1.0f,
+                  out.row(0));
     return out;
 }
 

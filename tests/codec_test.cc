@@ -10,9 +10,11 @@
 #include <cstring>
 
 #include "codec/codec.hh"
+#include "codec/kernels.hh"
 #include "raster/metrics.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 using namespace earthplus;
 using namespace earthplus::codec;
@@ -369,6 +371,156 @@ TEST(Codec, ParallelEncodeIsByteIdenticalToSerial)
     }
     util::ThreadPool::setGlobalThreads(
         util::ThreadPool::defaultThreadCount());
+}
+
+TEST(Codec, ScalarAndSimdStreamsAreByteIdentical)
+{
+    // The golden dispatch guarantee: every available SIMD level must
+    // produce the exact bytes the scalar kernels produce, for every
+    // coding mode, including image/tile sizes that leave vector-width
+    // tails in both row and column passes.
+    raster::Plane img = testImage(203, 131, 24);
+    struct Mode
+    {
+        const char *name;
+        EncodeParams params;
+    };
+    std::vector<Mode> modes(3);
+    modes[0].name = "cdf97";
+    modes[0].params.bitsPerPixel = 1.5;
+    modes[0].params.layers = 2;
+    modes[0].params.tileSize = 61;
+    modes[1].name = "lossy53";
+    modes[1].params = modes[0].params;
+    modes[1].params.wavelet = Wavelet::LeGall53;
+    modes[2].name = "lossless";
+    modes[2].params.tileSize = 61;
+    modes[2].params.lossless = true;
+    modes[2].params.wavelet = Wavelet::LeGall53;
+
+    util::simd::Level prev = util::simd::activeLevel();
+    for (const Mode &mode : modes) {
+        util::simd::setActiveLevel(util::simd::Level::Scalar);
+        std::vector<uint8_t> golden = encode(img, mode.params).serialize();
+        raster::Plane goldenDec =
+            decode(EncodedImage::deserialize(golden));
+        for (util::simd::Level l : kernels::availableLevels()) {
+            util::simd::setActiveLevel(l);
+            std::vector<uint8_t> bytes =
+                encode(img, mode.params).serialize();
+            EXPECT_EQ(bytes, golden)
+                << mode.name << " at " << util::simd::levelName(l);
+            raster::Plane dec = decode(EncodedImage::deserialize(bytes));
+            EXPECT_EQ(dec.data(), goldenDec.data())
+                << mode.name << " at " << util::simd::levelName(l);
+        }
+    }
+    util::simd::setActiveLevel(prev);
+}
+
+TEST(Codec, SimdLevelsAgreeOnOddTileWidths)
+{
+    // Tile widths deliberately not divisible by any vector width (4 or
+    // 8): every tile exercises the narrow-column fallback path.
+    raster::Plane img = testImage(130, 97, 25);
+    util::simd::Level prev = util::simd::activeLevel();
+    for (int tileSize : {5, 17, 33, 65}) {
+        EncodeParams p;
+        p.bitsPerPixel = 2.0;
+        p.tileSize = tileSize;
+        util::simd::setActiveLevel(util::simd::Level::Scalar);
+        std::vector<uint8_t> golden = encode(img, p).serialize();
+        for (util::simd::Level l : kernels::availableLevels()) {
+            util::simd::setActiveLevel(l);
+            EXPECT_EQ(encode(img, p).serialize(), golden)
+                << "tileSize=" << tileSize << " at "
+                << util::simd::levelName(l);
+        }
+    }
+    util::simd::setActiveLevel(prev);
+}
+
+TEST(Codec, DecodeTilesSinglePixelImage)
+{
+    raster::Plane img(1, 1, 0.75f);
+    EncodeParams p;
+    p.lossless = true;
+    p.wavelet = Wavelet::LeGall53;
+    EncodedImage enc = encode(img, p);
+    auto tiles = decodeTiles(enc, {0});
+    ASSERT_EQ(tiles.size(), 1u);
+    ASSERT_EQ(tiles[0].width(), 1);
+    ASSERT_EQ(tiles[0].height(), 1);
+    EXPECT_NEAR(tiles[0].at(0, 0), std::round(0.75f * 255.0f) / 255.0f,
+                1e-6);
+}
+
+TEST(Codec, DecodeTilesFullImageSingleTile)
+{
+    // Tile size larger than the image: the whole image is one ragged
+    // tile and tile 0 must decode to the full-frame decode.
+    raster::Plane img = testImage(75, 53, 26);
+    EncodeParams p;
+    p.bitsPerPixel = 2.0;
+    p.tileSize = 128;
+    EncodedImage enc = encode(img, p);
+    raster::Plane full = decode(enc);
+    auto tiles = decodeTiles(enc, {0});
+    ASSERT_EQ(tiles.size(), 1u);
+    ASSERT_EQ(tiles[0].width(), 75);
+    ASSERT_EQ(tiles[0].height(), 53);
+    EXPECT_EQ(tiles[0].data(), full.data());
+}
+
+TEST(Codec, DecodeTilesEmptyListAndDuplicates)
+{
+    raster::Plane img = testImage(128, 128, 27);
+    EncodeParams p;
+    p.bitsPerPixel = 1.0;
+    EncodedImage enc = encode(img, p);
+    EXPECT_TRUE(decodeTiles(enc, {}).empty());
+
+    auto dup = decodeTiles(enc, {2, 2, 0, 2});
+    ASSERT_EQ(dup.size(), 4u);
+    EXPECT_EQ(dup[0].data(), dup[1].data());
+    EXPECT_EQ(dup[0].data(), dup[3].data());
+    raster::TileGrid grid(128, 128, p.tileSize);
+    raster::TileRect r = grid.rect(0);
+    EXPECT_EQ(dup[2].width(), r.width);
+}
+
+TEST(Codec, DecodeTilesRaggedEdges)
+{
+    // 100x70 with 64-pixel tiles: right column is 36 wide, bottom row
+    // 6 tall, corner tile 36x6.
+    raster::Plane img = testImage(100, 70, 28);
+    EncodeParams p;
+    p.bitsPerPixel = 2.0;
+    EncodedImage enc = encode(img, p);
+    raster::Plane full = decode(enc);
+    raster::TileGrid grid(100, 70, p.tileSize);
+    ASSERT_EQ(grid.tileCount(), 4);
+    std::vector<int> all{0, 1, 2, 3};
+    auto tiles = decodeTiles(enc, all);
+    for (int t = 0; t < 4; ++t) {
+        raster::TileRect r = grid.rect(t);
+        raster::Plane expect = full.crop(r.x0, r.y0, r.width, r.height);
+        ASSERT_EQ(tiles[static_cast<size_t>(t)].width(), r.width);
+        ASSERT_EQ(tiles[static_cast<size_t>(t)].height(), r.height);
+        EXPECT_EQ(tiles[static_cast<size_t>(t)].data(), expect.data())
+            << "tile " << t;
+    }
+}
+
+TEST(CodecDeath, DecodeTilesRejectsOutOfRangeIndices)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    raster::Plane img = testImage(128, 128, 29);
+    EncodeParams p;
+    p.bitsPerPixel = 1.0;
+    EncodedImage enc = encode(img, p);
+    EXPECT_DEATH(decodeTiles(enc, {-1}), "outside grid");
+    EXPECT_DEATH(decodeTiles(enc, {4}), "outside grid");
 }
 
 TEST(Codec, NonMultipleTileSizes)

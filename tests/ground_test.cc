@@ -563,6 +563,80 @@ TEST(TileServer, QueriesBeforeFirstRecordAreNotFound)
     EXPECT_FALSE(server.serve(other).found);
 }
 
+TEST(TileServer, EdgeRectsClampAndZeroAreaIsNotFound)
+{
+    Archive archive("");
+    raster::Plane base = testPlane(128, 128, 48);
+    buildChain(archive, base, base, 64);
+    TileServer server(archive);
+
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 1.5;
+    q.band = 0;
+
+    // Zero-area rectangles never serve pixels.
+    q.x0 = 10;
+    q.y0 = 10;
+    q.width = 0;
+    q.height = 5;
+    EXPECT_FALSE(server.serve(q).found);
+    q.width = 5;
+    q.height = 0;
+    EXPECT_FALSE(server.serve(q).found);
+
+    // Fully outside the image (either side) is also empty.
+    q = TileQuery{};
+    q.locationId = 1;
+    q.day = 1.5;
+    q.x0 = 128;
+    q.y0 = 0;
+    q.width = 10;
+    q.height = 10;
+    EXPECT_FALSE(server.serve(q).found);
+    q.x0 = -20;
+    q.y0 = -20;
+    q.width = 10;
+    q.height = 10;
+    EXPECT_FALSE(server.serve(q).found);
+
+    // Overhanging rectangles clamp to the image on every edge.
+    q.x0 = -16;
+    q.y0 = 100;
+    q.width = 300;
+    q.height = 300;
+    TileResult r = server.serve(q);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.pixels.width(), 128);
+    EXPECT_EQ(r.pixels.height(), 28);
+
+    // Single-pixel rectangle.
+    q = TileQuery{};
+    q.locationId = 1;
+    q.day = 1.5;
+    q.x0 = 127;
+    q.y0 = 127;
+    q.width = 1;
+    q.height = 1;
+    r = server.serve(q);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.pixels.width(), 1);
+    EXPECT_EQ(r.pixels.height(), 1);
+
+    // Full-image rectangle equals the full decode of the download.
+    q = TileQuery{};
+    q.locationId = 1;
+    q.day = 1.5;
+    q.width = 128;
+    q.height = 128;
+    r = server.serve(q);
+    ASSERT_TRUE(r.found);
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    raster::Plane expect = codec::decode(codec::encode(base, ep));
+    EXPECT_EQ(r.pixels.data(), expect.data());
+}
+
 TEST(TileServer, CacheHitsOnRepeatAndBatchMatchesSerial)
 {
     Archive archive("");

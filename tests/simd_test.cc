@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Dispatch-level equivalence tests for the vectorized codec kernels.
+ *
+ * The contract under test is strict: every kernel at every available
+ * dispatch level must produce BITWISE-identical output to the scalar
+ * table, including on sizes that are not multiples of the vector
+ * width (loop tails and narrow column batches).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "codec/dwt.hh"
+#include "codec/kernels.hh"
+#include "util/rng.hh"
+#include "util/simd.hh"
+
+using namespace earthplus;
+using namespace earthplus::codec;
+using util::simd::Level;
+
+namespace {
+
+/** Every available non-scalar level (the comparison targets). */
+std::vector<Level>
+vectorLevels()
+{
+    std::vector<Level> out;
+    for (Level l : kernels::availableLevels())
+        if (l != Level::Scalar)
+            out.push_back(l);
+    return out;
+}
+
+std::vector<float>
+randomFloats(size_t n, uint64_t seed, float scale)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0.0, scale));
+    return v;
+}
+
+std::vector<int32_t>
+randomInts(size_t n, uint64_t seed, int32_t lo, int32_t hi)
+{
+    Rng rng(seed);
+    std::vector<int32_t> v(n);
+    for (auto &x : v)
+        x = static_cast<int32_t>(rng.uniformInt(lo, hi));
+    return v;
+}
+
+template <typename T>
+::testing::AssertionResult
+bitwiseEqual(const std::vector<T> &a, const std::vector<T> &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure() << "size mismatch";
+    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) != 0) {
+        for (size_t i = 0; i < a.size(); ++i)
+            if (std::memcmp(&a[i], &b[i], sizeof(T)) != 0)
+                return ::testing::AssertionFailure()
+                       << "first mismatch at index " << i << ": " << a[i]
+                       << " vs " << b[i];
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Sizes chosen to exercise vector bodies, tails and tiny inputs. */
+const int kEdgeSizes[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                          31, 33, 63, 65, 67, 128};
+
+} // namespace
+
+TEST(Simd, ScalarAlwaysAvailable)
+{
+    auto levels = kernels::availableLevels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), Level::Scalar);
+    EXPECT_NE(kernels::forLevel(Level::Scalar), nullptr);
+    EXPECT_EQ(kernels::forLevel(Level::Scalar)->laneWidth, 1);
+}
+
+TEST(Simd, ActiveLevelFollowsOverride)
+{
+    Level prev = util::simd::activeLevel();
+    for (Level l : kernels::availableLevels()) {
+        EXPECT_EQ(util::simd::setActiveLevel(l), l);
+        EXPECT_EQ(util::simd::activeLevel(), l);
+        EXPECT_EQ(kernels::active().level, l);
+    }
+    util::simd::setActiveLevel(prev);
+}
+
+TEST(Simd, UnsupportedLevelFallsBackToBest)
+{
+    Level prev = util::simd::activeLevel();
+    // At most one of NEON / SSE2 can be supported on one machine.
+    Level impossible = util::simd::cpuSupports(Level::NEON)
+        ? Level::SSE2
+        : Level::NEON;
+    EXPECT_EQ(util::simd::setActiveLevel(impossible),
+              util::simd::bestSupported());
+    util::simd::setActiveLevel(prev);
+}
+
+TEST(Simd, LevelNamesAreStable)
+{
+    EXPECT_STREQ(util::simd::levelName(Level::Scalar), "scalar");
+    EXPECT_STREQ(util::simd::levelName(Level::SSE2), "sse2");
+    EXPECT_STREQ(util::simd::levelName(Level::AVX2), "avx2");
+    EXPECT_STREQ(util::simd::levelName(Level::NEON), "neon");
+}
+
+TEST(Simd, Dwt97BitwiseMatchesScalarOnOddSizes)
+{
+    const kernels::KernelTable *scalar = kernels::forLevel(Level::Scalar);
+    for (Level l : vectorLevels()) {
+        const kernels::KernelTable *vec = kernels::forLevel(l);
+        for (int w : kEdgeSizes) {
+            for (int h : {1, 2, 5, 16, 33, 67}) {
+                size_t n = static_cast<size_t>(w) * h;
+                auto ref = randomFloats(n, 1000 + w * 131 + h, 0.5f);
+                auto got = ref;
+                scalar->fwd97(ref.data(), w, w, h);
+                vec->fwd97(got.data(), w, w, h);
+                ASSERT_TRUE(bitwiseEqual(ref, got))
+                    << util::simd::levelName(l) << " fwd97 " << w << "x"
+                    << h;
+                scalar->inv97(ref.data(), w, w, h);
+                vec->inv97(got.data(), w, w, h);
+                ASSERT_TRUE(bitwiseEqual(ref, got))
+                    << util::simd::levelName(l) << " inv97 " << w << "x"
+                    << h;
+            }
+        }
+    }
+}
+
+TEST(Simd, Dwt53BitwiseMatchesScalarAndStaysReversible)
+{
+    const kernels::KernelTable *scalar = kernels::forLevel(Level::Scalar);
+    for (Level l : vectorLevels()) {
+        const kernels::KernelTable *vec = kernels::forLevel(l);
+        for (int w : kEdgeSizes) {
+            for (int h : {2, 9, 31, 64}) {
+                size_t n = static_cast<size_t>(w) * h;
+                auto orig = randomInts(n, 2000 + w * 17 + h, -255, 255);
+                auto ref = orig;
+                auto got = orig;
+                scalar->fwd53(ref.data(), w, w, h);
+                vec->fwd53(got.data(), w, w, h);
+                ASSERT_TRUE(bitwiseEqual(ref, got))
+                    << util::simd::levelName(l) << " fwd53 " << w << "x"
+                    << h;
+                vec->inv53(got.data(), w, w, h);
+                ASSERT_TRUE(bitwiseEqual(orig, got))
+                    << util::simd::levelName(l) << " 5/3 roundtrip " << w
+                    << "x" << h;
+            }
+        }
+    }
+}
+
+TEST(Simd, MultiLevelDwtMatchesScalarThroughDispatch)
+{
+    // Drive the public dwt entry points (several decomposition levels,
+    // non-square, odd dimensions) through the runtime dispatch switch.
+    Level prev = util::simd::activeLevel();
+    const int w = 203, h = 131;
+    size_t n = static_cast<size_t>(w) * h;
+    auto base = randomFloats(n, 42, 0.4f);
+
+    util::simd::setActiveLevel(Level::Scalar);
+    auto ref = base;
+    forwardDwt97(ref, w, h, 4);
+    auto refInv = ref;
+    inverseDwt97(refInv, w, h, 4);
+
+    for (Level l : vectorLevels()) {
+        util::simd::setActiveLevel(l);
+        auto got = base;
+        forwardDwt97(got, w, h, 4);
+        ASSERT_TRUE(bitwiseEqual(ref, got)) << util::simd::levelName(l);
+        inverseDwt97(got, w, h, 4);
+        ASSERT_TRUE(bitwiseEqual(refInv, got))
+            << util::simd::levelName(l);
+    }
+    util::simd::setActiveLevel(prev);
+}
+
+TEST(Simd, QuantizeKernelsMatchScalar)
+{
+    const kernels::KernelTable *scalar = kernels::forLevel(Level::Scalar);
+    for (Level l : vectorLevels()) {
+        const kernels::KernelTable *vec = kernels::forLevel(l);
+        for (int size : kEdgeSizes) {
+            size_t n = static_cast<size_t>(size);
+            auto coeffs = randomFloats(n, 3000 + size, 2.0f);
+            std::vector<uint32_t> magA(n), magB(n);
+            std::vector<uint8_t> signA(n), signB(n);
+            scalar->quantF32(coeffs.data(), n, 512.0f, magA.data(),
+                             signA.data());
+            vec->quantF32(coeffs.data(), n, 512.0f, magB.data(),
+                          signB.data());
+            ASSERT_TRUE(bitwiseEqual(magA, magB)) << "quantF32 " << size;
+            ASSERT_TRUE(bitwiseEqual(signA, signB)) << "quantF32 " << size;
+
+            auto icoeffs = randomInts(n, 4000 + size, -40000, 40000);
+            scalar->quantI32(icoeffs.data(), n, 0.01f, magA.data(),
+                             signA.data());
+            vec->quantI32(icoeffs.data(), n, 0.01f, magB.data(),
+                          signB.data());
+            ASSERT_TRUE(bitwiseEqual(magA, magB)) << "quantI32 " << size;
+            ASSERT_TRUE(bitwiseEqual(signA, signB)) << "quantI32 " << size;
+
+            scalar->splitI32(icoeffs.data(), n, magA.data(), signA.data());
+            vec->splitI32(icoeffs.data(), n, magB.data(), signB.data());
+            ASSERT_TRUE(bitwiseEqual(magA, magB)) << "splitI32 " << size;
+            ASSERT_TRUE(bitwiseEqual(signA, signB)) << "splitI32 " << size;
+
+            // combine inverts split exactly at every level.
+            std::vector<int32_t> backA(n), backB(n);
+            scalar->combineI32(magA.data(), signA.data(), n, backA.data());
+            vec->combineI32(magA.data(), signA.data(), n, backB.data());
+            ASSERT_TRUE(bitwiseEqual(icoeffs, backA)) << "combine " << size;
+            ASSERT_TRUE(bitwiseEqual(backA, backB)) << "combine " << size;
+
+            EXPECT_EQ(scalar->maxU32(magA.data(), n),
+                      vec->maxU32(magA.data(), n));
+        }
+    }
+}
+
+TEST(Simd, MaxU32IsUnsignedAboveIntMax)
+{
+    // Magnitudes >= 2^31 appear when a saturated quantizer overflows;
+    // they must win the reduction (at every level) so the encoder's
+    // bitplane-overflow assert fires instead of silently dropping
+    // high bits.
+    std::vector<uint32_t> mag(19, 5u);
+    mag[7] = 0x80000000u; // INT32_MIN bit pattern
+    mag[13] = 0xFFFFFFFFu;
+    for (Level l : kernels::availableLevels()) {
+        const kernels::KernelTable *t = kernels::forLevel(l);
+        EXPECT_EQ(t->maxU32(mag.data(), mag.size()), 0xFFFFFFFFu)
+            << util::simd::levelName(l);
+        EXPECT_EQ(t->maxU32(mag.data(), 8), 0x80000000u)
+            << util::simd::levelName(l);
+    }
+    EXPECT_EQ(kernels::forLevel(Level::Scalar)->maxU32(nullptr, 0), 0u);
+}
+
+TEST(Simd, DequantizeKernelsMatchScalar)
+{
+    const kernels::KernelTable *scalar = kernels::forLevel(Level::Scalar);
+    for (Level l : vectorLevels()) {
+        const kernels::KernelTable *vec = kernels::forLevel(l);
+        for (int size : kEdgeSizes) {
+            size_t n = static_cast<size_t>(size);
+            Rng rng(5000 + size);
+            std::vector<uint32_t> mag(n);
+            std::vector<uint8_t> sign(n), low(n);
+            for (size_t i = 0; i < n; ++i) {
+                // Mix zero and non-zero magnitudes to hit both branches.
+                mag[i] = rng.uniformInt(0, 3) == 0
+                    ? 0u
+                    : static_cast<uint32_t>(rng.uniformInt(1, 1 << 20));
+                sign[i] = static_cast<uint8_t>(rng.uniformInt(0, 1));
+                low[i] = static_cast<uint8_t>(rng.uniformInt(0, 20));
+            }
+            std::vector<float> fa(n), fb(n);
+            scalar->dequant97(mag.data(), sign.data(), low.data(), n,
+                              1.0f / 512.0f, fa.data());
+            vec->dequant97(mag.data(), sign.data(), low.data(), n,
+                           1.0f / 512.0f, fb.data());
+            ASSERT_TRUE(bitwiseEqual(fa, fb)) << "dequant97 " << size;
+
+            std::vector<int32_t> ia(n), ib(n);
+            scalar->dequant53(mag.data(), sign.data(), low.data(), n,
+                              0.498f, ia.data());
+            vec->dequant53(mag.data(), sign.data(), low.data(), n,
+                           0.498f, ib.data());
+            ASSERT_TRUE(bitwiseEqual(ia, ib)) << "dequant53 " << size;
+        }
+    }
+}
+
+TEST(Simd, PixelConversionKernelsMatchScalar)
+{
+    const kernels::KernelTable *scalar = kernels::forLevel(Level::Scalar);
+    for (Level l : vectorLevels()) {
+        const kernels::KernelTable *vec = kernels::forLevel(l);
+        for (int size : kEdgeSizes) {
+            size_t n = static_cast<size_t>(size);
+            auto pix = randomFloats(n, 6000 + size, 0.6f);
+            std::vector<float> fa(n), fb(n);
+            scalar->centerF(pix.data(), n, fa.data());
+            vec->centerF(pix.data(), n, fb.data());
+            ASSERT_TRUE(bitwiseEqual(fa, fb)) << "centerF " << size;
+
+            scalar->uncenterClampF(pix.data(), n, 0.0f, 1.0f, fa.data());
+            vec->uncenterClampF(pix.data(), n, 0.0f, 1.0f, fb.data());
+            ASSERT_TRUE(bitwiseEqual(fa, fb)) << "uncenterClamp " << size;
+
+            std::vector<int32_t> ia(n), ib(n);
+            scalar->pixelsToI32(pix.data(), n, true, 0.0f, 255.0f, 128,
+                                ia.data());
+            vec->pixelsToI32(pix.data(), n, true, 0.0f, 255.0f, 128,
+                             ib.data());
+            ASSERT_TRUE(bitwiseEqual(ia, ib)) << "pixelsToI32 " << size;
+            scalar->pixelsToI32(pix.data(), n, false, 0.5f, 255.0f, 0,
+                                ia.data());
+            vec->pixelsToI32(pix.data(), n, false, 0.5f, 255.0f, 0,
+                             ib.data());
+            ASSERT_TRUE(bitwiseEqual(ia, ib))
+                << "pixelsToI32 lossy " << size;
+
+            auto ints = randomInts(n, 7000 + size, -300, 300);
+            scalar->i32ToPixels(ints.data(), n, 127.5f, 1.0f / 255.0f,
+                                0.0f, 1.0f, fa.data());
+            vec->i32ToPixels(ints.data(), n, 127.5f, 1.0f / 255.0f, 0.0f,
+                             1.0f, fb.data());
+            ASSERT_TRUE(bitwiseEqual(fa, fb)) << "i32ToPixels " << size;
+        }
+    }
+}
