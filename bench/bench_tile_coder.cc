@@ -1,0 +1,241 @@
+/**
+ * @file
+ * End-to-end tile-coder throughput: full `encodeTileLayers` /
+ * `decodeTileLayers` jobs (DWT + quantization + bitplane passes +
+ * range coding) measured at every SIMD dispatch level, for the three
+ * workloads that bracket Earth+'s operating points:
+ *
+ *   dense        natural-image-like content, every subband busy
+ *   sparse_delta mostly mid-gray change-delta tiles with a few change
+ *                clusters — the common case for Earth+'s delta encoding
+ *   lossless     8-bit content through the reversible 5/3 path
+ *
+ * Prints one row per (direction, workload, level) with median wall-ms
+ * and MB/s (pixel bytes per second), and with `--json <path>` emits
+ * BENCH_tile_coder.json for ci/perf_gate.py.
+ *
+ * Flags: --json <path>, --reps <n>, --edge <pixels>.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "codec/kernels.hh"
+#include "codec/tile_coder.hh"
+#include "util/rng.hh"
+#include "util/simd.hh"
+
+using namespace earthplus;
+using namespace earthplus::codec;
+using util::simd::Level;
+
+namespace {
+
+/** Natural-image-like tile content, libm-free and fully deterministic. */
+raster::Plane
+denseTile(int w, int h, uint64_t seed)
+{
+    raster::Plane p(w, h);
+    Rng rng(seed);
+    // Smooth block structure + per-pixel noise: enough subband energy
+    // to keep every coding pass busy on every plane.
+    const int block = 8;
+    int bw = (w + block - 1) / block;
+    int bh = (h + block - 1) / block;
+    std::vector<float> blocks(static_cast<size_t>(bw) * bh);
+    for (auto &v : blocks)
+        v = static_cast<float>(rng.uniform());
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+            float base = blocks[static_cast<size_t>(y / block) * bw +
+                                static_cast<size_t>(x / block)];
+            float grad = static_cast<float>(x + 2 * y) /
+                         static_cast<float>(w + 2 * h);
+            float noise = static_cast<float>(rng.uniform()) * 0.1f;
+            p.at(x, y) = 0.25f + 0.4f * base + 0.25f * grad + noise;
+        }
+    return p;
+}
+
+/**
+ * Change-delta tile: mid-gray (no change) everywhere except a few
+ * small change clusters, mirroring the delta mapping the Earth+
+ * systems layer feeds the codec.
+ */
+raster::Plane
+sparseDeltaTile(int w, int h, uint64_t seed)
+{
+    raster::Plane p(w, h, 0.5f);
+    Rng rng(seed);
+    int clusters = std::max(1, (w * h) / 4096);
+    for (int c = 0; c < clusters; ++c) {
+        int cx = static_cast<int>(rng.uniformInt(0, w - 1));
+        int cy = static_cast<int>(rng.uniformInt(0, h - 1));
+        int r = static_cast<int>(rng.uniformInt(2, 5));
+        float amp = static_cast<float>(rng.uniform(-0.3, 0.3));
+        for (int y = std::max(0, cy - r);
+             y < std::min(h, cy + r + 1); ++y)
+            for (int x = std::max(0, cx - r);
+                 x < std::min(w, cx + r + 1); ++x)
+                p.at(x, y) = 0.5f + amp;
+    }
+    return p;
+}
+
+double
+medianMs(int reps, const std::function<void()> &fn)
+{
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(reps));
+    fn(); // warm-up
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        times.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+struct WorkloadCase
+{
+    const char *name;
+    std::vector<raster::Plane> tiles;
+    TileCoderParams params;
+    int layers;
+    size_t byteBudget; ///< Per tile; ignored in lossless mode.
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int reps = 11;
+    int edge = 128;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--reps") == 0)
+            reps = std::max(1, std::atoi(argv[i + 1]));
+        if (std::strcmp(argv[i], "--edge") == 0)
+            edge = std::max(16, std::atoi(argv[i + 1]));
+    }
+    std::string jsonPath = epbench::JsonReporter::pathFromArgs(argc, argv);
+
+    const int tilesPerRep = 8;
+    // 2 bpp for dense content; sparse tiles use far less by themselves.
+    size_t budget = static_cast<size_t>(edge) * edge * 2 / 8;
+
+    std::vector<WorkloadCase> cases;
+    {
+        WorkloadCase dense;
+        dense.name = "dense";
+        dense.layers = 2;
+        dense.byteBudget = budget;
+        for (int t = 0; t < tilesPerRep; ++t)
+            dense.tiles.push_back(
+                denseTile(edge, edge, 100 + static_cast<uint64_t>(t)));
+        cases.push_back(std::move(dense));
+
+        WorkloadCase sparse;
+        sparse.name = "sparse_delta";
+        sparse.layers = 2;
+        sparse.byteBudget = budget;
+        for (int t = 0; t < tilesPerRep; ++t)
+            sparse.tiles.push_back(
+                sparseDeltaTile(edge, edge, 200 + static_cast<uint64_t>(t)));
+        cases.push_back(std::move(sparse));
+
+        WorkloadCase lossless;
+        lossless.name = "lossless";
+        lossless.layers = 2;
+        // Roomy cap: lossless 8-bit content never needs 32 bpp.
+        lossless.byteBudget =
+            static_cast<size_t>(edge) * edge * sizeof(float);
+        lossless.params.lossless = true;
+        lossless.params.wavelet = Wavelet::LeGall53;
+        for (int t = 0; t < tilesPerRep; ++t) {
+            raster::Plane p =
+                denseTile(edge, edge, 300 + static_cast<uint64_t>(t));
+            for (auto &v : p.data())
+                v = std::round(v * 255.0f) / 255.0f;
+            lossless.tiles.push_back(std::move(p));
+        }
+        cases.push_back(std::move(lossless));
+    }
+
+    Table table("tile coder end-to-end throughput per dispatch level");
+    table.setHeader({"direction", "workload", "level", "median_ms",
+                     "MB/s", "speedup"});
+    epbench::JsonReporter json("tile_coder");
+    Level prev = util::simd::activeLevel();
+    size_t tileBytes =
+        static_cast<size_t>(edge) * edge * sizeof(float) * tilesPerRep;
+
+    for (const WorkloadCase &c : cases) {
+        std::map<std::string, double> scalarMs;
+        for (Level level : kernels::availableLevels()) {
+            util::simd::setActiveLevel(level);
+            const char *levelName = util::simd::levelName(level);
+
+            // Encode: full tile jobs, layer chunks thrown away.
+            double encMs = medianMs(reps, [&]() {
+                for (const raster::Plane &t : c.tiles)
+                    encodeTileLayers(t, c.params, c.layers, c.byteBudget);
+            });
+
+            // Decode: pre-encode once outside the timed region.
+            std::vector<std::vector<std::vector<uint8_t>>> chunks;
+            for (const raster::Plane &t : c.tiles)
+                chunks.push_back(
+                    encodeTileLayers(t, c.params, c.layers, c.byteBudget));
+            double decMs = medianMs(reps, [&]() {
+                for (const auto &tile : chunks) {
+                    std::vector<ChunkSpan> spans;
+                    for (const auto &layer : tile)
+                        spans.push_back({layer.data(), layer.size()});
+                    decodeTileLayers(edge, edge, c.params, spans);
+                }
+            });
+
+            auto report = [&](const char *dir, double ms) {
+                // Row names carry the workload so ci/perf_gate.py can
+                // key every (row, level) pair uniquely.
+                std::string key = std::string(dir) + "/" + c.name;
+                if (level == Level::Scalar)
+                    scalarMs[key] = ms;
+                double mbps =
+                    static_cast<double>(tileBytes) / (ms * 1e-3) / 1e6;
+                double speedup =
+                    scalarMs.count(key) ? scalarMs[key] / ms : 0.0;
+                table.addRow({dir, c.name, levelName, Table::num(ms, 3),
+                              Table::num(mbps, 1),
+                              Table::num(speedup, 2) + "x"});
+                json.add(key,
+                         {{"level", levelName},
+                          {"edge", std::to_string(edge)},
+                          {"tiles", std::to_string(tilesPerRep)},
+                          {"layers", std::to_string(c.layers)}},
+                         ms, mbps);
+            };
+            report("tile_encode", encMs);
+            report("tile_decode", decMs);
+        }
+    }
+    util::simd::setActiveLevel(prev);
+
+    table.print(std::cout);
+    if (!json.write(jsonPath)) {
+        std::cerr << "failed to write " << jsonPath << "\n";
+        return 1;
+    }
+    return 0;
+}

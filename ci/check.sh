@@ -49,6 +49,12 @@ run_benches() {
     # JSON lands in the artifacts dir for the perf trajectory.
     "$BUILD_DIR/bench_ground_serving" \
         --json "$ARTIFACTS_DIR/BENCH_ground_serving.json"
+
+    # Smoke the end-to-end tile coder (dense / sparse-delta / lossless
+    # at every dispatch level). The gated run lives in perf mode; this
+    # one just records the trajectory from the default build type.
+    "$BUILD_DIR/bench_tile_coder" --reps 3 \
+        --json "$ARTIFACTS_DIR/BENCH_tile_coder.json"
 }
 
 run_perf_gate() {
@@ -73,6 +79,23 @@ run_perf_gate() {
     python3 ci/perf_gate.py \
         --baseline ci/BENCH_codec_kernels.baseline.json \
         --fresh "$ARTIFACTS_DIR/BENCH_codec_kernels.json"
+
+    # End-to-end tile-coder gate: absolute MB/s floors against the
+    # checked-in baseline (the entropy stage runs the same scalar code
+    # at every level, so a relative metric would hide a uniformly
+    # slower coder). Absolute numbers are host-sensitive: the default
+    # 25% margin assumes a host comparable to the baseline machine;
+    # hosted CI widens it via TILE_CODER_MAX_REGRESSION because shared
+    # runners vary severalfold in single-thread throughput. See the
+    # ci/perf_gate.py docstring for re-baselining.
+    # Distinct filename so 'all' mode doesn't clobber the bench-mode
+    # smoke artifact (which records the default build type).
+    cmake --build "$perf_dir" -j --target bench_tile_coder
+    "$perf_dir/bench_tile_coder" --reps 21 \
+        --json "$ARTIFACTS_DIR/BENCH_tile_coder.release.json"
+    python3 ci/perf_gate.py --bench tile_coder \
+        --max-regression "${TILE_CODER_MAX_REGRESSION:-0.25}" \
+        --fresh "$ARTIFACTS_DIR/BENCH_tile_coder.release.json"
 }
 
 run_asan() {
@@ -86,9 +109,10 @@ run_asan() {
           -DCMAKE_BUILD_TYPE=Debug \
           -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
     cmake --build "$SAN_BUILD_DIR" -j \
-          --target ground_test uplink_planner_test codec_test simd_test
+          --target ground_test uplink_planner_test codec_test simd_test \
+                   golden_stream_test
     ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure \
-          -R 'ground_test|uplink_planner_test|codec_test|simd_test'
+          -R 'ground_test|uplink_planner_test|codec_test|simd_test|golden_stream_test'
 }
 
 case "$MODE" in

@@ -1,54 +1,85 @@
 #!/usr/bin/env python3
-"""Machine-readable perf gate for the codec kernel benchmarks.
+"""Machine-readable perf gate for the codec benchmarks.
 
-Diffs a fresh BENCH_codec_kernels.json (produced by
-`bench_codec_kernels --json <path>`) against the checked-in baseline
-and fails CI when a kernel regressed by more than the allowed margin.
+Diffs a fresh BENCH_<bench>.json (produced by `bench_<bench> --json
+<path>`) against the checked-in baseline and fails CI when a row
+regressed by more than the allowed margin. Two benches are gated, each
+with its own preset (select with --bench):
 
-Because CI runners and developer machines differ wildly in absolute
-MB/s, the default metric is the *speedup ratio* of each vector level
-over the scalar level measured in the same file and on the same
-machine. That ratio is a property of the kernel code, not of the host,
-so it transfers between machines. `--absolute` switches to raw MB/s
-for same-machine comparisons.
+codec_kernels (default)
+    Per-kernel throughput. Because CI runners and developer machines
+    differ wildly in absolute MB/s, the metric is the *speedup ratio*
+    of each vector level over the scalar level measured in the same
+    file on the same machine — a property of the kernel code, not of
+    the host. Only the compute-bound lifting kernels are gated (see
+    GATED_KERNELS); the quantizers and pixel conversions saturate DRAM
+    already at scalar width, so their ratio tracks the host's memory
+    bandwidth and stays informational. Hard floors apply on top (e.g.
+    "9/7 lifting must stay >= 2x scalar under AVX2") whenever the
+    fresh run contains that dispatch level.
 
-The gate also enforces hard speedup floors (e.g. "the 9/7 lifting
-kernel must stay >= 2x scalar under AVX2"); floors only apply when the
-fresh run actually contains that dispatch level, so the gate still
-passes on hosts without AVX2.
+tile_coder
+    End-to-end `tile_encode`/`tile_decode` jobs per workload (dense,
+    sparse_delta, lossless). The entropy stage dominates these rows
+    and runs the same scalar code at every dispatch level, so a
+    speedup-over-scalar ratio would hide a uniformly slower coder;
+    the gate is therefore *absolute MB/s* against the checked-in
+    baseline. Absolute numbers are host-sensitive: regenerate the
+    baseline (--rebaseline) when the perf host changes, and expect to
+    re-baseline rather than loosen the margin after intentional
+    changes.
 
-The checked-in baseline intentionally contains only the
-*compute-bound* kernels (GATED_KERNELS below). The remaining kernels
-(quantizers, pixel conversions at >4 GB/s) saturate DRAM already at
-scalar width, so their scalar/SIMD ratio tracks the host's transient
-memory bandwidth rather than the kernel code; they stay in the fresh
-JSON artifact as informational rows but are not gated.
+`--absolute` forces the absolute metric for any bench (same-machine
+comparisons only).
 
 Re-baselining (after an intentional perf change, on a quiet machine):
 
     cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
     ./build/bench_codec_kernels --reps 21 --json /tmp/fresh.json
     python3 ci/perf_gate.py --fresh /tmp/fresh.json --rebaseline
-    git add ci/BENCH_codec_kernels.baseline.json
+    for i in 1 2 3; do
+        ./build/bench_tile_coder --reps 21 --json /tmp/tc_$i.json
+    done
+    python3 ci/perf_gate.py --bench tile_coder --rebaseline \
+        --fresh /tmp/tc_1.json --fresh /tmp/tc_2.json --fresh /tmp/tc_3.json
+    git add ci/BENCH_*.baseline.json
 
-(--rebaseline applies the GATED_KERNELS filter for you.)
+`--fresh` is repeatable: multiple files are merged by taking each
+row's *minimum* MB/s. For an absolute-metric baseline that is the
+point — whole-run throughput swings (frequency scaling, scheduling)
+survive a per-rep median, so a single run's median is not a floor;
+the min over a few independent runs is. (--rebaseline also applies
+the per-bench gated-row filter for you.)
 """
 
 import argparse
 import json
 import sys
 
-DEFAULT_BASELINE = "ci/BENCH_codec_kernels.baseline.json"
 # name:level:minimum speedup over scalar. dwt97_fwd >= 2x under AVX2 is
 # the repo's headline guarantee (see README "Performance").
 DEFAULT_FLOORS = ["dwt97_fwd:avx2:2.0", "dwt97_inv:avx2:2.0"]
 # Kernels whose speedup-over-scalar is a property of the code, not of
 # the host's memory bandwidth — the only rows worth gating at 25%.
-# The lifting passes stay compute-bound (~1.3 GB/s) at every dispatch
-# level; everything else (quantizers, pixel conversions) touches DRAM
-# at multi-GB/s on at least one level, so its ratio moves with the
-# host's transient memory bandwidth.
 GATED_KERNELS = ["dwt97_fwd", "dwt97_inv", "dwt53_fwd", "dwt53_inv"]
+
+BENCHES = {
+    "codec_kernels": {
+        "baseline": "ci/BENCH_codec_kernels.baseline.json",
+        "absolute": False,
+        "floors": DEFAULT_FLOORS,
+        # Gated rows on rebaseline: exact kernel names.
+        "gated": lambda name: name in GATED_KERNELS,
+    },
+    "tile_coder": {
+        "baseline": "ci/BENCH_tile_coder.baseline.json",
+        "absolute": True,
+        "floors": [],
+        # Every end-to-end row is compute-bound in the entropy stage.
+        "gated": lambda name: name.startswith(("tile_encode/",
+                                               "tile_decode/")),
+    },
+}
 
 
 def load(path):
@@ -59,6 +90,17 @@ def load(path):
         key = (r["name"], r.get("params", {}).get("level", ""))
         rows[key] = r
     return rows
+
+
+def load_min(paths):
+    """Merge runs, keeping each row's minimum-MB/s measurement."""
+    merged = {}
+    for path in paths:
+        for key, row in load(path).items():
+            if key not in merged or \
+                    row["mb_per_s"] < merged[key]["mb_per_s"]:
+                merged[key] = row
+    return merged
 
 
 def speedups(rows):
@@ -74,44 +116,66 @@ def speedups(rows):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
-    ap.add_argument("--fresh", required=True,
-                    help="BENCH_codec_kernels.json from this build")
+    ap.add_argument("--bench", choices=sorted(BENCHES), default="codec_kernels",
+                    help="which bench preset to gate (default: "
+                         "codec_kernels)")
+    ap.add_argument("--baseline", default=None,
+                    help="override the preset's baseline path")
+    ap.add_argument("--fresh", required=True, action="append",
+                    help="BENCH_*.json from this build; repeatable "
+                         "(rows merge by minimum MB/s — see the "
+                         "re-baselining notes)")
     ap.add_argument("--max-regression", type=float, default=0.25,
                     help="allowed fractional drop in the median metric "
                          "(default 0.25 = 25%%)")
     ap.add_argument("--absolute", action="store_true",
                     help="gate on raw MB/s instead of speedup-over-"
-                         "scalar (same-machine comparisons only)")
+                         "scalar (same-machine comparisons only; "
+                         "default for --bench tile_coder)")
     ap.add_argument("--floor", action="append", default=None,
                     metavar="NAME:LEVEL:RATIO",
                     help="hard speedup floor; repeatable "
-                         f"(default: {' '.join(DEFAULT_FLOORS)})")
+                         f"(codec_kernels default: {' '.join(DEFAULT_FLOORS)})")
     ap.add_argument("--rebaseline", action="store_true",
                     help="overwrite the baseline with the fresh results "
                          "and exit 0")
     args = ap.parse_args()
 
-    fresh = load(args.fresh)
+    cfg = BENCHES[args.bench]
+    baseline_path = args.baseline or cfg["baseline"]
+    absolute = args.absolute or cfg["absolute"]
+
+    if len(args.fresh) > 1 and not absolute:
+        # Min-merging MB/s across runs would pair a scalar minimum
+        # from one run with a vector minimum from another, producing
+        # speedup ratios no single run measured.
+        print("perf_gate: multiple --fresh files are only meaningful "
+              "for absolute-metric benches (the ratio metric needs "
+              "scalar and vector rows from the same run)")
+        return 2
+
+    fresh = load_min(args.fresh)
     if args.rebaseline:
-        with open(args.fresh) as src:
+        with open(args.fresh[0]) as src:
             doc = json.load(src)
-        doc["results"] = [r for r in doc.get("results", [])
-                          if r["name"] in GATED_KERNELS]
-        with open(args.baseline, "w") as dst:
+        doc["results"] = [r for r in fresh.values()
+                          if cfg["gated"](r["name"])]
+        with open(baseline_path, "w") as dst:
             json.dump(doc, dst, indent=2)
             dst.write("\n")
-        print(f"perf_gate: re-baselined {args.baseline} from "
-              f"{args.fresh} ({len(doc['results'])} gated rows)")
+        print(f"perf_gate: re-baselined {baseline_path} from "
+              f"{' '.join(args.fresh)} ({len(doc['results'])} gated "
+              "rows)")
         return 0
-    base = load(args.baseline)
+    base = load(baseline_path)
 
     failures = []
     skipped = 0
 
-    # Speedups only compare across identical workloads: a fresh run
-    # with a different --edge (or dwt level count) measures a different
-    # working set and must not be diffed against this baseline.
+    # Metrics only compare across identical workloads: a fresh run with
+    # a different --edge (or layer/dwt-level count) measures a
+    # different working set and must not be diffed against this
+    # baseline.
     for key in sorted(set(base) & set(fresh)):
         bp = {k: v for k, v in base[key].get("params", {}).items()
               if k != "level"}
@@ -123,7 +187,7 @@ def main():
                   "default sizes or re-baseline")
             return 1
 
-    if args.absolute:
+    if absolute:
         metric_name = "MB/s"
         base_metric = {k: r["mb_per_s"] for k, r in base.items()}
         fresh_metric = {k: r["mb_per_s"] for k, r in fresh.items()}
@@ -135,14 +199,14 @@ def main():
     for key, expected in sorted(base_metric.items()):
         name, level = key
         if key not in fresh_metric:
-            # This host does not support the level (or the kernel was
+            # This host does not support the level (or the row was
             # removed — the golden tests catch that separately).
             skipped += 1
             continue
         got = fresh_metric[key]
         allowed = expected * (1.0 - args.max_regression)
         status = "ok" if got >= allowed else "REGRESSED"
-        print(f"perf_gate: {name:<18} {level:<7} {metric_name} "
+        print(f"perf_gate: {name:<26} {level:<7} {metric_name} "
               f"baseline={expected:8.2f} fresh={got:8.2f} "
               f"allowed>={allowed:8.2f}  {status}")
         if got < allowed:
@@ -153,7 +217,7 @@ def main():
 
     fresh_speedups = speedups(fresh)
     for floor in (args.floor if args.floor is not None
-                  else DEFAULT_FLOORS):
+                  else cfg["floors"]):
         name, level, ratio = floor.rsplit(":", 2)
         ratio = float(ratio)
         key = (name, level)
@@ -163,7 +227,7 @@ def main():
             continue
         got = fresh_speedups[key]
         status = "ok" if got >= ratio else "BELOW FLOOR"
-        print(f"perf_gate: floor {name:<18} {level:<7} "
+        print(f"perf_gate: floor {name:<26} {level:<7} "
               f"required>={ratio:.2f}x got={got:.2f}x  {status}")
         if got < ratio:
             failures.append(
@@ -180,7 +244,7 @@ def main():
         print("perf_gate: if this change is intentional, re-baseline "
               "(see ci/perf_gate.py docstring)")
         return 1
-    print("perf_gate: all kernels within "
+    print("perf_gate: all rows within "
           f"{args.max_regression:.0%} of baseline")
     return 0
 

@@ -80,6 +80,25 @@ struct KernelTable
     /** Maximum magnitude (0 for empty input). */
     uint32_t (*maxU32)(const uint32_t *mag, size_t n);
 
+    // --- word-mask helpers for the bitset bitplane engine ---
+    /**
+     * Packed bitplane mask: bit i of `out` (LSB-first within uint64_t
+     * words) is `(mag[i] >> plane) & 1`. Bits past `n` in the last
+     * word are zero. The tile coder calls this once per (row, plane)
+     * so the coding passes read one word per 64 coefficients instead
+     * of one magnitude load per pixel.
+     */
+    void (*bitplaneMask)(const uint32_t *mag, size_t n, int plane,
+                         uint64_t *out);
+    /**
+     * 4-neighbor dilation of one packed significance row: bit x of
+     * `out` is set when any of (x-1, x+1) in `row` or x in `up`/`down`
+     * is set. `up`/`down` may be null at the tile border. Pure integer
+     * word ops, so every dispatch level is trivially bit-identical.
+     */
+    void (*dilateRow)(const uint64_t *up, const uint64_t *row,
+                      const uint64_t *down, size_t nwords, uint64_t *out);
+
     // --- pixel <-> coefficient conversions ---
     /** out = in - 0.5 (center pixels for the 9/7 path). */
     void (*centerF)(const float *in, size_t n, float *out);

@@ -23,6 +23,7 @@
 #ifndef EARTHPLUS_CODEC_KERNELS_IMPL_HH
 #define EARTHPLUS_CODEC_KERNELS_IMPL_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -672,6 +673,51 @@ struct Kernels
     }
 
     static void
+    bitplaneMask(const uint32_t *mag, size_t n, int plane, uint64_t *out)
+    {
+        // Shift the plane bit into the sign position and movemask K
+        // lanes at a time into the packed word.
+        size_t nw = (n + 63) / 64;
+        size_t i = 0;
+        for (size_t w = 0; w < nw; ++w) {
+            size_t end = std::min(n, (w + 1) * 64);
+            uint64_t bits = 0;
+            int b = static_cast<int>(i - w * 64);
+            for (; i + K <= end; i += K, b += K) {
+                I v = T::iload(reinterpret_cast<const int32_t *>(mag + i));
+                I m = T::isra(T::ishl(v, 31 - plane), 31);
+                bits |= static_cast<uint64_t>(T::mask01(m)) << b;
+            }
+            for (; i < end; ++i, ++b)
+                bits |= static_cast<uint64_t>((mag[i] >> plane) & 1u)
+                        << b;
+            out[w] = bits;
+        }
+    }
+
+    static void
+    dilateRow(const uint64_t *up, const uint64_t *row,
+              const uint64_t *down, size_t nwords, uint64_t *out)
+    {
+        // Already word-level (64 pixels per op) at every width; the
+        // per-ISA instantiations differ only in what the compiler
+        // auto-vectorizes, never in the bits produced.
+        for (size_t w = 0; w < nwords; ++w) {
+            uint64_t cur = row[w];
+            uint64_t nb = (cur << 1) | (cur >> 1);
+            if (w > 0)
+                nb |= row[w - 1] >> 63;
+            if (w + 1 < nwords)
+                nb |= row[w + 1] << 63;
+            if (up)
+                nb |= up[w];
+            if (down)
+                nb |= down[w];
+            out[w] = nb;
+        }
+    }
+
+    static void
     centerF(const float *in, size_t n, float *out)
     {
         F half = T::fset(0.5f);
@@ -760,7 +806,8 @@ makeTable(util::simd::Level level)
         level,         T::kWidth,      &KT::fwd97,       &KT::inv97,
         &KT::fwd53,    &KT::inv53,     &KT::quantF32,    &KT::quantI32,
         &KT::splitI32, &KT::combineI32, &KT::dequant97,  &KT::dequant53,
-        &KT::maxU32,   &KT::centerF,   &KT::uncenterClampF,
+        &KT::maxU32,   &KT::bitplaneMask, &KT::dilateRow,
+        &KT::centerF,  &KT::uncenterClampF,
         &KT::pixelsToI32, &KT::i32ToPixels,
     };
     return &table;

@@ -1,75 +1,41 @@
 #include "codec/rangecoder.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace earthplus::codec {
 
-namespace {
-
-constexpr uint32_t kTopValue = 1u << 24;
-
-} // anonymous namespace
-
 RangeEncoder::RangeEncoder(std::vector<uint8_t> &out)
-    : out_(out), start_(out.size()), low_(0), range_(0xFFFFFFFFu),
+    : out_(out), start_(out.size()), finalBytes_(0), base_(nullptr),
+      ptr_(nullptr), limit_(nullptr), low_(0), range_(0xFFFFFFFFu),
       cache_(0), cacheSize_(1), flushed_(false)
 {
 }
 
 void
-RangeEncoder::shiftLow()
+RangeEncoder::grow(uint64_t need)
 {
-    if (static_cast<uint32_t>(low_ >> 32) != 0 ||
-        static_cast<uint32_t>(low_) < 0xFF000000u) {
-        uint8_t carry = static_cast<uint8_t>(low_ >> 32);
-        do {
-            out_.push_back(static_cast<uint8_t>(cache_ + carry));
-            cache_ = 0xFF;
-        } while (--cacheSize_ != 0);
-        cache_ = static_cast<uint8_t>(low_ >> 24);
-    }
-    ++cacheSize_;
-    low_ = (low_ & 0x00FFFFFFu) << 8;
-}
-
-void
-RangeEncoder::normalize()
-{
-    while (range_ < kTopValue) {
-        range_ <<= 8;
-        shiftLow();
-    }
-}
-
-void
-RangeEncoder::encodeBit(BitModel &model, int bit)
-{
+    // Every byte emitted after flush() lands here first (flush nulled
+    // the pointers), so the old per-bit "encode after flush" assert
+    // lives in this cold path now at zero hot-path cost. Post-flush
+    // encodes too short to renormalize out a byte are not trapped —
+    // they corrupt nothing, the bits just never reach the stream.
     EP_ASSERT(!flushed_, "encode after flush");
-    uint32_t bound = (range_ >> BitModel::kModelBits) * model.prob();
-    if (!bit) {
-        range_ = bound;
-        model.update0();
-    } else {
-        low_ += bound;
-        range_ -= bound;
-        model.update1();
-    }
-    normalize();
-}
-
-void
-RangeEncoder::encodeBitRaw(int bit)
-{
-    EP_ASSERT(!flushed_, "encode after flush");
-    range_ >>= 1;
-    if (bit)
-        low_ += range_;
-    normalize();
+    size_t written = bytesWritten();
+    size_t cap = out_.size() - start_;
+    size_t newCap =
+        std::max<size_t>(cap * 2, written + static_cast<size_t>(need) + 64);
+    out_.resize(start_ + newCap);
+    base_ = out_.data() + start_;
+    ptr_ = base_ + written;
+    limit_ = out_.data() + out_.size();
 }
 
 void
 RangeEncoder::encodeBitsRaw(uint32_t value, int nbits)
 {
+    EP_ASSERT(!flushed_, "encode after flush");
     for (int i = nbits - 1; i >= 0; --i)
         encodeBitRaw(static_cast<int>((value >> i) & 1u));
 }
@@ -80,63 +46,22 @@ RangeEncoder::flush()
     EP_ASSERT(!flushed_, "double flush");
     for (int i = 0; i < 5; ++i)
         shiftLow();
+    // Trim the grow-amortized overshoot: from here on the vector's
+    // size is the exact stream length again.
+    finalBytes_ = bytesWritten();
+    out_.resize(start_ + finalBytes_);
+    base_ = ptr_ = limit_ = nullptr;
     flushed_ = true;
 }
 
 RangeDecoder::RangeDecoder(const uint8_t *data, size_t size)
-    : data_(data), size_(size), pos_(0), range_(0xFFFFFFFFu), code_(0)
+    : begin_(data), ptr_(data), end_(data + size), range_(0xFFFFFFFFu),
+      code_(0)
 {
     // The first byte emitted by the encoder is always 0 (initial cache);
     // consume 5 bytes to fill the code register, mirroring flush().
     for (int i = 0; i < 5; ++i)
         code_ = (code_ << 8) | nextByte();
-}
-
-uint8_t
-RangeDecoder::nextByte()
-{
-    return pos_ < size_ ? data_[pos_++] : 0;
-}
-
-void
-RangeDecoder::normalize()
-{
-    while (range_ < kTopValue) {
-        range_ <<= 8;
-        code_ = (code_ << 8) | nextByte();
-    }
-}
-
-int
-RangeDecoder::decodeBit(BitModel &model)
-{
-    uint32_t bound = (range_ >> BitModel::kModelBits) * model.prob();
-    int bit;
-    if (code_ < bound) {
-        range_ = bound;
-        model.update0();
-        bit = 0;
-    } else {
-        code_ -= bound;
-        range_ -= bound;
-        model.update1();
-        bit = 1;
-    }
-    normalize();
-    return bit;
-}
-
-int
-RangeDecoder::decodeBitRaw()
-{
-    range_ >>= 1;
-    int bit = 0;
-    if (code_ >= range_) {
-        code_ -= range_;
-        bit = 1;
-    }
-    normalize();
-    return bit;
 }
 
 uint32_t

@@ -6,6 +6,15 @@
  * This is the entropy-coding engine underneath the tile bitplane coder;
  * together they play the role JPEG-2000's MQ-coder plays for Kakadu in
  * the paper.
+ *
+ * The per-bit paths live in this header so the bitplane pass loops
+ * inline them and keep the coder state (low/range/code and the stream
+ * pointer) in registers; they are written branch-light — the bit
+ * decision folds into masks, the probability update into a
+ * conditional-move — and bytes move through a grow-amortized raw
+ * pointer into the output vector instead of per-byte push_back. The
+ * byte stream produced is bit-for-bit the one the original branchy
+ * coder produced; `tests/golden_stream_test.cc` pins that.
  */
 
 #ifndef EARTHPLUS_CODEC_RANGECODER_HH
@@ -16,6 +25,9 @@
 #include <vector>
 
 namespace earthplus::codec {
+
+/** Renormalization threshold shared by encoder and decoder. */
+constexpr uint32_t kRangeTop = 1u << 24;
 
 /**
  * Adaptive probability state for one binary context.
@@ -41,6 +53,18 @@ class BitModel
     /** Move probability toward "bit was 1". */
     void update1() { prob_ -= static_cast<uint16_t>(prob_ >> kMoveBits); }
 
+    /**
+     * Combined update, exactly update0()/update1() but with both deltas
+     * computed up front so the select compiles to a conditional move.
+     */
+    void
+    update(uint32_t bit)
+    {
+        uint16_t d0 = static_cast<uint16_t>((kOne - prob_) >> kMoveBits);
+        uint16_t d1 = static_cast<uint16_t>(prob_ >> kMoveBits);
+        prob_ = static_cast<uint16_t>(bit ? prob_ - d1 : prob_ + d0);
+    }
+
     /** Total probability denominator exponent. */
     static constexpr int kModelBits = 11;
     /** Probability denominator (2^11). */
@@ -56,6 +80,12 @@ class BitModel
 
 /**
  * Binary range encoder writing to a byte vector.
+ *
+ * The destination vector is used as raw storage while encoding (its
+ * size() overshoots the bytes actually written); flush() trims it to
+ * the exact stream, so the vector must only be read after flush().
+ * Holds raw pointers into the vector: not copyable, and the vector
+ * must not be touched by the caller between construction and flush().
  */
 class RangeEncoder
 {
@@ -63,35 +93,100 @@ class RangeEncoder
     /** @param out Destination byte stream (appended to). */
     explicit RangeEncoder(std::vector<uint8_t> &out);
 
+    RangeEncoder(const RangeEncoder &) = delete;
+    RangeEncoder &operator=(const RangeEncoder &) = delete;
+
     /** Encode one bit under an adaptive model. */
-    void encodeBit(BitModel &model, int bit);
+    void
+    encodeBit(BitModel &model, int bit)
+    {
+        uint32_t b = static_cast<uint32_t>(bit != 0);
+        uint32_t bound = (range_ >> BitModel::kModelBits) * model.prob();
+        uint32_t mask = 0u - b;
+        low_ += bound & mask;
+        range_ = bound + ((range_ - 2 * bound) & mask);
+        model.update(b);
+        if (range_ < kRangeTop)
+            normalize();
+    }
 
     /** Encode one bit with fixed probability 1/2 (no model). */
-    void encodeBitRaw(int bit);
+    void
+    encodeBitRaw(int bit)
+    {
+        range_ >>= 1;
+        low_ += range_ & (0u - static_cast<uint32_t>(bit != 0));
+        if (range_ < kRangeTop)
+            normalize();
+    }
 
     /** Encode `nbits` raw bits of `value`, most significant first. */
     void encodeBitsRaw(uint32_t value, int nbits);
 
     /**
-     * Flush the coder state. Must be called exactly once at the end of a
-     * chunk; after flushing, the encoder must not be reused.
+     * Flush the coder state and trim the destination vector to the
+     * bytes actually written. Must be called exactly once at the end of
+     * a chunk; after flushing, the encoder must not be reused.
      */
     void flush();
 
-    /** Bytes emitted so far (grows as the stream is produced). */
-    size_t bytesWritten() const { return out_.size() - start_; }
+    /**
+     * Bytes emitted so far (grows as the stream is produced); after
+     * flush(), the final stream length.
+     */
+    size_t
+    bytesWritten() const
+    {
+        return flushed_ ? finalBytes_
+                        : static_cast<size_t>(ptr_ - base_);
+    }
 
   private:
     std::vector<uint8_t> &out_;
-    size_t start_;
+    size_t start_;      ///< out_.size() at construction.
+    size_t finalBytes_; ///< Stream length, recorded by flush().
+    uint8_t *base_;     ///< &out_[start_] (null until first grow).
+    uint8_t *ptr_;      ///< Next write position.
+    uint8_t *limit_;    ///< End of the grown storage region.
     uint64_t low_;
     uint32_t range_;
     uint8_t cache_;
     uint64_t cacheSize_;
     bool flushed_;
 
-    void shiftLow();
-    void normalize();
+    /** Grow out_ so at least `need` more bytes fit; cold path. */
+    void grow(uint64_t need);
+
+    void
+    shiftLow()
+    {
+        if (static_cast<uint32_t>(low_ >> 32) != 0 ||
+            static_cast<uint32_t>(low_) < 0xFF000000u) {
+            uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+            uint64_t run = cacheSize_;
+            if (static_cast<uint64_t>(limit_ - ptr_) < run)
+                grow(run);
+            uint8_t *p = ptr_;
+            *p++ = static_cast<uint8_t>(cache_ + carry);
+            uint8_t fill = static_cast<uint8_t>(0xFFu + carry);
+            while (--run != 0)
+                *p++ = fill;
+            ptr_ = p;
+            cache_ = static_cast<uint8_t>(low_ >> 24);
+            cacheSize_ = 0;
+        }
+        ++cacheSize_;
+        low_ = (low_ & 0x00FFFFFFu) << 8;
+    }
+
+    void
+    normalize()
+    {
+        do {
+            range_ <<= 8;
+            shiftLow();
+        } while (range_ < kRangeTop);
+    }
 };
 
 /**
@@ -110,26 +205,62 @@ class RangeDecoder
     RangeDecoder(const uint8_t *data, size_t size);
 
     /** Decode one bit under an adaptive model. */
-    int decodeBit(BitModel &model);
+    int
+    decodeBit(BitModel &model)
+    {
+        uint32_t bound = (range_ >> BitModel::kModelBits) * model.prob();
+        uint32_t mask = 0u - static_cast<uint32_t>(code_ >= bound);
+        code_ -= bound & mask;
+        range_ = bound + ((range_ - 2 * bound) & mask);
+        model.update(mask & 1u);
+        if (range_ < kRangeTop)
+            normalize();
+        return static_cast<int>(mask & 1u);
+    }
 
     /** Decode one raw (probability 1/2) bit. */
-    int decodeBitRaw();
+    int
+    decodeBitRaw()
+    {
+        range_ >>= 1;
+        uint32_t mask = 0u - static_cast<uint32_t>(code_ >= range_);
+        code_ -= range_ & mask;
+        if (range_ < kRangeTop)
+            normalize();
+        return static_cast<int>(mask & 1u);
+    }
 
     /** Decode `nbits` raw bits, most significant first. */
     uint32_t decodeBitsRaw(int nbits);
 
     /** Bytes consumed so far. */
-    size_t bytesRead() const { return pos_; }
+    size_t
+    bytesRead() const
+    {
+        return static_cast<size_t>(ptr_ - begin_);
+    }
 
   private:
-    const uint8_t *data_;
-    size_t size_;
-    size_t pos_;
+    const uint8_t *begin_;
+    const uint8_t *ptr_;
+    const uint8_t *end_;
     uint32_t range_;
     uint32_t code_;
 
-    uint8_t nextByte();
-    void normalize();
+    uint8_t
+    nextByte()
+    {
+        return ptr_ != end_ ? *ptr_++ : 0;
+    }
+
+    void
+    normalize()
+    {
+        do {
+            range_ <<= 8;
+            code_ = (code_ << 8) | nextByte();
+        } while (range_ < kRangeTop);
+    }
 };
 
 } // namespace earthplus::codec

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "codec/kernels.hh"
+#include "util/bytes.hh"
 #include "util/logging.hh"
 
 namespace earthplus::codec {
@@ -14,34 +15,228 @@ namespace {
 /** Highest usable magnitude bitplane (5-bit header limit). */
 constexpr int kMaxPlaneLimit = 30;
 
-/** Sentinel for "not yet significant" in the significance-plane map. */
-constexpr uint8_t kNeverSignificant = 0xFF;
-
+/** Words needed to pack one `width`-pixel row. */
 int
-highestBit(uint32_t v)
+packedWords(int width)
 {
-    int p = -1;
-    while (v) {
-        ++p;
-        v >>= 1;
-    }
-    return p;
+    return (width + 63) / 64;
 }
+
+/** All-ones over the bits a row's last word actually uses. */
+uint64_t
+lastWordMask(int width)
+{
+    int used = width % 64;
+    return used == 0 ? ~0ull : ~0ull >> (64 - used);
+}
+
+/**
+ * Per-word snapshot of everything the neighbor count of one candidate
+ * word needs. The coding loops keep these in registers across the
+ * whole word: the range coder stores bytes through `uint8_t *`, which
+ * aliases every array in the coder, so reading the words back from
+ * memory after each coded bit would defeat the bitset representation.
+ *
+ * Correctness of the snapshot: while word `w` of row `y` is being
+ * processed, `up` (row y-1) is final for this pass, `down` (row y+1)
+ * and the right carry (word w+1) are untouched, and the left carry
+ * (word w-1) was written back before this word started. Only `sig`
+ * (word w itself) changes mid-word, and it is updated in place.
+ */
+struct NeighborWords
+{
+    uint64_t sig;        ///< Live significance of this word.
+    uint64_t up;         ///< Row above (0 at the top border).
+    uint64_t down;       ///< Row below (0 at the bottom border).
+    uint64_t leftCarry;  ///< Bit 63 of word w-1 (left of bit 0).
+    uint64_t rightCarry; ///< Bit 0 of word w+1 (right of bit 63).
+
+    NeighborWords(const uint64_t *sigRow, const uint64_t *sigUp,
+                  const uint64_t *sigDn, int w, int words)
+        : sig(sigRow[w]), up(sigUp ? sigUp[w] : 0),
+          down(sigDn ? sigDn[w] : 0),
+          leftCarry(w > 0 ? sigRow[w - 1] >> 63 : 0),
+          rightCarry(w + 1 < words ? sigRow[w + 1] & 1u : 0)
+    {
+    }
+
+    /** Significant 4-neighbors of bit `b`, from the live snapshot. */
+    int
+    count(int b) const
+    {
+        uint64_t left = b > 0 ? (sig >> (b - 1)) & 1u : leftCarry;
+        uint64_t right = b < 63 ? (sig >> (b + 1)) & 1u : rightCarry;
+        return static_cast<int>(((up >> b) & 1u) + ((down >> b) & 1u) +
+                                left + right);
+    }
+};
+
+/** The packed per-pixel state one significance scan works over. */
+struct ScanGrid
+{
+    int width;
+    int height;
+    int words; ///< wordsPerRow.
+    uint64_t *sig;
+    uint64_t *visited;
+    uint64_t *dilation; ///< Per-row scratch, `words` entries.
+    const uint8_t *orient;
+    TileContexts *ctx;
+};
+
+/**
+ * Word-scan driver shared by the significance-propagation (pass 0)
+ * and cleanup (pass 2) scans of the encoder AND the decoder — the
+ * candidate evolution is the byte-identity-critical part, so it
+ * exists exactly once. `Coder` supplies the two per-coefficient
+ * actions that differ between the four call sites:
+ *
+ *   int  code(size_t i, int y, int w, int b, BitModel &model);
+ *        Code the significance bit of coefficient i under `model`
+ *        and return it.
+ *   void significant(size_t i);
+ *        Coefficient i just turned significant: handle its sign (and,
+ *        on the decoder, its magnitude bit).
+ *
+ * Pass 0 (kCleanup = false) visits insignificant coefficients with at
+ * least one significant neighbor — the dilation row masked to
+ * `~significant` — marking each visited, and a coefficient turning
+ * significant recruits its right neighbor into the live candidate
+ * word (or the next word's dilation bit), reproducing the per-pixel
+ * raster scan's left-to-right propagation wave exactly. Pass 2
+ * (kCleanup = true) visits everything still insignificant and
+ * unvisited; there the dilation word only gates the neighbor count
+ * (isolated coefficients take the zero-neighbor context without
+ * touching their neighbors), and new significance extends the gate
+ * instead of the candidate set.
+ */
+template <bool kCleanup, typename Coder>
+void
+runSigScan(const ScanGrid &g, Coder &&coder)
+{
+    const int W = g.words;
+    const kernels::KernelTable &K = kernels::active();
+    const uint64_t lastMask = lastWordMask(g.width);
+    uint64_t *nb = g.dilation;
+    for (int y = 0; y < g.height; ++y) {
+        uint64_t *sigRow = g.sig + static_cast<size_t>(y) * W;
+        const uint64_t *sigUp = y > 0 ? sigRow - W : nullptr;
+        const uint64_t *sigDn = y + 1 < g.height ? sigRow + W : nullptr;
+        uint64_t *visRow = g.visited + static_cast<size_t>(y) * W;
+        K.dilateRow(sigUp, sigRow, sigDn, static_cast<size_t>(W), nb);
+        size_t rowBase =
+            static_cast<size_t>(y) * static_cast<size_t>(g.width);
+        const uint8_t *orientRow = g.orient + rowBase;
+        for (int w = 0; w < W; ++w) {
+            const uint64_t valid = w == W - 1 ? lastMask : ~0ull;
+            uint64_t m = kCleanup ? ~sigRow[w] & ~visRow[w] & valid
+                                  : nb[w] & ~sigRow[w] & valid;
+            if (m == 0)
+                continue;
+            NeighborWords nw(sigRow, sigUp, sigDn, w, W);
+            uint64_t nbW = nb[w];
+            uint64_t vis = visRow[w];
+            do {
+                int b = util::countTrailingZeros(m);
+                m &= m - 1;
+                int x = (w << 6) + b;
+                int nn;
+                if (kCleanup) {
+                    nn = ((nbW >> b) & 1u) != 0 ? nw.count(b) : 0;
+                } else {
+                    nn = nw.count(b);
+                    vis |= 1ull << b;
+                }
+                BitModel &model =
+                    g.ctx->significance[orientRow[x]]
+                                       [static_cast<size_t>(
+                                           nn < 3 ? nn : 3)];
+                int bit = coder.code(rowBase + static_cast<size_t>(x),
+                                     y, w, b, model);
+                if (bit) {
+                    coder.significant(rowBase + static_cast<size_t>(x));
+                    nw.sig |= 1ull << b;
+                    if (b < 63) {
+                        if (kCleanup)
+                            nbW |= 1ull << (b + 1);
+                        else
+                            m |= (1ull << (b + 1)) & ~nw.sig & valid;
+                    } else if (w + 1 < W) {
+                        nb[w + 1] |= 1ull;
+                    }
+                }
+            } while (m != 0);
+            sigRow[w] = nw.sig;
+            if (!kCleanup)
+                visRow[w] = vis;
+        }
+    }
+}
+
+/** Encoder-side scan actions: bits come from the plane-bit mask. */
+struct EncoderScan
+{
+    RangeEncoder &enc;
+    const uint64_t *planeBits;
+    int words;
+    const uint8_t *sign;
+
+    int
+    code(size_t, int y, int w, int b, BitModel &model)
+    {
+        int bit = static_cast<int>(
+            (planeBits[static_cast<size_t>(y) * words + w] >> b) & 1u);
+        enc.encodeBit(model, bit);
+        return bit;
+    }
+
+    void significant(size_t i) { enc.encodeBitRaw(sign[i]); }
+};
+
+/** Decoder-side scan actions: bits come from the stream. */
+struct DecoderScan
+{
+    RangeDecoder &dec;
+    uint32_t *magnitude;
+    uint8_t *sign;
+    uint8_t *lowPlane;
+    int plane;
+
+    int
+    code(size_t i, int, int, int, BitModel &model)
+    {
+        int bit = dec.decodeBit(model);
+        lowPlane[i] = static_cast<uint8_t>(plane);
+        return bit;
+    }
+
+    void
+    significant(size_t i)
+    {
+        magnitude[i] |= 1u << plane;
+        sign[i] = static_cast<uint8_t>(dec.decodeBitRaw());
+    }
+};
 
 } // anonymous namespace
 
 TileEncoder::TileEncoder(const raster::Plane &tile,
                          const TileCoderParams &params)
     : params_(params), width_(tile.width()), height_(tile.height()),
-      maxPlane_(-1), planesCoded_(0), headerDone_(false)
+      wordsPerRow_(packedWords(tile.width())), maxPlane_(-1),
+      planesCoded_(0), headerDone_(false)
 {
     EP_ASSERT(width_ > 0 && height_ > 0, "empty tile");
     size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
+    size_t nWords =
+        static_cast<size_t>(wordsPerRow_) * static_cast<size_t>(height_);
     magnitude_.assign(n, 0);
     sign_.assign(n, 0);
-    significant_.assign(n, 0);
-    sigPlane_.assign(n, kNeverSignificant);
-    visited_.assign(n, 0);
+    sigBits_.assign(nWords, 0);
+    visitedBits_.assign(nWords, 0);
+    refinableBits_.assign(nWords, 0);
+    planeBits_.assign(nWords, 0);
+    dilation_.assign(static_cast<size_t>(wordsPerRow_), 0);
     orient_ = subbandOrientation(width_, height_, params_.dwtLevels);
 
     // Pixel conversion, quantization and the sign/magnitude split run
@@ -80,7 +275,7 @@ TileEncoder::TileEncoder(const raster::Plane &tile,
                    sign_.data());
     }
 
-    maxPlane_ = highestBit(K.maxU32(magnitude_.data(), n));
+    maxPlane_ = util::bitWidth(K.maxU32(magnitude_.data(), n)) - 1;
     EP_ASSERT(maxPlane_ <= kMaxPlaneLimit,
               "coefficient magnitude overflows bitplane header (%d)",
               maxPlane_);
@@ -102,73 +297,71 @@ TileEncoder::done() const
     return nextPlane_ < 0;
 }
 
-int
-TileEncoder::significantNeighbors(int x, int y) const
+void
+TileEncoder::beginPlane(int plane)
 {
-    int n = 0;
-    auto sig = [&](int nx, int ny) {
-        if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
-            return 0;
-        return static_cast<int>(
-            significant_[static_cast<size_t>(ny) * width_ + nx]);
-    };
-    n += sig(x - 1, y);
-    n += sig(x + 1, y);
-    n += sig(x, y - 1);
-    n += sig(x, y + 1);
-    return n;
+    // Refinement (pass 1) covers exactly the coefficients significant
+    // before this plane's pass 0 runs — the snapshot replaces the old
+    // per-pixel "plane where it turned significant" map.
+    std::copy(sigBits_.begin(), sigBits_.end(), refinableBits_.begin());
+    std::fill(visitedBits_.begin(), visitedBits_.end(), 0);
+    const kernels::KernelTable &K = kernels::active();
+    for (int y = 0; y < height_; ++y)
+        K.bitplaneMask(magnitude_.data() +
+                           static_cast<size_t>(y) * width_,
+                       static_cast<size_t>(width_), plane,
+                       planeBits_.data() +
+                           static_cast<size_t>(y) * wordsPerRow_);
+}
+
+void
+TileEncoder::encodeSigPass(RangeEncoder &enc)
+{
+    runSigScan<false>(
+        ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
+                 visitedBits_.data(), dilation_.data(), orient_.data(),
+                 &ctx_},
+        EncoderScan{enc, planeBits_.data(), wordsPerRow_,
+                    sign_.data()});
+}
+
+void
+TileEncoder::encodeRefinePass(RangeEncoder &enc)
+{
+    const size_t nWords = refinableBits_.size();
+    for (size_t w = 0; w < nWords; ++w) {
+        uint64_t m = refinableBits_[w];
+        const uint64_t bitsWord = planeBits_[w];
+        while (m != 0) {
+            int b = util::countTrailingZeros(m);
+            m &= m - 1;
+            enc.encodeBit(ctx_.refinement,
+                          static_cast<int>((bitsWord >> b) & 1u));
+        }
+    }
+}
+
+void
+TileEncoder::encodeCleanupPass(RangeEncoder &enc)
+{
+    runSigScan<true>(
+        ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
+                 visitedBits_.data(), dilation_.data(), orient_.data(),
+                 &ctx_},
+        EncoderScan{enc, planeBits_.data(), wordsPerRow_,
+                    sign_.data()});
 }
 
 void
 TileEncoder::encodePass(RangeEncoder &enc, int plane, int pass)
 {
-    if (pass == 0)
-        std::fill(visited_.begin(), visited_.end(), 0);
-    for (int y = 0; y < height_; ++y) {
-        for (int x = 0; x < width_; ++x) {
-            size_t i = static_cast<size_t>(y) * width_ + x;
-            int bit = static_cast<int>((magnitude_[i] >> plane) & 1u);
-            if (pass == 0) {
-                // Significance propagation: insignificant coefficients
-                // with at least one significant neighbor.
-                if (significant_[i])
-                    continue;
-                int nn = significantNeighbors(x, y);
-                if (nn == 0)
-                    continue;
-                visited_[i] = 1;
-                enc.encodeBit(
-                    ctx_.significance[orient_[i]]
-                                     [static_cast<size_t>(std::min(nn, 3))],
-                    bit);
-                if (bit) {
-                    enc.encodeBitRaw(sign_[i]);
-                    significant_[i] = 1;
-                    sigPlane_[i] = static_cast<uint8_t>(plane);
-                }
-            } else if (pass == 1) {
-                // Refinement of coefficients significant before this
-                // plane (sigPlane > plane because planes count down).
-                if (!significant_[i] ||
-                    sigPlane_[i] <= static_cast<uint8_t>(plane))
-                    continue;
-                enc.encodeBit(ctx_.refinement, bit);
-            } else {
-                // Cleanup: everything still insignificant and unvisited.
-                if (significant_[i] || visited_[i])
-                    continue;
-                int nn = significantNeighbors(x, y);
-                enc.encodeBit(
-                    ctx_.significance[orient_[i]]
-                                     [static_cast<size_t>(std::min(nn, 3))],
-                    bit);
-                if (bit) {
-                    enc.encodeBitRaw(sign_[i]);
-                    significant_[i] = 1;
-                    sigPlane_[i] = static_cast<uint8_t>(plane);
-                }
-            }
-        }
+    if (pass == 0) {
+        beginPlane(plane);
+        encodeSigPass(enc);
+    } else if (pass == 1) {
+        encodeRefinePass(enc);
+    } else {
+        encodeCleanupPass(enc);
     }
 }
 
@@ -203,17 +396,21 @@ TileEncoder::encodePlanes(RangeEncoder &enc, size_t byteLimit,
 
 TileDecoder::TileDecoder(int width, int height,
                          const TileCoderParams &params)
-    : params_(params), width_(width), height_(height), maxPlane_(-1),
-      nextPlane_(-1), nextPass_(0), planesCoded_(0)
+    : params_(params), width_(width), height_(height),
+      wordsPerRow_(packedWords(width)), maxPlane_(-1), nextPlane_(-1),
+      nextPass_(0), planesCoded_(0)
 {
     EP_ASSERT(width_ > 0 && height_ > 0, "empty tile");
     size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
+    size_t nWords =
+        static_cast<size_t>(wordsPerRow_) * static_cast<size_t>(height_);
     magnitude_.assign(n, 0);
     sign_.assign(n, 0);
-    significant_.assign(n, 0);
-    sigPlane_.assign(n, kNeverSignificant);
-    visited_.assign(n, 0);
     lowPlane_.assign(n, 0);
+    sigBits_.assign(nWords, 0);
+    visitedBits_.assign(nWords, 0);
+    refinableBits_.assign(nWords, 0);
+    dilation_.assign(static_cast<size_t>(wordsPerRow_), 0);
     orient_ = subbandOrientation(width_, height_, params_.dwtLevels);
 }
 
@@ -230,72 +427,71 @@ TileDecoder::decodeHeader(RangeDecoder &dec)
               static_cast<uint8_t>(std::max(maxPlane_ + 1, 0)));
 }
 
-int
-TileDecoder::significantNeighbors(int x, int y) const
+void
+TileDecoder::beginPlane()
 {
-    int n = 0;
-    auto sig = [&](int nx, int ny) {
-        if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
-            return 0;
-        return static_cast<int>(
-            significant_[static_cast<size_t>(ny) * width_ + nx]);
-    };
-    n += sig(x - 1, y);
-    n += sig(x + 1, y);
-    n += sig(x, y - 1);
-    n += sig(x, y + 1);
-    return n;
+    std::copy(sigBits_.begin(), sigBits_.end(), refinableBits_.begin());
+    std::fill(visitedBits_.begin(), visitedBits_.end(), 0);
+}
+
+void
+TileDecoder::decodeSigPass(RangeDecoder &dec, int plane)
+{
+    runSigScan<false>(
+        ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
+                 visitedBits_.data(), dilation_.data(), orient_.data(),
+                 &ctx_},
+        DecoderScan{dec, magnitude_.data(), sign_.data(),
+                    lowPlane_.data(), plane});
+}
+
+void
+TileDecoder::decodeRefinePass(RangeDecoder &dec, int plane)
+{
+    const int W = wordsPerRow_;
+    for (int y = 0; y < height_; ++y) {
+        const uint64_t *refRow =
+            refinableBits_.data() + static_cast<size_t>(y) * W;
+        size_t rowBase =
+            static_cast<size_t>(y) * static_cast<size_t>(width_);
+        uint8_t *lowRow = lowPlane_.data() + rowBase;
+        uint32_t *magRow = magnitude_.data() + rowBase;
+        for (int w = 0; w < W; ++w) {
+            uint64_t m = refRow[w];
+            while (m != 0) {
+                int b = util::countTrailingZeros(m);
+                m &= m - 1;
+                int x = (w << 6) + b;
+                int bit = dec.decodeBit(ctx_.refinement);
+                lowRow[x] = static_cast<uint8_t>(plane);
+                if (bit)
+                    magRow[x] |= 1u << plane;
+            }
+        }
+    }
+}
+
+void
+TileDecoder::decodeCleanupPass(RangeDecoder &dec, int plane)
+{
+    runSigScan<true>(
+        ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
+                 visitedBits_.data(), dilation_.data(), orient_.data(),
+                 &ctx_},
+        DecoderScan{dec, magnitude_.data(), sign_.data(),
+                    lowPlane_.data(), plane});
 }
 
 void
 TileDecoder::decodePass(RangeDecoder &dec, int plane, int pass)
 {
-    if (pass == 0)
-        std::fill(visited_.begin(), visited_.end(), 0);
-    for (int y = 0; y < height_; ++y) {
-        for (int x = 0; x < width_; ++x) {
-            size_t i = static_cast<size_t>(y) * width_ + x;
-            if (pass == 0) {
-                if (significant_[i])
-                    continue;
-                int nn = significantNeighbors(x, y);
-                if (nn == 0)
-                    continue;
-                visited_[i] = 1;
-                int bit = dec.decodeBit(
-                    ctx_.significance[orient_[i]]
-                                     [static_cast<size_t>(std::min(nn, 3))]);
-                lowPlane_[i] = static_cast<uint8_t>(plane);
-                if (bit) {
-                    magnitude_[i] |= 1u << plane;
-                    sign_[i] = static_cast<uint8_t>(dec.decodeBitRaw());
-                    significant_[i] = 1;
-                    sigPlane_[i] = static_cast<uint8_t>(plane);
-                }
-            } else if (pass == 1) {
-                if (!significant_[i] ||
-                    sigPlane_[i] <= static_cast<uint8_t>(plane))
-                    continue;
-                int bit = dec.decodeBit(ctx_.refinement);
-                lowPlane_[i] = static_cast<uint8_t>(plane);
-                if (bit)
-                    magnitude_[i] |= 1u << plane;
-            } else {
-                if (significant_[i] || visited_[i])
-                    continue;
-                int nn = significantNeighbors(x, y);
-                int bit = dec.decodeBit(
-                    ctx_.significance[orient_[i]]
-                                     [static_cast<size_t>(std::min(nn, 3))]);
-                lowPlane_[i] = static_cast<uint8_t>(plane);
-                if (bit) {
-                    magnitude_[i] |= 1u << plane;
-                    sign_[i] = static_cast<uint8_t>(dec.decodeBitRaw());
-                    significant_[i] = 1;
-                    sigPlane_[i] = static_cast<uint8_t>(plane);
-                }
-            }
-        }
+    if (pass == 0) {
+        beginPlane();
+        decodeSigPass(dec, plane);
+    } else if (pass == 1) {
+        decodeRefinePass(dec, plane);
+    } else {
+        decodeCleanupPass(dec, plane);
     }
 }
 

@@ -10,6 +10,19 @@
  * exhausted), SNR-progressive quality layers (plane groups), and
  * graceful truncation for the layered downlink (§5, "Handling bandwidth
  * fluctuation").
+ *
+ * The coding passes are bitset-driven: significance, visited and
+ * refinable state live in word-packed `uint64_t` planes (one fresh run
+ * of words per row), each pass derives its candidate set with
+ * word-level operations — pass 0 from a 4-neighbor dilation of the
+ * significance plane, pass 1 from the refinable plane, pass 2 from
+ * `~significant & ~visited` — and iterates only set bits. All-zero
+ * words cost one test per 64 coefficients, which is what makes sparse
+ * change-delta tiles (the common case in Earth+'s delta encoding)
+ * cheap. The candidate evolution reproduces the per-pixel raster scan
+ * exactly — including mid-pass significance propagating to the right
+ * neighbor — so encoded streams are byte-identical to the original
+ * per-pixel coder; `tests/golden_stream_test.cc` pins that.
  */
 
 #ifndef EARTHPLUS_CODEC_TILE_CODER_HH
@@ -104,12 +117,16 @@ class TileEncoder
     TileCoderParams params_;
     int width_;
     int height_;
+    int wordsPerRow_; ///< 64-pixel words per packed bitset row.
     std::vector<uint32_t> magnitude_;
     std::vector<uint8_t> sign_;
-    std::vector<uint8_t> significant_;
-    std::vector<uint8_t> sigPlane_;  ///< Plane where coeff turned significant.
-    std::vector<uint8_t> visited_;   ///< Coded in pass 0 of current plane.
     std::vector<uint8_t> orient_;
+    /// Word-packed per-pixel state, row stride wordsPerRow_.
+    std::vector<uint64_t> sigBits_;       ///< Significant so far.
+    std::vector<uint64_t> visitedBits_;   ///< Coded in pass 0, this plane.
+    std::vector<uint64_t> refinableBits_; ///< Significant before this plane.
+    std::vector<uint64_t> planeBits_;     ///< Magnitude bit of this plane.
+    std::vector<uint64_t> dilation_;      ///< Per-row candidate scratch.
     TileContexts ctx_;
     int maxPlane_;
     int nextPlane_;
@@ -118,7 +135,10 @@ class TileEncoder
     bool headerDone_;
 
     void encodePass(RangeEncoder &enc, int plane, int pass);
-    int significantNeighbors(int x, int y) const;
+    void beginPlane(int plane);
+    void encodeSigPass(RangeEncoder &enc);
+    void encodeRefinePass(RangeEncoder &enc);
+    void encodeCleanupPass(RangeEncoder &enc);
 };
 
 /**
@@ -153,13 +173,16 @@ class TileDecoder
     TileCoderParams params_;
     int width_;
     int height_;
+    int wordsPerRow_;
     std::vector<uint32_t> magnitude_;
     std::vector<uint8_t> sign_;
-    std::vector<uint8_t> significant_;
-    std::vector<uint8_t> sigPlane_;
-    std::vector<uint8_t> visited_;
     std::vector<uint8_t> lowPlane_; ///< Lowest plane with a decoded bit.
     std::vector<uint8_t> orient_;
+    /// Word-packed per-pixel state mirroring TileEncoder.
+    std::vector<uint64_t> sigBits_;
+    std::vector<uint64_t> visitedBits_;
+    std::vector<uint64_t> refinableBits_;
+    std::vector<uint64_t> dilation_;
     TileContexts ctx_;
     int maxPlane_;
     int nextPlane_;
@@ -167,7 +190,10 @@ class TileDecoder
     int planesCoded_;
 
     void decodePass(RangeDecoder &dec, int plane, int pass);
-    int significantNeighbors(int x, int y) const;
+    void beginPlane();
+    void decodeSigPass(RangeDecoder &dec, int plane);
+    void decodeRefinePass(RangeDecoder &dec, int plane);
+    void decodeCleanupPass(RangeDecoder &dec, int plane);
 };
 
 /** A read-only byte window into a larger entropy-coded chunk. */

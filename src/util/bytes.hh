@@ -19,6 +19,30 @@
 
 namespace earthplus::util {
 
+/**
+ * Number of bits needed to represent `v` (0 for 0) — C++20
+ * `std::bit_width` for a C++17 toolchain. The codec derives the top
+ * magnitude bitplane of a tile from this, so it must be exact on the
+ * full uint32_t range (no float log tricks).
+ */
+inline int
+bitWidth(uint32_t v)
+{
+    return v == 0 ? 0 : 32 - __builtin_clz(v);
+}
+
+/**
+ * Index of the lowest set bit of a nonzero word — C++20
+ * `std::countr_zero` restricted to nonzero inputs. The bitplane
+ * coder's pass loops iterate candidate sets one set bit at a time
+ * with this.
+ */
+inline int
+countTrailingZeros(uint64_t v)
+{
+    return __builtin_ctzll(v);
+}
+
 /** Append the raw bytes of a POD value to `out`. */
 template <typename T>
 inline void

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/bytes.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -16,6 +17,51 @@
 #include "util/units.hh"
 
 using namespace earthplus;
+
+TEST(Bytes, BitWidthMatchesDefinition)
+{
+    // Edge values, including the ones the bitplane header depends on:
+    // 0 (all-zero tile -> maxPlane -1) and 2^30 (the highest legal
+    // magnitude bitplane).
+    EXPECT_EQ(util::bitWidth(0u), 0);
+    EXPECT_EQ(util::bitWidth(1u), 1);
+    EXPECT_EQ(util::bitWidth(2u), 2);
+    EXPECT_EQ(util::bitWidth(3u), 2);
+    EXPECT_EQ(util::bitWidth(4u), 3);
+    EXPECT_EQ(util::bitWidth(255u), 8);
+    EXPECT_EQ(util::bitWidth(256u), 9);
+    EXPECT_EQ(util::bitWidth(1u << 30), 31);
+    EXPECT_EQ(util::bitWidth((1u << 30) - 1), 30);
+    EXPECT_EQ(util::bitWidth(0x80000000u), 32);
+    EXPECT_EQ(util::bitWidth(0xFFFFFFFFu), 32);
+    // Exhaustive against the loop definition over every power of two
+    // and its neighbors.
+    for (int p = 0; p < 32; ++p) {
+        uint32_t v = 1u << p;
+        EXPECT_EQ(util::bitWidth(v), p + 1) << "v=2^" << p;
+        if (v > 1) {
+            EXPECT_EQ(util::bitWidth(v - 1), p) << "v=2^" << p << "-1";
+        }
+    }
+}
+
+TEST(Bytes, CountTrailingZerosMatchesDefinition)
+{
+    EXPECT_EQ(util::countTrailingZeros(1ull), 0);
+    EXPECT_EQ(util::countTrailingZeros(2ull), 1);
+    EXPECT_EQ(util::countTrailingZeros(0x8000000000000000ull), 63);
+    EXPECT_EQ(util::countTrailingZeros(0xFFFFFFFFFFFFFFFFull), 0);
+    for (int p = 0; p < 64; ++p)
+        EXPECT_EQ(util::countTrailingZeros(1ull << p), p);
+    // The pass loops' idiom: ctz + clear-lowest enumerates set bits in
+    // ascending order.
+    uint64_t m = (1ull << 3) | (1ull << 17) | (1ull << 63);
+    EXPECT_EQ(util::countTrailingZeros(m), 3);
+    m &= m - 1;
+    EXPECT_EQ(util::countTrailingZeros(m), 17);
+    m &= m - 1;
+    EXPECT_EQ(util::countTrailingZeros(m), 63);
+}
 
 TEST(Logging, StrfmtFormatsLikePrintf)
 {
