@@ -40,10 +40,15 @@ using namespace earthplus;
 //     "bench": "<name>",
 //     "results": [
 //       {"name": "<row>", "params": {"k": "v", ...},
-//        "median_ms": <number>, "mb_per_s": <number>},
+//        "median_ms": <number>, "mb_per_s": <number>,
+//        <extra numeric metrics, e.g. "qps": <number>, ...>},
 //       ...
 //     ]
 //   }
+//
+// Throughput benches report mb_per_s; the serving bench reports qps
+// plus latency percentiles via the extra-metrics overload (the
+// ground_serving perf-gate preset reads "qps").
 
 /** Accumulates bench rows and writes the BENCH_<name>.json schema. */
 class JsonReporter
@@ -77,11 +82,25 @@ class JsonReporter
         std::vector<std::pair<std::string, std::string>> params,
         double medianMs, double mbPerS)
     {
+        add(name, std::move(params), medianMs, mbPerS, {});
+    }
+
+    /**
+     * Record one measurement row with additional numeric metrics
+     * (emitted as extra top-level fields of the row object).
+     */
+    void
+    add(const std::string &name,
+        std::vector<std::pair<std::string, std::string>> params,
+        double medianMs, double mbPerS,
+        std::vector<std::pair<std::string, double>> extra)
+    {
         Row r;
         r.name = name;
         r.params = std::move(params);
         r.medianMs = medianMs;
         r.mbPerS = mbPerS;
+        r.extra = std::move(extra);
         rows_.push_back(std::move(r));
     }
 
@@ -100,7 +119,10 @@ class JsonReporter
                 out << (j ? ", " : "") << "\"" << escape(r.params[j].first)
                     << "\": \"" << escape(r.params[j].second) << "\"";
             out << "}, \"median_ms\": " << r.medianMs
-                << ", \"mb_per_s\": " << r.mbPerS << "}";
+                << ", \"mb_per_s\": " << r.mbPerS;
+            for (const auto &[key, value] : r.extra)
+                out << ", \"" << escape(key) << "\": " << value;
+            out << "}";
         }
         out << "\n  ]\n}\n";
         return out.str();
@@ -127,6 +149,7 @@ class JsonReporter
         std::vector<std::pair<std::string, std::string>> params;
         double medianMs = 0.0;
         double mbPerS = 0.0;
+        std::vector<std::pair<std::string, double>> extra;
     };
 
     static std::string

@@ -3,14 +3,17 @@
 #
 #   build   configure, build, run the full ctest suite
 #   bench   smoke-run the end-to-end benches, emit BENCH_*.json
-#   perf    run bench_codec_kernels and gate it against the checked-in
-#           baseline (ci/perf_gate.py)
+#   perf    run the gated benches (codec kernels, tile coder, ground
+#           serving) against their checked-in baselines (ci/perf_gate.py)
 #   asan    ASan+UBSan build of the byte-level parser suites
+#   tsan    TSan build of the concurrent archive/serving suite
+#   docs    API-doc check (Doxygen when installed + doc-comment lint)
 #   all     everything above, in that order (default)
 #
 # Environment:
 #   BUILD_DIR      build tree (default: build)
-#   SAN_BUILD_DIR  sanitizer build tree (default: build-asan)
+#   SAN_BUILD_DIR  ASan build tree (default: build-asan)
+#   TSAN_BUILD_DIR TSan build tree (default: $BUILD_DIR-tsan)
 #   ARTIFACTS_DIR  where BENCH_*.json land (default: $BUILD_DIR/bench-json)
 #   CMAKE_ARGS     extra configure arguments (e.g. -DEARTHPLUS_WERROR=ON)
 set -euo pipefail
@@ -96,6 +99,36 @@ run_perf_gate() {
     python3 ci/perf_gate.py --bench tile_coder \
         --max-regression "${TILE_CODER_MAX_REGRESSION:-0.25}" \
         --fresh "$ARTIFACTS_DIR/BENCH_tile_coder.release.json"
+
+    # Ground-serving gate: warm multi-client q/s from the Zipfian load
+    # generator, absolute like the tile coder (and equally
+    # host-sensitive — hosted CI widens the margin via
+    # GROUND_SERVING_MAX_REGRESSION).
+    cmake --build "$perf_dir" -j --target bench_ground_serving
+    "$perf_dir/bench_ground_serving" \
+        --json "$ARTIFACTS_DIR/BENCH_ground_serving.release.json"
+    python3 ci/perf_gate.py --bench ground_serving \
+        --max-regression "${GROUND_SERVING_MAX_REGRESSION:-0.25}" \
+        --fresh "$ARTIFACTS_DIR/BENCH_ground_serving.release.json"
+}
+
+run_tsan() {
+    # TSan configuration: the sharded archive's per-shard locking, the
+    # tile server's request coalescing and its background prefetcher
+    # must be race-free under concurrent serveBatch + append. Scoped
+    # to the ground suite, which contains the concurrency tests.
+    local tsan_dir="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
+    # shellcheck disable=SC2086
+    cmake -B "$tsan_dir" -S . ${CMAKE_ARGS:-} \
+          -DCMAKE_BUILD_TYPE=Debug \
+          -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+    cmake --build "$tsan_dir" -j --target ground_test parallel_test
+    EARTHPLUS_THREADS=4 ctest --test-dir "$tsan_dir" \
+          --output-on-failure -R 'ground_test|parallel_test'
+}
+
+run_docs() {
+    python3 ci/docs_check.py
 }
 
 run_asan() {
@@ -130,15 +163,23 @@ perf)
 asan)
     run_asan
     ;;
+tsan)
+    run_tsan
+    ;;
+docs)
+    run_docs
+    ;;
 all)
     configure_and_build
     run_tests
     run_benches
     run_perf_gate
     run_asan
+    run_tsan
+    run_docs
     ;;
 *)
-    echo "usage: ci/check.sh [build|bench|perf|asan|all]" >&2
+    echo "usage: ci/check.sh [build|bench|perf|asan|tsan|docs|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Documentation gate: Doxygen build (when available) + doc lint.
+
+Two layers, so the check is useful both on hosted CI (doxygen
+installed, full parse) and on minimal dev containers (no doxygen):
+
+1. When a `doxygen` binary is on PATH, build the checked-in Doxyfile
+   and fail on any warning (undocumented public symbol in the scoped
+   headers, malformed doc comment, unresolved reference). The warning
+   log is printed on failure.
+
+2. Always run a lightweight doc-comment lint over the source headers:
+
+   - every header under src/ must open with a `@file` comment block
+     (the subsystem-orientation docs ARCHITECTURE.md links into);
+   - in the Doxygen-scoped directories (src/ground, src/core), every
+     namespace-scope declaration — class/struct/enum definitions,
+     constexpr constants, free functions — must be immediately
+     preceded by a `/** ... */` doc comment.
+
+   The lint is a heuristic over the house style (declarations start
+   in column 0, members are indented; clang-format enforces this), so
+   it cannot replace the doxygen pass — it exists to catch the common
+   regression (a new undocumented symbol) in environments where
+   doxygen is not installed.
+
+Exit status: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories whose namespace-scope declarations must be documented
+# (matches the Doxyfile INPUT).
+LINT_SCOPE = ["src/ground", "src/core"]
+# Directories whose headers must carry an @file block.
+FILE_DOC_SCOPE = ["src"]
+
+DECL_RE = re.compile(r"^(class|struct|enum)\s+[A-Za-z_]")
+FORWARD_DECL_RE = re.compile(r"^(class|struct)\s+\w+;\s*$")
+CONST_RE = re.compile(r"^(constexpr|using|typedef)\b")
+# A line that is only a (possibly templated) type: the return type of
+# a function declared in the two-line house style.
+BARE_TYPE_RE = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*$")
+# Single-line start of a function declaration/definition.
+FUNC_RE = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*\b\w+\s*\(")
+SKIP_RE = re.compile(
+    r"^(#|//|/\*|\*|\{|\}|namespace\b|template\b|extern\b|public:|"
+    r"private:|protected:)")
+
+
+def strip_comments(line, state):
+    """Remove comment text; `state` tracks open block comments."""
+    out = []
+    i = 0
+    while i < len(line):
+        if state["block"]:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            state["block"] = False
+            i = end + 2
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            state["block"] = True
+            i += 2
+            continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), state["block"]
+
+
+def lint_header(path, in_scope):
+    """Return a list of (line number, message) findings for one file."""
+    findings = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    if not any("@file" in line for line in lines[:8]):
+        findings.append((1, "missing @file comment block"))
+    if not in_scope:
+        return findings
+
+    state = {"block": False}
+    paren_depth = 0
+    prev = ""       # previous significant raw line
+    prev2 = ""      # the one before it
+    skip_next = False
+    for num, raw in enumerate(lines, 1):
+        stripped = raw.strip()
+        code, in_block = strip_comments(raw, state)
+        if in_block or not stripped:
+            if stripped:
+                prev2, prev = prev, stripped
+            continue
+        if paren_depth > 0:
+            # Continuation of a multi-line declaration.
+            paren_depth += code.count("(") - code.count(")")
+            prev2, prev = prev, stripped
+            continue
+        is_col0 = bool(raw) and not raw[0].isspace()
+        decl = None
+        if is_col0 and code.strip() and not SKIP_RE.match(stripped):
+            text = code.strip()
+            if skip_next:
+                # The name line of a two-line declaration whose
+                # return-type line was already checked.
+                skip_next = False
+            elif DECL_RE.match(text) and not FORWARD_DECL_RE.match(text):
+                decl = "type"
+            elif CONST_RE.match(text):
+                decl = "constant"
+            elif FUNC_RE.match(text):
+                decl = "function"
+            elif BARE_TYPE_RE.match(text) and not text.endswith(";"):
+                decl = "function"
+                skip_next = True
+        if decl:
+            documented = prev.endswith("*/") or (
+                prev.startswith("template") and prev2.endswith("*/"))
+            if not documented:
+                findings.append(
+                    (num, f"undocumented namespace-scope {decl}: "
+                          f"'{stripped[:60]}'"))
+        paren_depth += code.count("(") - code.count(")")
+        if paren_depth < 0:
+            paren_depth = 0
+        prev2, prev = prev, stripped
+    return findings
+
+
+def run_lint():
+    findings = []
+    for scope in FILE_DOC_SCOPE:
+        for root, _dirs, files in os.walk(os.path.join(REPO, scope)):
+            for name in sorted(files):
+                if not name.endswith(".hh"):
+                    continue
+                path = os.path.join(root, name)
+                rel = os.path.relpath(path, REPO)
+                in_scope = any(
+                    rel.startswith(s + os.sep) for s in LINT_SCOPE)
+                for line, message in lint_header(path, in_scope):
+                    findings.append(f"{rel}:{line}: {message}")
+    return findings
+
+
+def run_doxygen():
+    doxygen = shutil.which("doxygen")
+    if not doxygen:
+        print("docs_check: doxygen not installed; skipping the full "
+              "API-doc build (the doc lint below still runs — CI runs "
+              "doxygen)")
+        return []
+    os.makedirs(os.path.join(REPO, "build-docs"), exist_ok=True)
+    proc = subprocess.run([doxygen, "Doxyfile"], cwd=REPO,
+                          capture_output=True, text=True)
+    log_path = os.path.join(REPO, "build-docs", "doxygen-warnings.log")
+    warnings = []
+    if os.path.exists(log_path):
+        with open(log_path, encoding="utf-8", errors="replace") as f:
+            warnings = [w for w in f.read().splitlines() if w.strip()]
+    if proc.returncode != 0:
+        warnings.append(f"doxygen exited with status {proc.returncode}: "
+                        f"{proc.stderr.strip()[:500]}")
+    else:
+        print("docs_check: doxygen build completed")
+    return warnings
+
+
+def main():
+    failures = run_doxygen()
+    failures += run_lint()
+    if failures:
+        print("docs_check: FAILED")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("docs_check: documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,8 @@
 
 Diffs a fresh BENCH_<bench>.json (produced by `bench_<bench> --json
 <path>`) against the checked-in baseline and fails CI when a row
-regressed by more than the allowed margin. Two benches are gated, each
-with its own preset (select with --bench):
+regressed by more than the allowed margin. Three benches are gated,
+each with its own preset (select with --bench):
 
 codec_kernels (default)
     Per-kernel throughput. Because CI runners and developer machines
@@ -29,6 +29,14 @@ tile_coder
     re-baseline rather than loosen the margin after intentional
     changes.
 
+ground_serving
+    Warm multi-client tile-serving throughput from
+    bench_ground_serving's Zipfian load generator. The metric is the
+    row's absolute "qps" field (queries/sec — higher is better, same
+    comparison as MB/s); latency percentiles ride along in the JSON
+    as informational fields. Host-sensitive like tile_coder: hosted
+    CI widens the margin via GROUND_SERVING_MAX_REGRESSION.
+
 `--absolute` forces the absolute metric for any bench (same-machine
 comparisons only).
 
@@ -39,9 +47,12 @@ Re-baselining (after an intentional perf change, on a quiet machine):
     python3 ci/perf_gate.py --fresh /tmp/fresh.json --rebaseline
     for i in 1 2 3; do
         ./build/bench_tile_coder --reps 21 --json /tmp/tc_$i.json
+        ./build/bench_ground_serving --json /tmp/gs_$i.json
     done
     python3 ci/perf_gate.py --bench tile_coder --rebaseline \
         --fresh /tmp/tc_1.json --fresh /tmp/tc_2.json --fresh /tmp/tc_3.json
+    python3 ci/perf_gate.py --bench ground_serving --rebaseline \
+        --fresh /tmp/gs_1.json --fresh /tmp/gs_2.json --fresh /tmp/gs_3.json
     git add ci/BENCH_*.baseline.json
 
 `--fresh` is repeatable: multiple files are merged by taking each
@@ -57,7 +68,7 @@ import json
 import sys
 
 # name:level:minimum speedup over scalar. dwt97_fwd >= 2x under AVX2 is
-# the repo's headline guarantee (see README "Performance").
+# the repo's headline guarantee (see docs/BENCHMARKS.md).
 DEFAULT_FLOORS = ["dwt97_fwd:avx2:2.0", "dwt97_inv:avx2:2.0"]
 # Kernels whose speedup-over-scalar is a property of the code, not of
 # the host's memory bandwidth — the only rows worth gating at 25%.
@@ -79,6 +90,13 @@ BENCHES = {
         "gated": lambda name: name.startswith(("tile_encode/",
                                                "tile_decode/")),
     },
+    "ground_serving": {
+        "baseline": "ci/BENCH_ground_serving.baseline.json",
+        "absolute": True,
+        "metric": "qps",
+        "floors": [],
+        "gated": lambda name: name.startswith("zipf_serving/"),
+    },
 }
 
 
@@ -92,13 +110,13 @@ def load(path):
     return rows
 
 
-def load_min(paths):
-    """Merge runs, keeping each row's minimum-MB/s measurement."""
+def load_min(paths, metric):
+    """Merge runs, keeping each row's minimum-metric measurement."""
     merged = {}
     for path in paths:
         for key, row in load(path).items():
             if key not in merged or \
-                    row["mb_per_s"] < merged[key]["mb_per_s"]:
+                    row.get(metric, 0.0) < merged[key].get(metric, 0.0):
                 merged[key] = row
     return merged
 
@@ -144,6 +162,7 @@ def main():
     cfg = BENCHES[args.bench]
     baseline_path = args.baseline or cfg["baseline"]
     absolute = args.absolute or cfg["absolute"]
+    metric_key = cfg.get("metric", "mb_per_s")
 
     if len(args.fresh) > 1 and not absolute:
         # Min-merging MB/s across runs would pair a scalar minimum
@@ -154,7 +173,7 @@ def main():
               "scalar and vector rows from the same run)")
         return 2
 
-    fresh = load_min(args.fresh)
+    fresh = load_min(args.fresh, metric_key)
     if args.rebaseline:
         with open(args.fresh[0]) as src:
             doc = json.load(src)
@@ -188,9 +207,10 @@ def main():
             return 1
 
     if absolute:
-        metric_name = "MB/s"
-        base_metric = {k: r["mb_per_s"] for k, r in base.items()}
-        fresh_metric = {k: r["mb_per_s"] for k, r in fresh.items()}
+        metric_name = "qps" if metric_key == "qps" else "MB/s"
+        base_metric = {k: r[metric_key] for k, r in base.items()}
+        fresh_metric = {k: r.get(metric_key, 0.0)
+                        for k, r in fresh.items()}
     else:
         metric_name = "speedup-over-scalar"
         base_metric = speedups(base)
@@ -215,7 +235,7 @@ def main():
                 f"{allowed:.2f} (baseline {expected:.2f}, "
                 f"-{args.max_regression:.0%} allowed)")
 
-    fresh_speedups = speedups(fresh)
+    fresh_speedups = speedups(fresh) if metric_key == "mb_per_s" else {}
     for floor in (args.floor if args.floor is not None
                   else cfg["floors"]):
         name, level, ratio = floor.rsplit(":", 2)

@@ -1,7 +1,8 @@
 /**
  * @file
  * Ground-segment query CLI: serve a tile rectangle from an encoded
- * archive file.
+ * archive (a sharded archive directory; a legacy single-file archive
+ * is migrated on open).
  *
  *   ground_query --demo archive.epar
  *       Build a small demonstration archive (full download at day 1,

@@ -30,11 +30,11 @@ using util::appendPod;
 /** Bounds-checked cursor read: fatal() on truncation, advances pos. */
 template <typename T>
 T
-readPod(const std::vector<uint8_t> &in, size_t &pos)
+readPod(const uint8_t *in, size_t len, size_t &pos)
 {
-    if (pos + sizeof(T) > in.size())
+    if (pos + sizeof(T) > len)
         fatal("encoded image stream truncated");
-    T v = util::readPodAt<T>(in.data(), pos);
+    T v = util::readPodAt<T>(in, pos);
     pos += sizeof(T);
     return v;
 }
@@ -123,6 +123,12 @@ EncodedImage::serialize() const
 EncodedImage
 EncodedImage::deserialize(const std::vector<uint8_t> &bytes)
 {
+    return deserialize(bytes.data(), bytes.size());
+}
+
+EncodedImage
+EncodedImage::deserialize(const uint8_t *data, size_t len)
+{
     // Every field is validated before use: a truncated or corrupt
     // stream must produce a clear fatal() instead of out-of-bounds
     // reads or absurd allocations.
@@ -131,14 +137,14 @@ EncodedImage::deserialize(const std::vector<uint8_t> &bytes)
     constexpr uint32_t kMaxLayers = 1u << 16;
 
     size_t pos = 0;
-    if (readPod<uint32_t>(bytes, pos) != kMagic)
+    if (readPod<uint32_t>(data, len, pos) != kMagic)
         fatal("bad encoded-image magic");
     EncodedImage e;
-    uint32_t width = readPod<uint32_t>(bytes, pos);
-    uint32_t height = readPod<uint32_t>(bytes, pos);
-    uint32_t tileSize = readPod<uint32_t>(bytes, pos);
-    uint32_t dwtLevels = readPod<uint32_t>(bytes, pos);
-    uint32_t layers = readPod<uint32_t>(bytes, pos);
+    uint32_t width = readPod<uint32_t>(data, len, pos);
+    uint32_t height = readPod<uint32_t>(data, len, pos);
+    uint32_t tileSize = readPod<uint32_t>(data, len, pos);
+    uint32_t dwtLevels = readPod<uint32_t>(data, len, pos);
+    uint32_t layers = readPod<uint32_t>(data, len, pos);
     if (width == 0 || width > kMaxDim || height == 0 || height > kMaxDim)
         fatal("encoded image has invalid dimensions %ux%u", width, height);
     if (static_cast<uint64_t>(width) * height > kMaxPixels)
@@ -155,7 +161,7 @@ EncodedImage::deserialize(const std::vector<uint8_t> &bytes)
     e.tileSize = static_cast<int>(tileSize);
     e.dwtLevels = static_cast<int>(dwtLevels);
     e.layers = static_cast<int>(layers);
-    uint32_t flags = readPod<uint32_t>(bytes, pos);
+    uint32_t flags = readPod<uint32_t>(data, len, pos);
     e.wavelet = (flags & 1u) ? Wavelet::LeGall53 : Wavelet::CDF97;
     e.lossless = (flags & 2u) != 0;
     e.losslessDepth = static_cast<int>((flags >> 8) & 0xFFu);
@@ -163,10 +169,10 @@ EncodedImage::deserialize(const std::vector<uint8_t> &bytes)
         (e.losslessDepth < 1 || e.losslessDepth > 16 ||
          e.wavelet != Wavelet::LeGall53))
         fatal("encoded image has invalid lossless flags 0x%x", flags);
-    e.quantStep = readPod<double>(bytes, pos);
+    e.quantStep = readPod<double>(data, len, pos);
     if (!std::isfinite(e.quantStep) || e.quantStep <= 0.0)
         fatal("encoded image has invalid quantizer step");
-    uint32_t tiles = readPod<uint32_t>(bytes, pos);
+    uint32_t tiles = readPod<uint32_t>(data, len, pos);
     uint64_t tilesX = (width + tileSize - 1) / tileSize;
     uint64_t tilesY = (height + tileSize - 1) / tileSize;
     if (tiles != tilesX * tilesY)
@@ -177,22 +183,19 @@ EncodedImage::deserialize(const std::vector<uint8_t> &bytes)
     // Bounds-check the packed bitmap BEFORE sizing tileCoded, so a
     // corrupt tile count cannot drive a huge allocation.
     size_t packed = (static_cast<size_t>(tiles) + 7) / 8;
-    if (packed > bytes.size() - pos)
+    if (packed > len - pos)
         fatal("encoded image stream truncated in tile bitmap");
     e.tileCoded.resize(tiles);
     for (size_t i = 0; i < tiles; ++i)
-        e.tileCoded[i] = (bytes[pos + i / 8] >> (i % 8)) & 1u;
+        e.tileCoded[i] = (data[pos + i / 8] >> (i % 8)) & 1u;
     pos += packed;
     for (int l = 0; l < e.layers; ++l) {
-        uint32_t size = readPod<uint32_t>(bytes, pos);
-        if (size > bytes.size() - pos)
+        uint32_t size = readPod<uint32_t>(data, len, pos);
+        if (size > len - pos)
             fatal("encoded image stream truncated in layer %d: chunk "
                   "of %u bytes but only %zu remain", l, size,
-                  bytes.size() - pos);
-        e.layerChunks.emplace_back(bytes.begin() +
-                                       static_cast<ptrdiff_t>(pos),
-                                   bytes.begin() +
-                                       static_cast<ptrdiff_t>(pos + size));
+                  len - pos);
+        e.layerChunks.emplace_back(data + pos, data + pos + size);
         pos += size;
     }
     return e;

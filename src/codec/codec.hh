@@ -94,6 +94,13 @@ struct EncodedImage
 
     /** Parse a stream produced by serialize(); fatal() on corruption. */
     static EncodedImage deserialize(const std::vector<uint8_t> &bytes);
+
+    /**
+     * Parse a stream from a borrowed byte range (same validation).
+     * The ground tile server parses archive payloads straight out of
+     * their file mapping through this overload — no staging copy.
+     */
+    static EncodedImage deserialize(const uint8_t *data, size_t len);
 };
 
 /**

@@ -26,8 +26,9 @@ struct DovesSpec
     int contactsPerDay = 7;
     /** On-board storage (GB). */
     double onboardStorageGB = 360.0;
-    /** Capture resolution. */
+    /** Capture width (pixels). */
     int imageWidth = 6600;
+    /** Capture height (pixels). */
     int imageHeight = 4400;
     /** Bands: RGB + InfraRed. */
     int imageChannels = 4;

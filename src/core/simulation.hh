@@ -67,36 +67,40 @@ struct SimParams
 /** Metrics of one processed capture. */
 struct CaptureMetrics
 {
-    double day = 0.0;
-    int satelliteId = 0;
-    bool dropped = false;
-    bool fullDownload = false;
-    size_t downlinkBytes = 0;
-    double downloadedTileFraction = 0.0;
-    double psnr = 0.0;
-    double referenceAgeDays = 0.0;
-    double uplinkBytes = 0.0;
-    double cloudDetectSec = 0.0;
-    double changeDetectSec = 0.0;
-    double encodeSec = 0.0;
+    double day = 0.0;           ///< Capture day.
+    int satelliteId = 0;        ///< Capturing satellite.
+    bool dropped = false;       ///< Fully cloudy: nothing downloaded.
+    bool fullDownload = false;  ///< Guaranteed periodic full download.
+    size_t downlinkBytes = 0;   ///< Bytes sent to the ground.
+    double downloadedTileFraction = 0.0; ///< Tiles downloaded / total.
+    double psnr = 0.0;          ///< Reconstruction PSNR (dB).
+    double referenceAgeDays = 0.0; ///< Age of the reference used.
+    double uplinkBytes = 0.0;   ///< Reference-update uplink cost.
+    double cloudDetectSec = 0.0;  ///< Cloud-detection runtime (s).
+    double changeDetectSec = 0.0; ///< Change-detection runtime (s).
+    double encodeSec = 0.0;       ///< Encoding runtime (s).
 };
 
 /** Aggregated results of one simulation run. */
 struct SimSummary
 {
+    /** Per-capture metrics, capture order. */
     std::vector<CaptureMetrics> captures;
+    /** Downlink bytes summed over every capture. */
     double totalDownlinkBytes = 0.0;
+    /** Uplink bytes summed over every capture. */
     double totalUplinkBytes = 0.0;
     /** Total downlink bytes per band (empty until the first capture). */
     std::vector<double> bandDownlinkBytes;
-    /** Means over processed (non-dropped) captures. */
+    /** Mean PSNR over processed (non-dropped) captures. */
     double meanPsnr = 0.0;
+    /** Mean downloaded-tile fraction over processed captures. */
     double meanDownloadedFraction = 0.0;
     /** Mean reference age over captures that had a reference. */
     double meanReferenceAgeDays = 0.0;
-    int processedCount = 0;
-    int droppedCount = 0;
-    int fullDownloadCount = 0;
+    int processedCount = 0;    ///< Captures processed (downloaded).
+    int droppedCount = 0;      ///< Captures dropped as fully cloudy.
+    int fullDownloadCount = 0; ///< Guaranteed full downloads.
     /** Captures processed while holding a (finite-age) reference. */
     int referencedCount = 0;
     /** True when the run routed downloads through the ground segment. */
@@ -132,6 +136,7 @@ class LocationSimulation
     LocationSimulation(const synth::DatasetSpec &spec, int locationIdx,
                        SystemKind kind, const SimParams &params);
 
+    /** Out-of-line: members are incomplete types in the header. */
     ~LocationSimulation();
 
     /** Run the full capture schedule and aggregate metrics. */
@@ -166,10 +171,10 @@ class LocationSimulation
 /** One (location, system) simulation of a constellation batch. */
 struct BatchSimJob
 {
-    synth::DatasetSpec spec;
-    int locationIdx = 0;
-    SystemKind kind = SystemKind::EarthPlus;
-    SimParams params;
+    synth::DatasetSpec spec;  ///< Dataset the location belongs to.
+    int locationIdx = 0;      ///< Index into spec.locations.
+    SystemKind kind = SystemKind::EarthPlus; ///< System to run.
+    SimParams params;         ///< Simulation parameters.
 };
 
 /**

@@ -81,10 +81,9 @@ struct ProcessResult
     double referenceAgeDays = 0.0;
     /** Cloud coverage as measured on board. */
     double measuredCloudCoverage = 0.0;
-    /** Stage runtimes (seconds). */
-    double cloudDetectSec = 0.0;
-    double changeDetectSec = 0.0;
-    double encodeSec = 0.0;
+    double cloudDetectSec = 0.0;  ///< Cloud-detection runtime (s).
+    double changeDetectSec = 0.0; ///< Change-detection runtime (s).
+    double encodeSec = 0.0;       ///< Encoding runtime (s).
     /**
      * The encoded downlink payload, one stream per band (what the
      * ground segment packetizes and archives). Empty when dropped.

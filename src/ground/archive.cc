@@ -3,24 +3,52 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 
 #include "ground/crc32.hh"
 #include "util/bytes.hh"
 #include "util/logging.hh"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define EARTHPLUS_ARCHIVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define EARTHPLUS_ARCHIVE_MMAP 0
+#endif
+
+// Hosts where a MAP_SHARED mapping is documented to see file growth
+// within the mapped range (Linux, Darwin). Elsewhere POSIX leaves it
+// unspecified, so mappings are sized to the file and remapped on
+// growth instead of over-mapped.
+#if defined(__linux__) || defined(__APPLE__)
+#define EARTHPLUS_ARCHIVE_MMAP_GROWS 1
+#else
+#define EARTHPLUS_ARCHIVE_MMAP_GROWS 0
+#endif
+
 namespace earthplus::ground {
+
+namespace fs = std::filesystem;
 
 namespace {
 
-// "EPAR": archive file magic; "EPRC": record magic.
+// "EPAR": shard container magic; "EPRC": record magic; "EPSM": the
+// sharded-layout manifest magic.
 constexpr uint32_t kFileMagic = 0x52415045;
 constexpr uint32_t kRecordMagic = 0x43525045;
+constexpr uint32_t kManifestMagic = 0x4D535045;
 constexpr uint32_t kVersion = 1;
 
 constexpr size_t kFileHeaderBytes = 8;
 /** magic + headerCrc + 4 u32 + 2 f64 + u64 + u32. */
 constexpr size_t kRecordHeaderBytes = 52;
+
+constexpr size_t kManifestBytes = 12;
+constexpr const char *kManifestName = "MANIFEST";
 
 using util::appendPod;
 using util::readPodAt;
@@ -28,6 +56,26 @@ using util::readPodAt;
 /** Record flag bits. */
 constexpr uint32_t kFlagFullDownload = 1u << 0;
 constexpr uint32_t kFlagHasReference = 1u << 1;
+
+/**
+ * Seek with a 64-bit offset. std::fseek takes a long, which is 32
+ * bits on LLP64 hosts — exactly the hosts whose reads always go
+ * through stdio (mmap is compiled out there) — so shards past 2 GiB
+ * would silently seek to a wrapped offset.
+ */
+bool
+seekTo(std::FILE *f, uint64_t offset)
+{
+#if EARTHPLUS_ARCHIVE_MMAP
+    return ::fseeko(f, static_cast<off_t>(offset), SEEK_SET) == 0;
+#elif defined(_WIN32)
+    return ::_fseeki64(f, static_cast<long long>(offset), SEEK_SET) == 0;
+#else
+    if (offset > static_cast<uint64_t>(std::numeric_limits<long>::max()))
+        return false;
+    return std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0;
+#endif
+}
 
 /**
  * Serialize a record header. The header CRC covers every field after
@@ -81,69 +129,63 @@ parseRecordHeader(const uint8_t *buf, RecordEntry &entry)
     return true;
 }
 
-} // anonymous namespace
-
-Archive::Archive(const std::string &path)
-    : path_(path)
+/** Create an empty container file holding just the file header. */
+void
+writeContainerHeader(const std::string &path)
 {
-    if (path_.empty()) {
-        appendOffset_ = kFileHeaderBytes;
-        scanReport_.validBytes = appendOffset_;
-        return;
-    }
-    openAndScan();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot create archive shard '%s'", path.c_str());
+    std::vector<uint8_t> header;
+    appendPod(header, kFileMagic);
+    appendPod(header, kVersion);
+    if (std::fwrite(header.data(), 1, header.size(), f) != header.size())
+        fatal("cannot write shard header to '%s'", path.c_str());
+    std::fclose(f);
 }
 
-Archive::~Archive() = default;
-
-void
-Archive::openAndScan()
+/**
+ * Scan one container file (a shard, or a legacy single-file archive),
+ * recovering the valid record prefix. A truncated or corrupt tail
+ * stops the scan; when `rewriteTail` is set the garbage is cut off so
+ * the next append starts on a clean tail.
+ */
+ScanReport
+scanContainerFile(const std::string &path, std::vector<RecordEntry> &out,
+                  bool rewriteTail)
 {
-    std::FILE *f = std::fopen(path_.c_str(), "rb");
-    if (!f) {
-        // New archive: write the file header.
-        f = std::fopen(path_.c_str(), "wb");
-        if (!f)
-            fatal("cannot create archive '%s'", path_.c_str());
-        std::vector<uint8_t> header;
-        appendPod(header, kFileMagic);
-        appendPod(header, kVersion);
-        if (std::fwrite(header.data(), 1, header.size(), f) !=
-            header.size())
-            fatal("cannot write archive header to '%s'", path_.c_str());
-        std::fclose(f);
-        appendOffset_ = kFileHeaderBytes;
-        scanReport_.validBytes = appendOffset_;
-        return;
-    }
+    ScanReport report;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open archive container '%s'", path.c_str());
 
     uint8_t fileHeader[kFileHeaderBytes];
     if (std::fread(fileHeader, 1, kFileHeaderBytes, f) !=
             kFileHeaderBytes ||
         readPodAt<uint32_t>(fileHeader, 0) != kFileMagic)
-        fatal("'%s' is not an Earth+ archive", path_.c_str());
+        fatal("'%s' is not an Earth+ archive container", path.c_str());
     uint32_t version = readPodAt<uint32_t>(fileHeader, 4);
     if (version != kVersion)
-        fatal("archive '%s' has unsupported version %u", path_.c_str(),
-              version);
+        fatal("archive container '%s' has unsupported version %u",
+              path.c_str(), version);
 
     // Scan records until the end of the file or the first corrupt /
     // truncated record; everything before it stays usable.
     uint64_t pos = kFileHeaderBytes;
     for (;;) {
         uint8_t buf[kRecordHeaderBytes];
-        if (std::fseek(f, static_cast<long>(pos), SEEK_SET) != 0)
+        if (!seekTo(f, pos))
             break;
         size_t got = std::fread(buf, 1, kRecordHeaderBytes, f);
         if (got == 0)
             break; // clean end of file
         if (got < kRecordHeaderBytes) {
-            scanReport_.truncatedTail = true;
+            report.truncatedTail = true;
             break;
         }
         RecordEntry entry;
         if (!parseRecordHeader(buf, entry)) {
-            scanReport_.truncatedTail = true;
+            report.truncatedTail = true;
             break;
         }
         entry.payloadOffset = pos + kRecordHeaderBytes;
@@ -155,190 +197,729 @@ Archive::openAndScan()
             : std::fread(payload.data(), 1, payload.size(), f);
         if (gotPayload != payload.size() ||
             crc32(payload.data(), payload.size()) != entry.payloadCrc) {
-            scanReport_.truncatedTail = true;
+            report.truncatedTail = true;
             break;
         }
-        size_t idx = records_.size();
-        records_.push_back(entry);
-        index_[{entry.meta.locationId, entry.meta.band}].push_back(idx);
+        out.push_back(entry);
         pos += kRecordHeaderBytes + entry.meta.payloadBytes;
     }
     std::fclose(f);
 
-    appendOffset_ = pos;
-    scanReport_.recordCount = records_.size();
-    scanReport_.validBytes = pos;
-    if (scanReport_.truncatedTail) {
+    report.recordCount = out.size();
+    report.validBytes = pos;
+    if (report.truncatedTail && rewriteTail) {
         // Drop the garbage so the next append starts on a clean tail.
-        warn("archive '%s': discarding corrupt tail after %llu bytes "
-             "(%zu records recovered)", path_.c_str(),
-             static_cast<unsigned long long>(pos), records_.size());
-        std::vector<uint8_t> prefix(pos);
-        std::FILE *in = std::fopen(path_.c_str(), "rb");
-        if (!in)
-            fatal("cannot reopen archive '%s'", path_.c_str());
-        size_t n = std::fread(prefix.data(), 1, prefix.size(), in);
-        std::fclose(in);
-        std::FILE *out = std::fopen(path_.c_str(), "wb");
-        if (!out || std::fwrite(prefix.data(), 1, n, out) != n)
-            fatal("cannot rewrite archive '%s'", path_.c_str());
-        std::fclose(out);
+        // resize_file is one metadata operation: the valid prefix is
+        // never rewritten, so a crash here cannot lose it.
+        warn("archive container '%s': discarding corrupt tail after "
+             "%llu bytes (%zu records recovered)", path.c_str(),
+             static_cast<unsigned long long>(pos), out.size());
+        std::error_code ec;
+        fs::resize_file(path, pos, ec);
+        if (ec)
+            fatal("cannot truncate archive container '%s': %s",
+                  path.c_str(), ec.message().c_str());
     }
+    return report;
 }
 
+/** Append one record's header + payload at `offset` in `path`. */
 void
-Archive::appendRecordBytes(const RecordMeta &meta, uint32_t payloadCrc,
-                           const std::vector<uint8_t> &payload)
+appendRecordToFile(const std::string &path, uint64_t offset,
+                   const RecordMeta &meta, uint32_t payloadCrc,
+                   const std::vector<uint8_t> &payload)
 {
-    if (path_.empty()) {
-        memPayloads_.push_back(payload);
-        appendOffset_ += kRecordHeaderBytes + payload.size();
-        return;
-    }
-    std::FILE *f = std::fopen(path_.c_str(), "rb+");
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
     if (!f)
-        fatal("cannot open archive '%s' for append", path_.c_str());
+        fatal("cannot open archive shard '%s' for append", path.c_str());
     std::vector<uint8_t> header = recordHeaderBytes(meta, payloadCrc);
     bool ok =
-        std::fseek(f, static_cast<long>(appendOffset_), SEEK_SET) == 0 &&
+        seekTo(f, offset) &&
         std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
         (payload.empty() ||
          std::fwrite(payload.data(), 1, payload.size(), f) ==
              payload.size());
     std::fclose(f);
     if (!ok)
-        fatal("append to archive '%s' failed", path_.c_str());
-    appendOffset_ += header.size() + payload.size();
+        fatal("append to archive shard '%s' failed", path.c_str());
 }
 
-size_t
-Archive::append(const RecordMeta &meta, const std::vector<uint8_t> &payload)
+/** Read `size` bytes at `offset` from `path` (stdio fallback path). */
+std::vector<uint8_t>
+readFileRange(const std::string &path, uint64_t offset, size_t size)
+{
+    std::vector<uint8_t> bytes(size);
+    // A private handle per call keeps concurrent reads free of shared
+    // seek state.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open archive shard '%s'", path.c_str());
+    bool ok = seekTo(f, offset) &&
+              (bytes.empty() ||
+               std::fread(bytes.data(), 1, bytes.size(), f) ==
+                   bytes.size());
+    std::fclose(f);
+    if (!ok)
+        fatal("archive shard '%s': range [%llu, +%zu) unreadable",
+              path.c_str(), static_cast<unsigned long long>(offset),
+              size);
+    return bytes;
+}
+
+/** Shard container file name for shard `idx`. */
+std::string
+shardFileName(const std::string &dir, int idx)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%03d.epar", idx);
+    return (fs::path(dir) / name).string();
+}
+
+/** True when `path` is a pre-sharding single-file archive. */
+bool
+isLegacyArchiveFile(const std::string &path)
+{
+    std::error_code ec;
+    if (!fs::is_regular_file(path, ec))
+        return false;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    uint8_t magic[4] = {0, 0, 0, 0};
+    size_t got = std::fread(magic, 1, sizeof(magic), f);
+    std::fclose(f);
+    return got == sizeof(magic) &&
+           readPodAt<uint32_t>(magic, 0) == kFileMagic;
+}
+
+} // anonymous namespace
+
+Archive::Archive(const std::string &path, int shardCount)
+    : path_(path)
+{
+    int shards = shardCount > 0 ? shardCount : kDefaultShardCount;
+    // The reopen path rejects absurd manifest counts; enforce the
+    // same bound at creation time, where the caller can still fix it.
+    if (shards > 4096)
+        fatal("archive '%s': shard count %d exceeds the 4096 cap",
+              path_.c_str(), shards);
+    if (!path_.empty()) {
+        recoverInterruptedMigration();
+        if (isLegacyArchiveFile(path_)) {
+            migrateLegacyFile(shards);
+            return;
+        }
+    }
+    openShards(shards);
+}
+
+Archive::~Archive()
+{
+#if EARTHPLUS_ARCHIVE_MMAP
+    for (auto &shard : shards_) {
+        if (shard->mapAddr)
+            ::munmap(const_cast<uint8_t *>(shard->mapAddr),
+                     shard->mapLen);
+        for (auto &[addr, len] : shard->retired)
+            ::munmap(const_cast<uint8_t *>(addr), len);
+    }
+#endif
+}
+
+int
+Archive::shardForLocation(int locationId) const
+{
+    // Stable 64-bit mix (first half of the MurmurHash3 fmix64
+    // finalizer; docs/ARCHITECTURE.md spells out the exact formula):
+    // the mapping is part of the on-disk layout, so it must not
+    // depend on std::hash.
+    uint64_t h = static_cast<uint32_t>(locationId);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<int>(h % shards_.size());
+}
+
+void
+Archive::openShards(int shardCount)
+{
+    bool manifestExisted = false;
+    if (!path_.empty()) {
+        std::error_code ec;
+        fs::create_directories(path_, ec);
+        if (ec)
+            fatal("cannot create archive directory '%s': %s",
+                  path_.c_str(), ec.message().c_str());
+
+        // The manifest pins the shard count: the location -> shard
+        // mapping is modular, so reopening with a different count
+        // would split chains across shards.
+        std::string manifestPath =
+            (fs::path(path_) / kManifestName).string();
+        if (!fs::exists(manifestPath)) {
+            // Shard files without their manifest: the shard count (and
+            // with it the location -> shard mapping) is unknown, and
+            // guessing would silently split every chain. Refuse if ANY
+            // shard file is present.
+            for (const auto &entry : fs::directory_iterator(path_)) {
+                std::string name = entry.path().filename().string();
+                if (name.rfind("shard-", 0) == 0 &&
+                    name.size() > 5 &&
+                    name.substr(name.size() - 5) == ".epar")
+                    fatal("archive '%s' has shard files but no "
+                          "manifest — restore '%s' or rebuild the "
+                          "archive", path_.c_str(),
+                          manifestPath.c_str());
+            }
+        }
+        if (fs::exists(manifestPath)) {
+            manifestExisted = true;
+            std::vector<uint8_t> m =
+                readFileRange(manifestPath, 0, kManifestBytes);
+            if (readPodAt<uint32_t>(m.data(), 0) != kManifestMagic)
+                fatal("'%s' is not an Earth+ archive manifest",
+                      manifestPath.c_str());
+            uint32_t version = readPodAt<uint32_t>(m.data(), 4);
+            if (version != kVersion)
+                fatal("archive manifest '%s' has unsupported version %u",
+                      manifestPath.c_str(), version);
+            uint32_t count = readPodAt<uint32_t>(m.data(), 8);
+            if (count == 0 || count > 4096)
+                fatal("archive manifest '%s' has absurd shard count %u",
+                      manifestPath.c_str(), count);
+            shardCount = static_cast<int>(count);
+        } else {
+            // Create the shard containers BEFORE the manifest lands:
+            // the manifest's existence is the "this archive was fully
+            // initialized" marker, so a crash in between leaves either
+            // no manifest (re-initialized next open) or a complete
+            // layout — never a manifest whose missing shard files
+            // would read as data loss.
+            for (int s = 0; s < shardCount; ++s) {
+                std::string shardPath = shardFileName(path_, s);
+                if (!fs::exists(shardPath))
+                    writeContainerHeader(shardPath);
+            }
+            // Write-temp-then-rename: a crash mid-write must not
+            // leave a partial manifest that wedges every later open.
+            std::vector<uint8_t> m;
+            appendPod(m, kManifestMagic);
+            appendPod(m, kVersion);
+            appendPod(m, static_cast<uint32_t>(shardCount));
+            std::string tmpPath = manifestPath + ".tmp";
+            std::FILE *f = std::fopen(tmpPath.c_str(), "wb");
+            if (!f || std::fwrite(m.data(), 1, m.size(), f) != m.size())
+                fatal("cannot write archive manifest '%s'",
+                      tmpPath.c_str());
+            std::fclose(f);
+            std::error_code ec;
+            fs::rename(tmpPath, manifestPath, ec);
+            if (ec)
+                fatal("cannot move archive manifest into place at "
+                      "'%s': %s", manifestPath.c_str(),
+                      ec.message().c_str());
+        }
+    }
+
+    shards_.clear();
+    shards_.reserve(static_cast<size_t>(shardCount));
+    for (int s = 0; s < shardCount; ++s) {
+        auto shard = std::make_unique<Shard>();
+        if (!path_.empty()) {
+            shard->path = shardFileName(path_, s);
+            if (!fs::exists(shard->path)) {
+                // In a pre-existing archive a missing shard file is
+                // always data loss (its chains are gone), never a
+                // fresh start — recreate it so the archive stays
+                // usable, but say so.
+                if (manifestExisted)
+                    warn("archive '%s': shard file '%s' is missing — "
+                         "chains stored in it are lost; recreating "
+                         "empty", path_.c_str(), shard->path.c_str());
+                writeContainerHeader(shard->path);
+            }
+        }
+        shard->appendOffset = kFileHeaderBytes;
+        shard->scan.validBytes = shard->appendOffset;
+        shards_.push_back(std::move(shard));
+    }
+
+    if (path_.empty()) {
+        scanReport_.validBytes =
+            kFileHeaderBytes * static_cast<uint64_t>(shardCount);
+        return;
+    }
+
+    // Scan every shard, then interleave the per-shard records into one
+    // global append order. Within a shard, file order is append order;
+    // across shards the original interleaving is unrecoverable (and
+    // irrelevant — chains never span shards), so shards are replayed
+    // in index order, records sorted per (location, band) by the
+    // consumers that need day order.
+    scanReport_ = ScanReport{};
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        Shard &shard = *shards_[s];
+        std::vector<RecordEntry> entries;
+        shard.scan = scanContainerFile(shard.path, entries, true);
+        shard.appendOffset = shard.scan.validBytes;
+        for (const RecordEntry &entry : entries) {
+            uint32_t local = static_cast<uint32_t>(shard.records.size());
+            shard.records.push_back(entry);
+            size_t gid = globalRecords_.size();
+            globalRecords_.push_back({static_cast<uint32_t>(s), local});
+            shard.index[{entry.meta.locationId, entry.meta.band}]
+                .push_back(gid);
+        }
+        scanReport_.recordCount += shard.scan.recordCount;
+        scanReport_.validBytes += shard.scan.validBytes;
+        scanReport_.truncatedTail |= shard.scan.truncatedTail;
+    }
+}
+
+void
+Archive::recoverInterruptedMigration()
+{
+    // Finish (or clean up after) a legacy migration that crashed
+    // between steps. The migration sequence is: replay into
+    // '<path>.migrating' (legacy file stays authoritative at <path>),
+    // rename <path> -> '<path>.legacy-done', rename the staging
+    // directory into place, remove the aside file. A crash before the
+    // first rename leaves the legacy file authoritative (the stale
+    // staging directory is rebuilt); a crash between the renames is
+    // completed here; a leftover aside file after a completed swap is
+    // removed.
+    std::string stagingPath = path_ + ".migrating";
+    std::string asidePath = path_ + ".legacy-done";
+    std::error_code ec;
+    if (!fs::exists(path_, ec) && fs::exists(asidePath, ec)) {
+        if (!fs::exists(stagingPath, ec))
+            fatal("archive '%s': interrupted migration left only '%s' "
+                  "— recover it manually", path_.c_str(),
+                  asidePath.c_str());
+        warn("archive '%s': completing interrupted legacy migration",
+             path_.c_str());
+        fs::rename(stagingPath, path_, ec);
+        if (ec)
+            fatal("cannot finish migration of archive '%s': %s",
+                  path_.c_str(), ec.message().c_str());
+    }
+    if (fs::exists(path_, ec) && fs::exists(asidePath, ec)) {
+        fs::remove(asidePath, ec);
+        if (ec)
+            warn("cannot remove migrated legacy archive '%s': %s",
+                 asidePath.c_str(), ec.message().c_str());
+    }
+}
+
+void
+Archive::migrateLegacyFile(int shardCount)
+{
+    // One-time migration of a pre-sharding single-file archive. The
+    // legacy file stays authoritative at path_ until a complete
+    // sharded replica exists: records are replayed into a staging
+    // directory first, then swapped into place with two renames (see
+    // recoverInterruptedMigration() for the crash story).
+    std::string stagingPath = path_ + ".migrating";
+    std::string asidePath = path_ + ".legacy-done";
+    std::error_code ec;
+    fs::remove_all(stagingPath, ec); // stale partial replay, if any
+
+    std::vector<RecordEntry> entries;
+    ScanReport legacyScan = scanContainerFile(path_, entries, false);
+    {
+        Archive staging(stagingPath, shardCount);
+        for (const RecordEntry &entry : entries) {
+            std::vector<uint8_t> payload = readFileRange(
+                path_, entry.payloadOffset,
+                static_cast<size_t>(entry.meta.payloadBytes));
+            if (crc32(payload.data(), payload.size()) !=
+                entry.payloadCrc)
+                fatal("legacy archive '%s': payload CRC mismatch "
+                      "during migration", path_.c_str());
+            staging.append(entry.meta, payload);
+        }
+    }
+
+    fs::rename(path_, asidePath, ec);
+    if (ec)
+        fatal("cannot move legacy archive '%s' aside: %s",
+              path_.c_str(), ec.message().c_str());
+    fs::rename(stagingPath, path_, ec);
+    if (ec)
+        fatal("cannot move migrated archive into place at '%s': %s",
+              path_.c_str(), ec.message().c_str());
+    fs::remove(asidePath, ec);
+    if (ec)
+        warn("cannot remove migrated legacy archive '%s': %s",
+             asidePath.c_str(), ec.message().c_str());
+
+    openShards(shardCount);
+    scanReport_.migratedLegacy = true;
+    scanReport_.truncatedTail |= legacyScan.truncatedTail;
+    inform("archive '%s': migrated %zu legacy records into %d shards",
+           path_.c_str(), globalRecords_.size(), shardCount);
+}
+
+RecordEntry
+Archive::writeRecordLocked(Shard &shard, const RecordMeta &meta,
+                           const std::vector<uint8_t> &payload)
 {
     RecordEntry entry;
     entry.meta = meta;
     entry.meta.payloadBytes = payload.size();
     entry.payloadCrc = crc32(payload.data(), payload.size());
-    entry.payloadOffset = appendOffset_ + kRecordHeaderBytes;
-
-    appendRecordBytes(entry.meta, entry.payloadCrc, payload);
-
-    size_t idx = records_.size();
-    records_.push_back(entry);
-    index_[{meta.locationId, meta.band}].push_back(idx);
-    return idx;
+    entry.payloadOffset = shard.appendOffset + kRecordHeaderBytes;
+    if (shard.path.empty())
+        shard.memPayloads.push_back(payload);
+    else
+        appendRecordToFile(shard.path, shard.appendOffset, entry.meta,
+                           entry.payloadCrc, payload);
+    shard.appendOffset += kRecordHeaderBytes + payload.size();
+    shard.records.push_back(entry);
+    return entry;
 }
 
-const RecordEntry &
+size_t
+Archive::indexRecordLocked(size_t shardIdx, uint32_t local,
+                           const RecordMeta &meta)
+{
+    size_t gid = globalRecords_.size();
+    globalRecords_.push_back({static_cast<uint32_t>(shardIdx), local});
+    shards_[shardIdx]->index[{meta.locationId, meta.band}]
+        .push_back(gid);
+    return gid;
+}
+
+size_t
+Archive::append(const RecordMeta &meta, const std::vector<uint8_t> &payload)
+{
+    size_t shardIdx =
+        static_cast<size_t>(shardForLocation(meta.locationId));
+    Shard &shard = *shards_[shardIdx];
+
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    uint32_t local = static_cast<uint32_t>(shard.records.size());
+    writeRecordLocked(shard, meta, payload);
+    // Shard -> global is the one nesting order everywhere (see
+    // compact()), so the global table lock cannot deadlock.
+    std::unique_lock<std::shared_mutex> g(globalMutex_);
+    return indexRecordLocked(shardIdx, local, meta);
+}
+
+size_t
+Archive::recordCount() const
+{
+    std::shared_lock<std::shared_mutex> g(globalMutex_);
+    return globalRecords_.size();
+}
+
+RecordEntry
 Archive::record(size_t idx) const
 {
-    EP_ASSERT(idx < records_.size(), "record index %zu out of range "
-              "(%zu records)", idx, records_.size());
-    return records_[idx];
+    GlobalRef ref;
+    {
+        std::shared_lock<std::shared_mutex> g(globalMutex_);
+        EP_ASSERT(idx < globalRecords_.size(),
+                  "record index %zu out of range (%zu records)", idx,
+                  globalRecords_.size());
+        ref = globalRecords_[idx];
+    }
+    Shard &shard = *shards_[ref.shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.records[ref.local];
 }
 
 std::vector<size_t>
 Archive::chain(int locationId, int band) const
 {
-    auto it = index_.find({locationId, band});
-    return it == index_.end() ? std::vector<size_t>() : it->second;
+    const Shard &shard =
+        *shards_[static_cast<size_t>(shardForLocation(locationId))];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find({locationId, band});
+    return it == shard.index.end() ? std::vector<size_t>() : it->second;
+}
+
+std::vector<std::pair<size_t, RecordMeta>>
+Archive::chainEntries(int locationId, int band) const
+{
+    const Shard &shard =
+        *shards_[static_cast<size_t>(shardForLocation(locationId))];
+    std::vector<std::pair<size_t, RecordMeta>> out;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find({locationId, band});
+    if (it == shard.index.end())
+        return out;
+    out.reserve(it->second.size());
+    // Shard -> global is the nesting order used everywhere.
+    std::shared_lock<std::shared_mutex> g(globalMutex_);
+    for (size_t gid : it->second) {
+        const GlobalRef &ref = globalRecords_[gid];
+        out.emplace_back(gid, shard.records[ref.local].meta);
+    }
+    return out;
 }
 
 std::vector<std::pair<int, int>>
 Archive::keys() const
 {
     std::vector<std::pair<int, int>> out;
-    out.reserve(index_.size());
-    for (const auto &[key, ids] : index_)
-        out.push_back(key);
+    for (const auto &shardPtr : shards_) {
+        std::lock_guard<std::mutex> lock(shardPtr->mutex);
+        for (const auto &[key, ids] : shardPtr->index)
+            out.push_back(key);
+    }
+    std::sort(out.begin(), out.end());
     return out;
+}
+
+bool
+Archive::ensureMapped(Shard &shard, uint64_t end) const
+{
+#if EARTHPLUS_ARCHIVE_MMAP
+    // Retired mappings are retained for the archive's lifetime (views
+    // may aim into them). With doubling growth the list stays tiny;
+    // on hosts mapped exactly to file size it grows per remap, so cap
+    // it and degrade to the stdio fallback instead of accumulating
+    // mappings without bound.
+    constexpr size_t kMaxRetiredMappings = 64;
+    if (shard.mapAddr && end <= shard.mapValidBytes)
+        return true;
+    if (shard.retired.size() >= kMaxRetiredMappings)
+        return false;
+#if EARTHPLUS_ARCHIVE_MMAP_GROWS
+    // Growth-visible hosts: the mapping may extend past the file, and
+    // pages become readable as appends grow the file underneath it.
+    // Before touching pages past the size observed at map time,
+    // re-validate that the file has actually grown to cover them.
+    if (shard.mapAddr && end <= shard.mapLen) {
+        struct stat st;
+        if (::stat(shard.path.c_str(), &st) != 0 ||
+            static_cast<uint64_t>(st.st_size) < end)
+            return false;
+        shard.mapValidBytes =
+            std::min<uint64_t>(static_cast<uint64_t>(st.st_size),
+                               shard.mapLen);
+        return true;
+    }
+#endif
+    int fd = ::open(shard.path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<uint64_t>(st.st_size) < end) {
+        ::close(fd);
+        return false;
+    }
+#if EARTHPLUS_ARCHIVE_MMAP_GROWS
+    // Map with doubling growth so the retired-mapping list stays
+    // O(log growth) per shard instead of one mapping per growth-read
+    // cycle. Reads never pass mapValidBytes, so the excess pages are
+    // only touched once the file has grown over them (re-validated
+    // above).
+    size_t len = std::max(static_cast<size_t>(st.st_size),
+                          shard.mapLen * 2);
+#else
+    // Portability fallback: POSIX leaves references to file regions
+    // grown after mmap() unspecified, so map exactly the current size
+    // and remap on every growth.
+    size_t len = static_cast<size_t>(st.st_size);
+#endif
+    void *addr = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED)
+        return false;
+    // Outstanding PayloadViews aim into the old mapping, so it is
+    // retired (freed at destruction), never unmapped here.
+    if (shard.mapAddr)
+        shard.retired.emplace_back(shard.mapAddr, shard.mapLen);
+    shard.mapAddr = static_cast<const uint8_t *>(addr);
+    shard.mapLen = len;
+    shard.mapValidBytes = static_cast<uint64_t>(st.st_size);
+    return true;
+#else
+    (void)shard;
+    (void)end;
+    return false;
+#endif
+}
+
+PayloadView
+Archive::payloadView(size_t idx) const
+{
+    GlobalRef ref;
+    {
+        std::shared_lock<std::shared_mutex> g(globalMutex_);
+        EP_ASSERT(idx < globalRecords_.size(),
+                  "record index %zu out of range (%zu records)", idx,
+                  globalRecords_.size());
+        ref = globalRecords_[idx];
+    }
+    Shard &shard = *shards_[ref.shard];
+
+    // Only the entry snapshot and the mapping lookup happen under the
+    // shard lock; the CRC pass over the payload runs outside it so a
+    // cold read of a hot shard does not stall that shard's appends.
+    // Everything read after unlock is immutable by construction: a
+    // written record's bytes never change, mappings are retired (not
+    // unmapped) while the archive lives, and memory-backed payload
+    // vectors never move once appended (deque growth keeps elements
+    // in place).
+    RecordEntry entry;
+    const uint8_t *mapped = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        entry = shard.records[ref.local];
+        if (shard.path.empty()) {
+            const std::vector<uint8_t> &bytes =
+                shard.memPayloads[ref.local];
+            return PayloadView(bytes.data(), bytes.size());
+        }
+        uint64_t end = entry.payloadOffset + entry.meta.payloadBytes;
+        if (ensureMapped(shard, end))
+            mapped = shard.mapAddr + entry.payloadOffset;
+    }
+
+    size_t size = static_cast<size_t>(entry.meta.payloadBytes);
+    if (mapped) {
+        if (crc32(mapped, size) != entry.payloadCrc)
+            fatal("archive '%s': record %zu payload CRC mismatch",
+                  path_.c_str(), idx);
+        return PayloadView(mapped, size);
+    }
+    // Portable fallback: a private stdio read per call (the record's
+    // byte range is immutable, so no lock is needed here either).
+    std::vector<uint8_t> bytes =
+        readFileRange(shard.path, entry.payloadOffset, size);
+    if (crc32(bytes.data(), bytes.size()) != entry.payloadCrc)
+        fatal("archive '%s': record %zu payload CRC mismatch",
+              path_.c_str(), idx);
+    return PayloadView(std::move(bytes));
 }
 
 std::vector<uint8_t>
 Archive::loadPayload(size_t idx) const
 {
-    const RecordEntry &entry = record(idx);
-    if (path_.empty())
-        return memPayloads_[idx];
-
-    std::vector<uint8_t> payload(entry.meta.payloadBytes);
-    // A private handle per call keeps concurrent tile-server reads
-    // free of shared seek state.
-    std::FILE *f = std::fopen(path_.c_str(), "rb");
-    if (!f)
-        fatal("cannot open archive '%s'", path_.c_str());
-    bool ok = std::fseek(f, static_cast<long>(entry.payloadOffset),
-                         SEEK_SET) == 0 &&
-              (payload.empty() ||
-               std::fread(payload.data(), 1, payload.size(), f) ==
-                   payload.size());
-    std::fclose(f);
-    if (!ok)
-        fatal("archive '%s': record %zu payload unreadable",
-              path_.c_str(), idx);
-    if (crc32(payload.data(), payload.size()) != entry.payloadCrc)
-        fatal("archive '%s': record %zu payload CRC mismatch",
-              path_.c_str(), idx);
-    return payload;
+    return payloadView(idx).toVector();
 }
 
 uint64_t
 Archive::compact()
 {
+    // Exclusive over the whole archive: shards in index order, then
+    // the global table — the same nesting order append() uses.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto &shard : shards_)
+        locks.emplace_back(shard->mutex);
+    std::unique_lock<std::shared_mutex> g(globalMutex_);
+
     // Keep, per (location, band), everything captured at or after the
     // latest full download. "Latest" is by capture day, not append
     // order: ARQ can complete downloads out of capture order, so a
     // small delta captured after a big full download may sit *before*
     // it in the file.
-    std::vector<uint8_t> keep(records_.size(), 1);
-    for (const auto &[key, ids] : index_) {
-        double lastFullDay = -std::numeric_limits<double>::infinity();
-        for (size_t id : ids)
-            if (records_[id].meta.fullDownload)
-                lastFullDay = std::max(lastFullDay,
-                                       records_[id].meta.captureDay);
-        for (size_t id : ids)
-            if (records_[id].meta.captureDay < lastFullDay)
-                keep[id] = 0;
+    size_t n = globalRecords_.size();
+    std::vector<uint8_t> keep(n, 1);
+    auto entryOf = [&](size_t gid) -> const RecordEntry & {
+        const GlobalRef &ref = globalRecords_[gid];
+        return shards_[ref.shard]->records[ref.local];
+    };
+    for (const auto &shardPtr : shards_) {
+        for (const auto &[key, gids] : shardPtr->index) {
+            double lastFullDay =
+                -std::numeric_limits<double>::infinity();
+            for (size_t gid : gids)
+                if (entryOf(gid).meta.fullDownload)
+                    lastFullDay = std::max(lastFullDay,
+                                           entryOf(gid).meta.captureDay);
+            for (size_t gid : gids)
+                if (entryOf(gid).meta.captureDay < lastFullDay)
+                    keep[gid] = 0;
+        }
     }
 
-    uint64_t before = fileBytes();
-    std::vector<std::vector<uint8_t>> payloads;
-    payloads.reserve(records_.size());
-    for (size_t i = 0; i < records_.size(); ++i)
-        payloads.push_back(keep[i] ? loadPayload(i)
-                                   : std::vector<uint8_t>());
-    std::vector<RecordEntry> oldRecords = std::move(records_);
+    uint64_t before = 0;
+    for (const auto &shardPtr : shards_)
+        before += shardPtr->appendOffset;
 
-    // Reset and re-append the surviving records in order.
-    records_.clear();
-    index_.clear();
-    memPayloads_.clear();
-    appendOffset_ = kFileHeaderBytes;
-    if (!path_.empty()) {
-        std::FILE *f = std::fopen(path_.c_str(), "wb");
-        if (!f)
-            fatal("cannot rewrite archive '%s'", path_.c_str());
-        std::vector<uint8_t> header;
-        appendPod(header, kFileMagic);
-        appendPod(header, kVersion);
-        if (std::fwrite(header.data(), 1, header.size(), f) !=
-            header.size())
-            fatal("cannot write archive header to '%s'", path_.c_str());
-        std::fclose(f);
+    // Pull surviving payloads into memory before the rewrite,
+    // verifying each against its stored CRC: a compact must never
+    // re-bless rotten bytes with a freshly computed checksum.
+    std::vector<std::pair<RecordMeta, std::vector<uint8_t>>> survivors;
+    for (size_t gid = 0; gid < n; ++gid) {
+        if (!keep[gid])
+            continue;
+        const GlobalRef &ref = globalRecords_[gid];
+        const Shard &shard = *shards_[ref.shard];
+        const RecordEntry &entry = shard.records[ref.local];
+        std::vector<uint8_t> payload = shard.path.empty()
+            ? shard.memPayloads[ref.local]
+            : readFileRange(shard.path, entry.payloadOffset,
+                            static_cast<size_t>(entry.meta.payloadBytes));
+        if (!shard.path.empty() &&
+            crc32(payload.data(), payload.size()) != entry.payloadCrc)
+            fatal("archive '%s': record %zu payload CRC mismatch "
+                  "during compact", path_.c_str(), gid);
+        survivors.emplace_back(entry.meta, std::move(payload));
     }
-    for (size_t i = 0; i < oldRecords.size(); ++i)
-        if (keep[i])
-            append(oldRecords[i].meta, payloads[i]);
 
-    scanReport_.recordCount = records_.size();
-    scanReport_.validBytes = appendOffset_;
-    return before - fileBytes();
+    // Reset every shard. Rewriting a file invalidates the *content*
+    // behind its mapping, so the mapping is retired along with any
+    // outstanding views (the API contract: compact() invalidates
+    // views and indices).
+    globalRecords_.clear();
+    uint64_t after = 0;
+    for (auto &shardPtr : shards_) {
+        Shard &shard = *shardPtr;
+        shard.records.clear();
+        shard.index.clear();
+        shard.memPayloads.clear();
+        shard.appendOffset = kFileHeaderBytes;
+        if (shard.mapAddr) {
+            shard.retired.emplace_back(shard.mapAddr, shard.mapLen);
+            shard.mapAddr = nullptr;
+            shard.mapLen = 0;
+            shard.mapValidBytes = 0;
+        }
+        if (!shard.path.empty())
+            writeContainerHeader(shard.path);
+    }
+
+    // Replay the survivors in their original global order. Locks are
+    // already held, so this writes through the shared append core
+    // without re-locking.
+    for (auto &[meta, payload] : survivors) {
+        size_t shardIdx =
+            static_cast<size_t>(shardForLocation(meta.locationId));
+        Shard &shard = *shards_[shardIdx];
+        uint32_t local = static_cast<uint32_t>(shard.records.size());
+        writeRecordLocked(shard, meta, payload);
+        indexRecordLocked(shardIdx, local, meta);
+    }
+
+    scanReport_.recordCount = globalRecords_.size();
+    scanReport_.validBytes = 0;
+    // Every shard was just rewritten cleanly, so an open-time
+    // truncated tail no longer describes the on-disk state.
+    // (migratedLegacy stays: it records how this open started.)
+    scanReport_.truncatedTail = false;
+    for (const auto &shardPtr : shards_) {
+        after += shardPtr->appendOffset;
+        scanReport_.validBytes += shardPtr->appendOffset;
+    }
+    return before - after;
 }
 
 uint64_t
 Archive::fileBytes() const
 {
-    return appendOffset_;
+    uint64_t total = 0;
+    for (const auto &shardPtr : shards_) {
+        std::lock_guard<std::mutex> lock(shardPtr->mutex);
+        total += shardPtr->appendOffset;
+    }
+    return total;
 }
 
 } // namespace earthplus::ground

@@ -1,40 +1,63 @@
 /**
  * @file
- * Persistent archive of downloaded encoded imagery.
+ * Persistent sharded archive of downloaded encoded imagery.
  *
  * The ground segment must keep every downloaded `EncodedImage` delta
  * and its reference lineage — reconstruction of a (location, day,
  * band) needs the latest full download plus all deltas since, and a
- * production archive survives process restarts. This is an
- * append-only container file:
+ * production archive survives process restarts. At constellation
+ * scale the archive is written by many download completions and read
+ * by many serving threads at once, so it is **sharded by location**:
+ * a non-empty path names a *directory* holding a manifest plus one
+ * append-only container file per shard, and a record lands in the
+ * shard selected by hashing its locationId. Every (location, band)
+ * chain therefore lives wholly inside one shard — the per-shard
+ * indexes are shared-nothing and each shard has its own mutex, so
+ * appends and reads on different shards never contend.
  *
- *   file   := fileHeader record*
- *   header := magic "EPAR" | version u32
- *   record := recordMagic "EPRC" | headerCrc u32 | locationId u32 |
- *             satelliteId u32 | band u32 | flags u32 | captureDay f64 |
- *             referenceDay f64 | payloadBytes u64 | payloadCrc u32 |
- *             payload bytes
+ *   directory := MANIFEST shard-NNN.epar*
+ *   manifest  := magic "EPSM" | version u32 | shardCount u32
+ *   shard     := fileHeader record*            (one container file)
+ *   header    := magic "EPAR" | version u32
+ *   record    := recordMagic "EPRC" | headerCrc u32 | locationId u32 |
+ *                satelliteId u32 | band u32 | flags u32 |
+ *                captureDay f64 | referenceDay f64 | payloadBytes u64 |
+ *                payloadCrc u32 | payload bytes
  *
- * Appends go to the end of the file; open() scans the file to rebuild
- * the in-memory index and is corruption-tolerant: a truncated or
- * corrupt tail record stops the scan, the valid prefix stays usable,
- * and the next append rewinds over the garbage. Payloads are read
- * back lazily (the index holds offsets, not bytes) and verified
- * against their CRC on load. compact() drops records captured before
- * the latest full download of their (location, band) — queries for the
+ * The shard container format is byte-identical to the pre-sharding
+ * single-file archive format; opening a path that is a regular file
+ * with the "EPAR" magic migrates it in place into the sharded layout
+ * (see ScanReport::migratedLegacy).
+ *
+ * Appends go to the end of a shard file; open() scans every shard to
+ * rebuild the in-memory indexes and is corruption-tolerant per shard:
+ * a truncated or corrupt tail record stops that shard's scan, the
+ * valid prefix stays usable, and the next append to the shard rewinds
+ * over the garbage. Payload reads are backed by `mmap` on POSIX hosts
+ * (with a portable stdio fallback), so serving resolves delta chains
+ * zero-copy: payloadView() hands out pointers into the mapping and
+ * the codec parses the stream straight out of the page cache. Views
+ * stay valid for the archive's lifetime — grown files are remapped,
+ * and superseded mappings are retired, not unmapped, until the
+ * archive is destroyed. compact() drops records captured before the
+ * latest full download of their (location, band) — queries for the
  * pruned days stop resolving, which is the storage/history trade-off
  * compaction exists to make.
  *
  * An Archive constructed with an empty path is memory-backed: same
- * API and index, no persistence (used by simulations that do not need
- * a file on disk).
+ * API, sharding and thread-safety, no persistence (used by
+ * simulations that do not need files on disk).
  */
 
 #ifndef EARTHPLUS_GROUND_ARCHIVE_HH
 #define EARTHPLUS_GROUND_ARCHIVE_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,9 +67,9 @@ namespace earthplus::ground {
 /** Metadata of one archived download (one band of one capture). */
 struct RecordMeta
 {
-    int locationId = 0;
-    int satelliteId = 0;
-    int band = 0;
+    int locationId = 0;  ///< Captured location (selects the shard).
+    int satelliteId = 0; ///< Capturing satellite.
+    int band = 0;        ///< Band index within the capture.
     /** Capture time in days. */
     double captureDay = 0.0;
     /**
@@ -60,67 +83,139 @@ struct RecordMeta
     uint64_t payloadBytes = 0;
 };
 
-/** Index entry: metadata plus where the payload lives. */
+/** Index entry: metadata plus where the payload lives in its shard. */
 struct RecordEntry
 {
     RecordMeta meta;
-    /** Byte offset of the payload within the archive file. */
+    /** Byte offset of the payload within its shard file. */
     uint64_t payloadOffset = 0;
     /** CRC32 of the payload bytes. */
     uint32_t payloadCrc = 0;
 };
 
-/** Outcome of opening an archive file. */
+/** Outcome of opening an archive (aggregated across shards). */
 struct ScanReport
 {
-    /** Records recovered from the valid prefix. */
+    /** Records recovered from the valid prefixes of all shards. */
     size_t recordCount = 0;
-    /** Bytes of the valid prefix (next append position). */
+    /** Bytes of the valid prefixes (headers included). */
     uint64_t validBytes = 0;
-    /** True when a corrupt/truncated tail was discarded. */
+    /** True when any shard discarded a corrupt/truncated tail. */
     bool truncatedTail = false;
+    /** True when a pre-sharding single-file archive was migrated. */
+    bool migratedLegacy = false;
 };
 
 /**
- * Append-only archive of encoded downloads with an in-memory index.
+ * Borrowed view of one record's payload bytes.
  *
- * Append and read are thread-compatible: append() must not race with
- * anything, loadPayload() may be called concurrently from the tile
- * server's worker threads.
+ * On POSIX hosts the pointer aims straight into the shard file's
+ * read-only mapping (zero-copy); on the fallback path the view owns a
+ * heap copy. Either way the bytes stay valid for the lifetime of the
+ * Archive that produced the view (mappings are retired, never
+ * unmapped, while the archive lives).
+ */
+class PayloadView
+{
+  public:
+    PayloadView() = default;
+
+    /** Zero-copy view into storage owned by the archive. */
+    PayloadView(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    /** Owning view (portable fallback path). */
+    explicit PayloadView(std::vector<uint8_t> owned)
+        : owned_(std::make_shared<std::vector<uint8_t>>(std::move(owned)))
+    {
+        data_ = owned_->data();
+        size_ = owned_->size();
+    }
+
+    /** First payload byte (null for an empty payload). */
+    const uint8_t *data() const { return data_; }
+
+    /** Payload size in bytes. */
+    size_t size() const { return size_; }
+
+    /** Copy the viewed bytes into a fresh vector. */
+    std::vector<uint8_t> toVector() const
+    {
+        return std::vector<uint8_t>(data_, data_ + size_);
+    }
+
+  private:
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    std::shared_ptr<std::vector<uint8_t>> owned_;
+};
+
+/**
+ * Sharded append-only archive of encoded downloads with in-memory
+ * per-shard indexes.
+ *
+ * Thread-safe: append(), the read accessors and payload loads may all
+ * race freely (per-shard mutexes plus a global record table under a
+ * shared mutex). compact() is the one exception — it rewrites every
+ * shard and reassigns record indices, so it must not run concurrently
+ * with anything (see its doc comment).
  */
 class Archive
 {
   public:
+    /** Shards used when the caller does not pick a count. */
+    static constexpr int kDefaultShardCount = 8;
+
     /**
      * Open (or create) an archive.
      *
-     * @param path File path; empty for a memory-backed archive.
+     * A non-empty path names a directory (created as needed). When
+     * the path is an existing regular file carrying the pre-sharding
+     * "EPAR" magic, it is migrated into the sharded layout in place:
+     * the file is renamed aside, its records are redistributed into
+     * shards in append order, and the original is removed on success.
+     *
+     * @param path Directory path; empty for a memory-backed archive.
+     * @param shardCount Shards to create (<= 0 picks
+     *        kDefaultShardCount). An existing directory's manifest
+     *        wins over this argument.
      */
-    explicit Archive(const std::string &path);
+    explicit Archive(const std::string &path, int shardCount = 0);
 
+    /** Unmaps every shard (including retired mappings). */
     ~Archive();
 
-    Archive(const Archive &) = delete;
-    Archive &operator=(const Archive &) = delete;
+    Archive(const Archive &) = delete;            ///< Non-copyable.
+    Archive &operator=(const Archive &) = delete; ///< Non-copyable.
 
-    /** Result of the open()-time scan. */
+    /** Result of the open()-time scan (aggregated over shards). */
     const ScanReport &scanReport() const { return scanReport_; }
+
+    /** Number of shards (fixed for the archive's lifetime). */
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+
+    /** Shard index the given location hashes to. */
+    int shardForLocation(int locationId) const;
 
     /**
      * Append one record.
      *
+     * Thread-safe; appends to different shards proceed in parallel.
+     *
      * @param meta Record metadata (payloadBytes is overwritten).
      * @param payload Serialized EncodedImage bytes.
-     * @return Index of the new record.
+     * @return Global index of the new record.
      */
     size_t append(const RecordMeta &meta,
                   const std::vector<uint8_t> &payload);
 
-    /** Number of indexed records. */
-    size_t recordCount() const { return records_.size(); }
+    /** Number of indexed records across all shards. */
+    size_t recordCount() const;
 
-    /** Metadata + location of record `idx`. */
-    const RecordEntry &record(size_t idx) const;
+    /** Metadata + location of record `idx` (by value: thread-safe). */
+    RecordEntry record(size_t idx) const;
 
     /**
      * Indices of records for one (location, band), in append order.
@@ -130,11 +225,21 @@ class Archive
      */
     std::vector<size_t> chain(int locationId, int band) const;
 
+    /**
+     * The chain's (global id, metadata) pairs in append order,
+     * snapshotted under one shard lock — the serving hot path uses
+     * this instead of a record() round trip per chain element.
+     */
+    std::vector<std::pair<size_t, RecordMeta>>
+    chainEntries(int locationId, int band) const;
+
     /** All (location, band) keys present in the archive. */
     std::vector<std::pair<int, int>> keys() const;
 
     /**
-     * Load and CRC-verify the payload of record `idx`.
+     * Load and CRC-verify the payload of record `idx` as an owned
+     * copy. Prefer payloadView() on hot paths — this exists for
+     * callers that need to keep bytes past the archive's lifetime.
      *
      * fatal()s when the stored bytes no longer match their CRC (disk
      * corruption after the open()-time scan).
@@ -142,38 +247,95 @@ class Archive
     std::vector<uint8_t> loadPayload(size_t idx) const;
 
     /**
-     * Rewrite the archive keeping, for each (location, band), only the
-     * records captured at or after its latest full download ("latest"
-     * by capture day — append order can differ under ARQ).
+     * Borrow the payload of record `idx`, CRC-verified, without
+     * copying when the shard is mmap-backed. The view stays valid for
+     * this archive's lifetime (not across compact()).
+     */
+    PayloadView payloadView(size_t idx) const;
+
+    /**
+     * Rewrite every shard keeping, for each (location, band), only
+     * the records captured at or after its latest full download
+     * ("latest" by capture day — append order can differ under ARQ).
      *
      * This intentionally prunes history: queries for days before a
      * chain's latest full download stop resolving after a compact.
-     * Record indices are reassigned, so anything holding indices into
-     * this archive (a TileServer and its caches in particular) must be
-     * discarded and rebuilt — do not compact while serving.
+     * Record indices are reassigned and outstanding PayloadViews are
+     * invalidated, so anything holding indices or views into this
+     * archive (a TileServer and its caches in particular) must be
+     * discarded and rebuilt — do not compact while serving or
+     * appending.
      *
-     * @return Bytes reclaimed.
+     * @return Bytes reclaimed across all shards.
      */
     uint64_t compact();
 
-    /** Archive file size in bytes (index + payloads, header included). */
+    /** Total bytes across shard files (headers + payloads). */
     uint64_t fileBytes() const;
 
     /** Path backing this archive (empty = memory-backed). */
     const std::string &path() const { return path_; }
 
   private:
-    void openAndScan();
-    void appendRecordBytes(const RecordMeta &meta, uint32_t payloadCrc,
-                           const std::vector<uint8_t> &payload);
+    /** One shard: container file, mutex, records and index. */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Shard container file path (empty in memory-backed mode). */
+        std::string path;
+        /** Records in shard-local append order. */
+        std::deque<RecordEntry> records;
+        /** (location, band) -> global record ids, append order. */
+        std::map<std::pair<int, int>, std::vector<size_t>> index;
+        /** Payload bytes in memory-backed mode, local index order. */
+        std::deque<std::vector<uint8_t>> memPayloads;
+        /** Next append position (file header included). */
+        uint64_t appendOffset = 0;
+        /** Read-only mapping of the shard file, or null. */
+        const uint8_t *mapAddr = nullptr;
+        /** Mapped length (on growth-visible hosts, past the file). */
+        size_t mapLen = 0;
+        /** File bytes verified present behind the mapping so far. */
+        uint64_t mapValidBytes = 0;
+        /** Superseded mappings kept alive for outstanding views. */
+        std::vector<std::pair<const uint8_t *, size_t>> retired;
+        /** Scan outcome for this shard. */
+        ScanReport scan;
+    };
+
+    /** Record id -> owning shard and shard-local index. */
+    struct GlobalRef
+    {
+        uint32_t shard = 0;
+        uint32_t local = 0;
+    };
+
+    void openShards(int shardCount);
+    void recoverInterruptedMigration();
+    void migrateLegacyFile(int shardCount);
+    /**
+     * Write one record into `shard` (file or memory) and push it onto
+     * the shard's record list. Requires shard.mutex held; follow with
+     * indexRecordLocked() to assign its global id.
+     */
+    RecordEntry writeRecordLocked(Shard &shard, const RecordMeta &meta,
+                                  const std::vector<uint8_t> &payload);
+    /**
+     * Assign the next global id to (shardIdx, local) and add it to
+     * the shard's (location, band) index. Requires shard.mutex and a
+     * unique lock on globalMutex_ held.
+     */
+    size_t indexRecordLocked(size_t shardIdx, uint32_t local,
+                             const RecordMeta &meta);
+    /** Map (or grow the mapping of) `shard` to cover `end` bytes. */
+    bool ensureMapped(Shard &shard, uint64_t end) const;
 
     std::string path_;
-    /** Payload bytes for the memory-backed mode, indexed as records_. */
-    std::vector<std::vector<uint8_t>> memPayloads_;
-    std::vector<RecordEntry> records_;
-    std::map<std::pair<int, int>, std::vector<size_t>> index_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    /** Global record table; guards ordering of ids across shards. */
+    mutable std::shared_mutex globalMutex_;
+    std::deque<GlobalRef> globalRecords_;
     ScanReport scanReport_;
-    uint64_t appendOffset_ = 0;
 };
 
 } // namespace earthplus::ground

@@ -121,12 +121,12 @@ class StreamReassembler
 /** Aggregate transmission statistics of a DownlinkChannel. */
 struct ChannelStats
 {
-    uint64_t packetsSent = 0;
-    uint64_t packetsLost = 0;
-    uint64_t packetsRetransmitted = 0;
-    uint64_t bytesSent = 0;
-    uint32_t streamsCompleted = 0;
-    uint32_t streamsFailed = 0;
+    uint64_t packetsSent = 0; ///< Packets transmitted (incl. lost).
+    uint64_t packetsLost = 0; ///< Packets dropped by the channel.
+    uint64_t packetsRetransmitted = 0; ///< ARQ re-sends.
+    uint64_t bytesSent = 0;   ///< Wire bytes (headers included).
+    uint32_t streamsCompleted = 0; ///< Transfers fully reassembled.
+    uint32_t streamsFailed = 0; ///< Transfers dropped by retention.
 
     /** Fraction of sent packets that were lost. */
     double lossRate() const
@@ -199,8 +199,10 @@ class DownlinkChannel
     /** Transfers still queued or partially received. */
     size_t pendingCount() const { return pending_.size(); }
 
+    /** Aggregate transmission statistics so far. */
     const ChannelStats &stats() const { return stats_; }
 
+    /** Configuration this channel was built with. */
     const ChannelParams &params() const { return params_; }
 
   private:

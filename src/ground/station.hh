@@ -44,11 +44,13 @@ struct GroundSegmentParams
     /** Phase of the first daily contact. */
     double contactPhaseDays = 0.0;
     /**
-     * Archive file path; empty keeps the archive in memory. Each
-     * GroundStation owns its file exclusively — concurrent
-     * simulations (core::runSimulationsBatch jobs) must use distinct
-     * paths or leave this empty, or their interleaved appends corrupt
-     * the file.
+     * Archive directory path; empty keeps the archive in memory. A
+     * path naming a pre-sharding single-file archive is migrated into
+     * the sharded directory layout on open. Each GroundStation owns
+     * its directory exclusively — concurrent simulations
+     * (core::runSimulationsBatch jobs) must use distinct paths or
+     * leave this empty, or their interleaved appends corrupt the
+     * shard files.
      */
     std::string archivePath;
 };
@@ -56,11 +58,12 @@ struct GroundSegmentParams
 /** One capture queued for download. */
 struct CaptureDownload
 {
-    int locationId = 0;
-    int satelliteId = 0;
-    double captureDay = 0.0;
+    int locationId = 0;      ///< Captured location.
+    int satelliteId = 0;     ///< Capturing satellite.
+    double captureDay = 0.0; ///< Capture time in days.
     /** Reference the deltas were encoded against (< 0 = none). */
     double referenceDay = -1.0;
+    /** Guaranteed full download (self-contained streams). */
     bool fullDownload = false;
     /** Serialized EncodedImage per band, band-index order. */
     std::vector<std::vector<uint8_t>> bandPayloads;
@@ -73,9 +76,9 @@ struct CaptureDownload
 /** Station-level statistics (channel stats included by value). */
 struct StationStats
 {
-    ChannelStats channel;
-    uint32_t capturesCompleted = 0;
-    uint32_t capturesFailed = 0;
+    ChannelStats channel;            ///< Downlink-channel statistics.
+    uint32_t capturesCompleted = 0;  ///< Captures fully downloaded.
+    uint32_t capturesFailed = 0;     ///< Captures lost to retention.
     /** Completed captures whose payloads matched bit for bit. */
     uint32_t capturesByteIdentical = 0;
     /** Day the most recent capture completed. */
@@ -113,13 +116,16 @@ class GroundStation
     /** The archive downloads land in. */
     Archive &archive() { return archive_; }
 
+    /** The archive downloads land in (const view). */
     const Archive &archive() const { return archive_; }
 
     /** Captures submitted but not yet completed or failed. */
     size_t pendingCaptures() const { return pending_.size(); }
 
+    /** Station-level statistics (current channel stats included). */
     StationStats stats() const;
 
+    /** Configuration this station was built with. */
     const GroundSegmentParams &params() const { return params_; }
 
   private:

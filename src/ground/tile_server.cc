@@ -1,14 +1,25 @@
 #include "ground/tile_server.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
 #include <functional>
+#include <limits>
 
 #include "codec/codec.hh"
 #include "raster/tile.hh"
 #include "util/logging.hh"
-#include "util/parallel.hh"
+#include "util/stats.hh"
 
 namespace earthplus::ground {
+
+namespace {
+
+/** Latency samples kept for the p50/p99 estimate (recent window). */
+constexpr size_t kLatencyWindow = 4096;
+
+} // anonymous namespace
 
 DecodedTileCache::DecodedTileCache(size_t capacityBytes)
     : shardCapacityBytes_(capacityBytes / kShards)
@@ -85,9 +96,37 @@ DecodedTileCache::evictions() const
     return total;
 }
 
-TileServer::TileServer(const Archive &archive, size_t cacheBytes)
-    : archive_(archive), cache_(cacheBytes)
+namespace {
+
+TileServerOptions
+optionsWithCacheBytes(size_t cacheBytes)
 {
+    TileServerOptions options;
+    options.cacheBytes = cacheBytes;
+    return options;
+}
+
+} // anonymous namespace
+
+TileServer::TileServer(const Archive &archive, size_t cacheBytes)
+    : TileServer(archive, optionsWithCacheBytes(cacheBytes))
+{
+}
+
+TileServer::TileServer(const Archive &archive,
+                       const TileServerOptions &options)
+    : archive_(archive), cache_(options.cacheBytes), options_(options)
+{
+    latencyRing_.reserve(kLatencyWindow);
+    if (options_.prefetch)
+        prefetchQueue_ = std::make_unique<util::BackgroundQueue>(
+            options_.prefetchQueueDepth);
+}
+
+TileServer::~TileServer()
+{
+    // Stop the prefetch worker before any member it touches dies.
+    prefetchQueue_.reset();
 }
 
 const TileServer::StreamInfo *
@@ -114,31 +153,70 @@ TileServer::rememberInfo(size_t recordIdx,
 TileResult
 TileServer::serve(const TileQuery &query)
 {
+    auto t0 = std::chrono::steady_clock::now();
+    double nextDay = std::numeric_limits<double>::infinity();
+    TileResult result = serveImpl(query, &nextDay);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.queries;
+        stats_.tilesDecoded += static_cast<uint64_t>(result.tilesDecoded);
+        stats_.tilesFromCache +=
+            static_cast<uint64_t>(result.tilesFromCache);
+        stats_.tilesCoalesced +=
+            static_cast<uint64_t>(result.tilesCoalesced);
+        stats_.cacheEvictions = cache_.evictions();
+        if (latencyRing_.size() < kLatencyWindow)
+            latencyRing_.push_back(ms);
+        else
+            latencyRing_[latencyNext_] = ms;
+        latencyNext_ = (latencyNext_ + 1) % kLatencyWindow;
+    }
+
+    if (result.found && options_.prefetch)
+        maybePrefetch(query, nextDay);
+    return result;
+}
+
+TileResult
+TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
+{
     TileResult result;
 
     // Resolve the delta chain: records at or before the query day,
     // starting from the latest full download among them. Append order
     // is download-*completion* order, which ARQ retransmissions can
     // reorder relative to capture order, so sort by capture day.
-    std::vector<size_t> chain = archive_.chain(query.locationId,
-                                               query.band);
-    std::vector<size_t> relevant;
-    for (size_t idx : chain)
-        if (archive_.record(idx).meta.captureDay <= query.day)
-            relevant.push_back(idx);
-    if (relevant.empty()) {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.queries;
+    // One locked pass snapshots the whole chain's metadata (the
+    // archive may be appended to concurrently; a per-record lookup
+    // would pay two lock round trips per chain element).
+    std::vector<std::pair<size_t, RecordMeta>> relevant =
+        archive_.chainEntries(query.locationId, query.band);
+    double nextDay = std::numeric_limits<double>::infinity();
+    auto afterQuery = [&](const std::pair<size_t, RecordMeta> &e) {
+        if (e.second.captureDay > query.day) {
+            nextDay = std::min(nextDay, e.second.captureDay);
+            return true;
+        }
+        return false;
+    };
+    relevant.erase(std::remove_if(relevant.begin(), relevant.end(),
+                                  afterQuery),
+                   relevant.end());
+    if (nextDayOut)
+        *nextDayOut = nextDay;
+    if (relevant.empty())
         return result;
-    }
     std::stable_sort(relevant.begin(), relevant.end(),
-                     [this](size_t a, size_t b) {
-                         return archive_.record(a).meta.captureDay <
-                                archive_.record(b).meta.captureDay;
+                     [](const auto &a, const auto &b) {
+                         return a.second.captureDay < b.second.captureDay;
                      });
     size_t firstUseful = 0;
     for (size_t i = 0; i < relevant.size(); ++i)
-        if (archive_.record(relevant[i]).meta.fullDownload)
+        if (relevant[i].second.fullDownload)
             firstUseful = i;
     relevant.erase(relevant.begin(),
                    relevant.begin() + static_cast<ptrdiff_t>(firstUseful));
@@ -149,15 +227,19 @@ TileServer::serve(const TileQuery &query)
     std::map<size_t, codec::EncodedImage> parsedThisQuery;
     std::vector<const StreamInfo *> infos;
     infos.reserve(relevant.size());
-    for (size_t idx : relevant) {
+    for (const auto &[idx, meta] : relevant) {
         if (const StreamInfo *hit = findInfo(idx)) {
             infos.push_back(hit);
             continue;
         }
         // Parse outside the info lock; concurrent first touches of
         // the same record both parse, the second insert is a no-op.
-        codec::EncodedImage stream = codec::EncodedImage::deserialize(
-            archive_.loadPayload(idx));
+        // The payload view aims into the shard's file mapping, so
+        // parsing copies only the entropy chunks, never the whole
+        // serialized payload.
+        PayloadView view = archive_.payloadView(idx);
+        codec::EncodedImage stream =
+            codec::EncodedImage::deserialize(view.data(), view.size());
         infos.push_back(&rememberInfo(idx, stream));
         parsedThisQuery.emplace(idx, std::move(stream));
     }
@@ -175,11 +257,8 @@ TileServer::serve(const TileQuery &query)
     int y0 = std::max(query.y0, 0);
     int x1 = std::min(query.x0 + query.width, newest.width);
     int y1 = std::min(query.y0 + query.height, newest.height);
-    if (x0 >= x1 || y0 >= y1) {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.queries;
+    if (x0 >= x1 || y0 >= y1)
         return result;
-    }
 
     result.found = true;
     result.pixels = raster::Plane(x1 - x0, y1 - y0, 0.0f);
@@ -199,8 +278,7 @@ TileServer::serve(const TileQuery &query)
                 if (infos[s]->tileCoded[static_cast<size_t>(t)]) {
                     wanted[s].push_back(t);
                     result.servedDay = std::max(
-                        result.servedDay,
-                        archive_.record(relevant[s]).meta.captureDay);
+                        result.servedDay, relevant[s].second.captureDay);
                     break;
                 }
             }
@@ -210,40 +288,116 @@ TileServer::serve(const TileQuery &query)
     for (size_t s = 0; s < relevant.size(); ++s) {
         if (wanted[s].empty())
             continue;
-        size_t recordIdx = relevant[s];
-        // Serve cached tiles; collect the rest for one batched decode.
+        size_t recordIdx = relevant[s].first;
+        // Serve cached tiles; of the misses, *claim* the tiles nobody
+        // is decoding (one promise per tile published under the
+        // in-flight lock) and *join* the decodes already running —
+        // identical concurrent queries dedupe onto one decode. The
+        // whole claim lifecycle sits inside one try block: once a
+        // claim is published, ANY exception before its fulfilment
+        // must propagate into the future and release the key, or the
+        // tile would be wedged for every later query.
         std::vector<int> misses;
+        std::vector<std::promise<raster::Plane>> claims;
+        std::vector<TileKey> claimKeys;
+        std::vector<std::pair<int, std::shared_future<raster::Plane>>>
+            joined;
         std::vector<std::pair<int, raster::Plane>> tiles;
-        for (int t : wanted[s]) {
-            raster::Plane cached;
-            if (cache_.get(recordIdx, t, query.maxLayers, cached)) {
-                tiles.emplace_back(t, std::move(cached));
-                ++result.tilesFromCache;
-            } else {
-                misses.push_back(t);
+        size_t fulfilled = 0; // claims[0..fulfilled) have a value
+        try {
+            for (int t : wanted[s]) {
+                raster::Plane cached;
+                if (cache_.get(recordIdx, t, query.maxLayers, cached)) {
+                    tiles.emplace_back(t, std::move(cached));
+                    ++result.tilesFromCache;
+                    continue;
+                }
+                TileKey key{recordIdx, t, query.maxLayers};
+                bool claimed = false;
+                {
+                    std::lock_guard<std::mutex> lock(inflightMutex_);
+                    auto it = inflight_.find(key);
+                    if (it != inflight_.end()) {
+                        joined.emplace_back(t, it->second);
+                    } else {
+                        claims.emplace_back();
+                        claimKeys.push_back(key);
+                        misses.push_back(t);
+                        inflight_[key] =
+                            claims.back().get_future().share();
+                        claimed = true;
+                    }
+                }
+                if (!claimed)
+                    continue;
+                // Re-check the cache after claiming: a decode that
+                // finished between our miss and our claim has already
+                // done cache_.put() (put precedes the in-flight erase
+                // that made our claim possible), so this read closes
+                // the duplicate-decode window.
+                if (cache_.get(recordIdx, t, query.maxLayers, cached)) {
+                    claims.back().set_value(cached);
+                    {
+                        std::lock_guard<std::mutex> lock(inflightMutex_);
+                        inflight_.erase(key);
+                    }
+                    // Future holders keep the shared state alive.
+                    claims.pop_back();
+                    claimKeys.pop_back();
+                    misses.pop_back();
+                    tiles.emplace_back(t, std::move(cached));
+                    ++result.tilesFromCache;
+                }
             }
+            if (!misses.empty()) {
+                // Only a claimed miss pays for payload mapping +
+                // stream parse, and a stream already parsed for
+                // geometry this query is reused.
+                auto itParsed = parsedThisQuery.find(recordIdx);
+                codec::EncodedImage local;
+                const codec::EncodedImage *stream;
+                if (itParsed != parsedThisQuery.end()) {
+                    stream = &itParsed->second;
+                } else {
+                    PayloadView view = archive_.payloadView(recordIdx);
+                    local = codec::EncodedImage::deserialize(
+                        view.data(), view.size());
+                    stream = &local;
+                }
+                // Decode inline while holding claims: fanning into
+                // the pool here can deadlock — every worker may be
+                // parked in fut.get() on exactly these claims, so the
+                // helper tasks would never be scheduled.
+                util::InlineRegion inlineRegion;
+                auto decoded = codec::decodeTiles(*stream, misses,
+                                                  query.maxLayers);
+                for (size_t i = 0; i < misses.size(); ++i) {
+                    cache_.put(recordIdx, misses[i], query.maxLayers,
+                               decoded[i]);
+                    claims[i].set_value(decoded[i]);
+                    fulfilled = i + 1;
+                    {
+                        std::lock_guard<std::mutex> lock(inflightMutex_);
+                        inflight_.erase(claimKeys[i]);
+                    }
+                    tiles.emplace_back(misses[i], std::move(decoded[i]));
+                    ++result.tilesDecoded;
+                }
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(inflightMutex_);
+            for (size_t i = fulfilled; i < claims.size(); ++i) {
+                claims[i].set_exception(std::current_exception());
+                inflight_.erase(claimKeys[i]);
+            }
+            throw;
         }
-        if (!misses.empty()) {
-            // Only a miss pays for payload load + stream parse, and a
-            // stream already parsed for geometry this query is reused.
-            auto itParsed = parsedThisQuery.find(recordIdx);
-            codec::EncodedImage local;
-            const codec::EncodedImage *stream;
-            if (itParsed != parsedThisQuery.end()) {
-                stream = &itParsed->second;
-            } else {
-                local = codec::EncodedImage::deserialize(
-                    archive_.loadPayload(recordIdx));
-                stream = &local;
-            }
-            auto decoded = codec::decodeTiles(*stream, misses,
-                                              query.maxLayers);
-            for (size_t i = 0; i < misses.size(); ++i) {
-                cache_.put(recordIdx, misses[i], query.maxLayers,
-                           decoded[i]);
-                tiles.emplace_back(misses[i], std::move(decoded[i]));
-                ++result.tilesDecoded;
-            }
+        for (auto &[t, fut] : joined) {
+            // Safe to block: the producer decodes inline on its own
+            // thread (InlineRegion above — never queued behind this
+            // wait), so the join cannot deadlock the pool.
+            tiles.emplace_back(t, fut.get());
+            ++result.tilesCoalesced;
         }
         for (auto &[t, pixels] : tiles) {
             raster::TileRect r = grid.rect(t);
@@ -260,12 +414,44 @@ TileServer::serve(const TileQuery &query)
         }
     }
 
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    ++stats_.queries;
-    stats_.tilesDecoded += static_cast<uint64_t>(result.tilesDecoded);
-    stats_.tilesFromCache += static_cast<uint64_t>(result.tilesFromCache);
-    stats_.cacheEvictions = cache_.evictions();
     return result;
+}
+
+void
+TileServer::maybePrefetch(const TileQuery &query, double nextDay)
+{
+    // Sequential-day detection: the same (location, band) was last
+    // served an earlier day. One step forward predicts another.
+    bool sequential = false;
+    {
+        std::lock_guard<std::mutex> lock(prefetchMutex_);
+        auto key = std::make_pair(query.locationId, query.band);
+        auto it = lastServedDay_.find(key);
+        sequential = it != lastServedDay_.end() &&
+                     query.day > it->second;
+        lastServedDay_[key] = query.day;
+    }
+    if (!sequential || !prefetchQueue_)
+        return;
+
+    // `nextDay` (computed by serveImpl while it scanned the chain) is
+    // the earliest record strictly after the query day. Prefetching
+    // *that* day's chain warms exactly the records a continuing
+    // sequential consumer asks for next.
+    if (!std::isfinite(nextDay))
+        return;
+
+    TileQuery ahead = query;
+    ahead.day = nextDay;
+    bool posted = prefetchQueue_->post([this, ahead] {
+        serveImpl(ahead);
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.prefetchTasks;
+    });
+    if (!posted) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.prefetchDropped;
+    }
 }
 
 std::vector<TileResult>
@@ -279,8 +465,18 @@ TileServer::serveBatch(const std::vector<TileQuery> &batch)
 ServerStats
 TileServer::stats() const
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    return stats_;
+    // Copy under the lock, sort outside it: percentile computation
+    // must not stall concurrent serve() stat updates.
+    ServerStats out;
+    EmpiricalDistribution window;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out = stats_;
+        window.add(latencyRing_);
+    }
+    out.latencyP50Ms = window.quantile(0.50);
+    out.latencyP99Ms = window.quantile(0.99);
+    return out;
 }
 
 void
@@ -288,6 +484,15 @@ TileServer::resetStats()
 {
     std::lock_guard<std::mutex> lock(statsMutex_);
     stats_ = ServerStats{};
+    latencyRing_.clear();
+    latencyNext_ = 0;
+}
+
+void
+TileServer::waitForPrefetchIdle()
+{
+    if (prefetchQueue_)
+        prefetchQueue_->drain();
 }
 
 } // namespace earthplus::ground

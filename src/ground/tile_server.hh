@@ -11,9 +11,21 @@
  *    full download at or before the day, plus every delta after it,
  *    newest record wins per tile;
  *  - decodes only the tiles intersecting the requested rectangle
- *    (codec::decodeTiles — tiles are self-contained sub-chunks);
+ *    (codec::decodeTiles — tiles are self-contained sub-chunks),
+ *    parsing payloads straight out of the archive's file mapping
+ *    (Archive::payloadView, no staging copy);
  *  - keeps decoded tiles in a size-bounded LRU cache shared by all
  *    queries, so a warm working set serves from memory;
+ *  - **coalesces in-flight decodes**: when two queries race on the
+ *    same cold tile, one decodes and the other waits on the same
+ *    result instead of decoding twice (the thundering-herd guard a
+ *    hot-spot workload needs);
+ *  - **prefetches along the delta chain**: a consumer stepping
+ *    day-by-day through a location's history (the dominant analytic
+ *    access pattern) triggers a background decode of the next day's
+ *    records into the cache, off the serving threads' latency path;
+ *  - tracks per-query latency and reports p50/p99 in ServerStats —
+ *    the serving SLO numbers, not just throughput;
  *  - executes batches fanned across the util::parallel thread pool
  *    (serveBatch), the serving-throughput path bench_ground_serving
  *    measures.
@@ -23,14 +35,17 @@
 #define EARTHPLUS_GROUND_TILE_SERVER_HH
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <tuple>
 #include <vector>
 
 #include "ground/archive.hh"
 #include "raster/plane.hh"
+#include "util/parallel.hh"
 
 namespace earthplus::codec {
 struct EncodedImage;
@@ -41,15 +56,14 @@ namespace earthplus::ground {
 /** One tile-rectangle request. */
 struct TileQuery
 {
-    int locationId = 0;
+    int locationId = 0; ///< Location whose imagery is requested.
     /** Serve the image state as of this day. */
     double day = 0.0;
-    int band = 0;
-    /** Requested pixel rectangle (clipped to the image). */
-    int x0 = 0;
-    int y0 = 0;
-    int width = 0;
-    int height = 0;
+    int band = 0;       ///< Band index.
+    int x0 = 0;     ///< Requested rect: left edge (clipped).
+    int y0 = 0;     ///< Requested rect: top edge (clipped).
+    int width = 0;  ///< Requested rect: width in pixels.
+    int height = 0; ///< Requested rect: height in pixels.
     /** Decode only the first maxLayers quality layers (-1 = all). */
     int maxLayers = -1;
 };
@@ -68,21 +82,41 @@ struct TileResult
     int tilesDecoded = 0;
     /** Tiles served from the decoded-tile cache. */
     int tilesFromCache = 0;
+    /** Tiles served by joining another query's in-flight decode. */
+    int tilesCoalesced = 0;
 };
 
 /** Aggregate serving statistics. */
 struct ServerStats
 {
-    uint64_t queries = 0;
-    uint64_t tilesDecoded = 0;
-    uint64_t tilesFromCache = 0;
-    uint64_t cacheEvictions = 0;
+    uint64_t queries = 0;        ///< Foreground queries served.
+    uint64_t tilesDecoded = 0;   ///< Tile decodes actually executed.
+    uint64_t tilesFromCache = 0; ///< Tiles served from the LRU cache.
+    /** Tile waits that joined another query's in-flight decode. */
+    uint64_t tilesCoalesced = 0;
+    uint64_t cacheEvictions = 0; ///< LRU evictions so far.
+    /** Background delta-chain prefetch tasks executed. */
+    uint64_t prefetchTasks = 0;
+    /** Prefetch tasks dropped because the queue was saturated. */
+    uint64_t prefetchDropped = 0;
 
-    /** Warm-cache effectiveness in [0, 1]. */
+    /**
+     * Median foreground serve() latency in milliseconds. Percentiles
+     * reflect the most recent window (up to 4096 queries).
+     */
+    double latencyP50Ms = 0.0;
+    /** 99th-percentile foreground serve() latency in milliseconds. */
+    double latencyP99Ms = 0.0;
+
+    /**
+     * Fraction of tile serves that did not pay for a decode, in
+     * [0, 1]: cache hits and coalesced joins both count as warm.
+     */
     double hitRate() const
     {
-        uint64_t total = tilesDecoded + tilesFromCache;
-        return total ? static_cast<double>(tilesFromCache) /
+        uint64_t warm = tilesFromCache + tilesCoalesced;
+        uint64_t total = tilesDecoded + warm;
+        return total ? static_cast<double>(warm) /
                            static_cast<double>(total)
                      : 0.0;
     }
@@ -141,6 +175,17 @@ class DecodedTileCache
     Shard shards_[kShards];
 };
 
+/** Tuning knobs of a TileServer. */
+struct TileServerOptions
+{
+    /** Decoded-tile cache budget in bytes. */
+    size_t cacheBytes = 64u << 20;
+    /** Enable sequential-day delta-chain prefetching. */
+    bool prefetch = true;
+    /** Prefetch tasks queued before new hints are dropped. */
+    size_t prefetchQueueDepth = 16;
+};
+
 /**
  * Serves tile queries from an Archive.
  */
@@ -150,12 +195,22 @@ class TileServer
     /**
      * @param archive Archive to serve from (must outlive the server).
      *        The server memoizes stream geometry and decoded tiles by
-     *        record index; appends are fine (new indices), but
-     *        Archive::compact() reassigns indices — discard the
+     *        record index; concurrent appends are fine (new indices),
+     *        but Archive::compact() reassigns indices — discard the
      *        server and build a fresh one after compacting.
      * @param cacheBytes Decoded-tile cache budget in bytes.
      */
-    TileServer(const Archive &archive, size_t cacheBytes = 64u << 20);
+    explicit TileServer(const Archive &archive,
+                        size_t cacheBytes = 64u << 20);
+
+    /** Construct with full tuning options. */
+    TileServer(const Archive &archive, const TileServerOptions &options);
+
+    /** Stops the prefetch worker; in-flight prefetches finish first. */
+    ~TileServer();
+
+    TileServer(const TileServer &) = delete;            ///< Non-copyable.
+    TileServer &operator=(const TileServer &) = delete; ///< Non-copyable.
 
     /** Answer one query. Thread-safe. */
     TileResult serve(const TileQuery &query);
@@ -172,6 +227,13 @@ class TileServer
     /** Reset aggregate statistics (cache contents are kept). */
     void resetStats();
 
+    /**
+     * Block until queued prefetch work has finished. Benchmarks and
+     * tests use this to make warm-cache measurements deterministic;
+     * production callers never need it.
+     */
+    void waitForPrefetchIdle();
+
   private:
     /**
      * Memoized per-record stream geometry (dimensions + coded-tile
@@ -186,6 +248,9 @@ class TileServer
         std::vector<uint8_t> tileCoded;
     };
 
+    /** (record index, tile, maxLayers): one decode unit. */
+    using TileKey = std::tuple<size_t, int, int>;
+
     /** Memoized geometry for a record, or null when not yet parsed. */
     const StreamInfo *findInfo(size_t recordIdx) const;
 
@@ -193,12 +258,44 @@ class TileServer
     const StreamInfo &rememberInfo(size_t recordIdx,
                                    const codec::EncodedImage &stream);
 
+    /**
+     * The serve pipeline: chain resolution, coalesced decode, paste.
+     * serve() wraps it with stats + latency + prefetch scheduling;
+     * prefetch tasks call it directly so warmups stay out of the
+     * foreground statistics. When `nextDayOut` is non-null it
+     * receives the earliest capture day strictly after the query day
+     * (+inf when none) — the chain is already being scanned here, so
+     * the prefetcher gets its target without a second locked pass.
+     */
+    TileResult serveImpl(const TileQuery &query,
+                         double *nextDayOut = nullptr);
+
+    /** Schedule a next-day warmup when the access looks sequential. */
+    void maybePrefetch(const TileQuery &query, double nextDay);
+
     const Archive &archive_;
     DecodedTileCache cache_;
+    TileServerOptions options_;
+
     mutable std::mutex infoMutex_;
     std::map<size_t, StreamInfo> info_;
+
+    /** Decodes in flight, joined by racing queries (coalescing). */
+    std::mutex inflightMutex_;
+    std::map<TileKey, std::shared_future<raster::Plane>> inflight_;
+
+    /** Last served day per (location, band): sequential detection. */
+    std::mutex prefetchMutex_;
+    std::map<std::pair<int, int>, double> lastServedDay_;
+
     mutable std::mutex statsMutex_;
     ServerStats stats_;
+    /** Ring buffer of recent foreground latencies (milliseconds). */
+    std::vector<double> latencyRing_;
+    size_t latencyNext_ = 0;
+
+    /** Declared last: its worker must stop before members above die. */
+    std::unique_ptr<util::BackgroundQueue> prefetchQueue_;
 };
 
 } // namespace earthplus::ground

@@ -54,6 +54,16 @@ ThreadPool::onWorkerThread()
     return tlsParallelDepth > 0;
 }
 
+InlineRegion::InlineRegion()
+{
+    ++tlsParallelDepth;
+}
+
+InlineRegion::~InlineRegion()
+{
+    --tlsParallelDepth;
+}
+
 void
 ThreadPool::enqueue(std::function<void()> job)
 {
@@ -144,6 +154,81 @@ ThreadPool::parallelFor(int64_t begin, int64_t end,
         f.wait();
     if (firstError->load())
         std::rethrow_exception(*errorPtr);
+}
+
+BackgroundQueue::BackgroundQueue(size_t maxDepth)
+    : maxDepth_(std::max<size_t>(maxDepth, 1)),
+      worker_([this] { workerLoop(); })
+{
+}
+
+BackgroundQueue::~BackgroundQueue()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        queue_.clear(); // unstarted tasks are best-effort: discard
+    }
+    cv_.notify_all();
+    idleCv_.notify_all(); // wake drain()ers blocked on idleness
+    worker_.join();
+}
+
+bool
+BackgroundQueue::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            return false;
+        if (queue_.size() >= maxDepth_)
+            return false;
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+}
+
+void
+BackgroundQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] {
+        return (queue_.empty() && !busy_) || stop_;
+    });
+}
+
+void
+BackgroundQueue::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_)
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            busy_ = true;
+        }
+        // Tasks are best-effort by contract: an escaping exception
+        // must not terminate the process via the worker thread. They
+        // also run as a nested parallel region (see the class docs).
+        try {
+            InlineRegion inlineRegion;
+            task();
+        } catch (const std::exception &e) {
+            warn("background task failed: %s", e.what());
+        } catch (...) {
+            warn("background task failed with a non-standard exception");
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            busy_ = false;
+        }
+        idleCv_.notify_all();
+    }
 }
 
 ThreadPool &

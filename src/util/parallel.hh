@@ -135,6 +135,81 @@ class ThreadPool
 };
 
 /**
+ * RAII marker making the current thread count as being inside a
+ * parallel region for its lifetime: ThreadPool submissions and
+ * parallelFor calls on this thread execute inline instead of fanning
+ * into the pool. Use it around work that must not depend on pool
+ * workers becoming free — the canonical case is decoding while
+ * holding in-flight claims that blocked pool jobs are waiting on (the
+ * tile server's coalesced decode): fanning that work into the pool
+ * could deadlock, because every worker may be parked on exactly the
+ * futures this thread has promised to fulfil.
+ */
+class InlineRegion
+{
+  public:
+    InlineRegion();
+    ~InlineRegion();
+
+    InlineRegion(const InlineRegion &) = delete;
+    InlineRegion &operator=(const InlineRegion &) = delete;
+};
+
+/**
+ * Bounded single-worker queue for best-effort background tasks.
+ *
+ * ThreadPool::submit() is the wrong tool for optional work kicked off
+ * from inside a pool job: submission from a worker thread executes
+ * inline, which would serialize the optional work into the latency
+ * path that tried to offload it. A BackgroundQueue owns one dedicated
+ * thread; post() never executes inline and never blocks — when the
+ * queue is at capacity the task is dropped (post() returns false so
+ * the caller can count it), which is the right failure mode for hints
+ * (the ground tile server's delta-chain prefetcher is the canonical
+ * user: a dropped prefetch only costs a future cache miss).
+ *
+ * Tasks execute inside an InlineRegion: background work runs its
+ * parallel regions inline rather than competing with (or deadlocking
+ * against) the pool's foreground jobs.
+ *
+ * Destruction stops the worker after the task in flight finishes;
+ * queued-but-unstarted tasks are discarded.
+ */
+class BackgroundQueue
+{
+  public:
+    /** @param maxDepth Tasks held before post() starts dropping. */
+    explicit BackgroundQueue(size_t maxDepth = 16);
+
+    ~BackgroundQueue();
+
+    BackgroundQueue(const BackgroundQueue &) = delete;
+    BackgroundQueue &operator=(const BackgroundQueue &) = delete;
+
+    /**
+     * Enqueue a task for the worker thread.
+     *
+     * @return False when the queue was full and the task was dropped.
+     */
+    bool post(std::function<void()> task);
+
+    /** Block until the queue is empty and the worker is idle. */
+    void drain();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    std::deque<std::function<void()>> queue_;
+    size_t maxDepth_;
+    bool stop_ = false;
+    bool busy_ = false;
+    std::thread worker_;
+};
+
+/**
  * Deterministic parallel map: out[i] = fn(i) for i in [0, n), computed
  * in parallel, returned in index order. R must be default- and
  * move-constructible.

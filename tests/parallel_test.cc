@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "util/parallel.hh"
 
@@ -112,4 +114,68 @@ TEST(ThreadPool, GlobalPoolResizes)
 TEST(ThreadPool, DefaultThreadCountIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+}
+
+// --------------------------------------------------- background queue
+
+TEST(BackgroundQueue, ExecutesPostedTasksAndDrains)
+{
+    BackgroundQueue queue(8);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(queue.post([&ran] { ran.fetch_add(1); }));
+    queue.drain();
+    EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(BackgroundQueue, DropsWhenFullInsteadOfBlocking)
+{
+    BackgroundQueue queue(2);
+    // Park the worker on a gate so the queue depth is deterministic.
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    std::atomic<bool> started{false};
+    ASSERT_TRUE(queue.post([opened, &started] {
+        started.store(true);
+        opened.wait();
+    }));
+    while (!started.load())
+        std::this_thread::yield();
+
+    // Worker busy, queue empty: exactly maxDepth more posts fit.
+    std::atomic<int> ran{0};
+    EXPECT_TRUE(queue.post([&ran] { ran.fetch_add(1); }));
+    EXPECT_TRUE(queue.post([&ran] { ran.fetch_add(1); }));
+    EXPECT_FALSE(queue.post([&ran] { ran.fetch_add(1); })); // dropped
+
+    gate.set_value();
+    queue.drain();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(BackgroundQueue, SurvivesThrowingTasks)
+{
+    BackgroundQueue queue(4);
+    std::atomic<int> ran{0};
+    EXPECT_TRUE(queue.post([] {
+        throw std::runtime_error("best-effort task failure");
+    }));
+    EXPECT_TRUE(queue.post([&ran] { ran.fetch_add(1); }));
+    queue.drain();
+    // The throwing task was contained; later tasks still run.
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(BackgroundQueue, TasksRunInsideAnInlineRegion)
+{
+    // Background tasks must not fan work into the pool (they could
+    // deadlock against foreground jobs waiting on their results), so
+    // the worker thread counts as a nested parallel region.
+    BackgroundQueue queue(4);
+    std::atomic<bool> nested{false};
+    queue.post([&nested] {
+        nested.store(ThreadPool::onWorkerThread());
+    });
+    queue.drain();
+    EXPECT_TRUE(nested.load());
 }
