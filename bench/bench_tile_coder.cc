@@ -14,7 +14,16 @@
  * and MB/s (pixel bytes per second), and with `--json <path>` emits
  * BENCH_tile_coder.json for ci/perf_gate.py.
  *
- * Flags: --json <path>, --reps <n>, --edge <pixels>.
+ * With `--latency` the binary instead measures single-tile encode and
+ * decode latency (p50/p99 wall-ms) for dense 256x256 and 1024x1024
+ * tiles under the chunked (EPC3) coder at 1/2/4/hw pool threads —
+ * the metric the sub-tile chunk parallelism exists to improve. Rows
+ * are named tile_latency_{encode,decode}/dense{edge}/t{n} and the
+ * JSON bench name is "tile_latency" (gated by ci/perf_gate.py on
+ * p99_ms; the /thw rows are informational only, since CI machines
+ * disagree on core count).
+ *
+ * Flags: --json <path>, --reps <n>, --edge <pixels>, --latency.
  */
 
 #include <algorithm>
@@ -29,6 +38,7 @@
 #include "bench_common.hh"
 #include "codec/kernels.hh"
 #include "codec/tile_coder.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/simd.hh"
 
@@ -115,6 +125,109 @@ struct WorkloadCase
     size_t byteBudget; ///< Per tile; ignored in lossless mode.
 };
 
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p99 = 0.0;
+};
+
+/** p50/p99 of `samples` timed runs of `fn` (after one warm-up). */
+Percentiles
+latencyPercentiles(int samples, const std::function<void()> &fn)
+{
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(samples));
+    fn(); // warm-up
+    for (int r = 0; r < samples; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        times.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    std::sort(times.begin(), times.end());
+    Percentiles p;
+    p.p50 = times[times.size() / 2];
+    size_t i99 = static_cast<size_t>(
+        std::ceil(0.99 * static_cast<double>(times.size())));
+    p.p99 = times[std::min(times.size() - 1, i99 == 0 ? 0 : i99 - 1)];
+    return p;
+}
+
+/**
+ * Single-tile latency mode: chunked encode/decode of one dense tile
+ * at several pool sizes. One big tile is the worst-case serve/downlink
+ * latency unit, so this is where chunk fan-out has to pay off.
+ */
+int
+runLatencyMode(int samplesSmall, const std::string &jsonPath)
+{
+    using util::ThreadPool;
+    Table table("single-tile chunked encode/decode latency (ms)");
+    table.setHeader({"direction", "workload", "threads", "p50_ms",
+                     "p99_ms"});
+    epbench::JsonReporter json("tile_latency");
+
+    const int hw = ThreadPool::defaultThreadCount();
+    const std::pair<const char *, int> poolSizes[] = {
+        {"t1", 1}, {"t2", 2}, {"t4", 4}, {"thw", hw}};
+
+    for (int edge : {256, 1024}) {
+        // Fewer samples on the big tile keeps the mode CI-friendly.
+        int samples = edge >= 1024 ? std::max(10, samplesSmall / 2)
+                                   : samplesSmall;
+        raster::Plane tile =
+            denseTile(edge, edge, 400 + static_cast<uint64_t>(edge));
+        TileCoderParams params;
+        params.chunkRows = kDefaultChunkRows;
+        const int layers = 2;
+        size_t budget = static_cast<size_t>(edge) * edge * 2 / 8;
+        auto encoded = encodeTileLayers(tile, params, layers, budget);
+        std::vector<ChunkSpan> spans;
+        for (const auto &layer : encoded)
+            spans.push_back({layer.data(), layer.size()});
+        std::string workload = "dense" + std::to_string(edge);
+
+        for (const auto &[threadName, n] : poolSizes) {
+            ThreadPool::setGlobalThreads(n);
+            Percentiles enc = latencyPercentiles(samples, [&]() {
+                encodeTileLayers(tile, params, layers, budget);
+            });
+            Percentiles dec = latencyPercentiles(samples, [&]() {
+                decodeTileLayers(edge, edge, params, spans);
+            });
+            auto report = [&](const char *dir, const Percentiles &p) {
+                std::string name = std::string("tile_latency_") + dir +
+                                   "/" + workload + "/" + threadName;
+                table.addRow({dir, workload, threadName,
+                              Table::num(p.p50, 3),
+                              Table::num(p.p99, 3)});
+                // Thread count lives in the row NAME, not params:
+                // perf_gate.py insists baseline params match exactly,
+                // and "thw" resolves differently across machines.
+                json.add(name,
+                         {{"edge", std::to_string(edge)},
+                          {"chunk_rows",
+                           std::to_string(kDefaultChunkRows)},
+                          {"layers", std::to_string(layers)},
+                          {"samples", std::to_string(samples)}},
+                         p.p50, 0.0,
+                         {{"p50_ms", p.p50}, {"p99_ms", p.p99}});
+            };
+            report("encode", enc);
+            report("decode", dec);
+        }
+    }
+    ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+
+    table.print(std::cout);
+    if (!json.write(jsonPath)) {
+        std::cerr << "failed to write " << jsonPath << "\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -122,13 +235,18 @@ main(int argc, char **argv)
 {
     int reps = 11;
     int edge = 128;
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--reps") == 0)
+    bool latency = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
             reps = std::max(1, std::atoi(argv[i + 1]));
-        if (std::strcmp(argv[i], "--edge") == 0)
+        if (std::strcmp(argv[i], "--edge") == 0 && i + 1 < argc)
             edge = std::max(16, std::atoi(argv[i + 1]));
+        if (std::strcmp(argv[i], "--latency") == 0)
+            latency = true;
     }
     std::string jsonPath = epbench::JsonReporter::pathFromArgs(argc, argv);
+    if (latency)
+        return runLatencyMode(std::max(reps * 2, 20), jsonPath);
 
     const int tilesPerRep = 8;
     // 2 bpp for dense content; sparse tiles use far less by themselves.

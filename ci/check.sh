@@ -4,9 +4,10 @@
 #   build   configure, build, run the full ctest suite
 #   bench   smoke-run the end-to-end benches, emit BENCH_*.json
 #   perf    run the gated benches (codec kernels, tile coder, ground
-#           serving) against their checked-in baselines (ci/perf_gate.py)
+#           serving, tile latency) against their checked-in baselines
+#           (ci/perf_gate.py)
 #   asan    ASan+UBSan build of the byte-level parser suites
-#   tsan    TSan build of the concurrent archive/serving suite
+#   tsan    TSan build of the concurrent archive/serving/codec suites
 #   docs    API-doc check (Doxygen when installed + doc-comment lint)
 #   all     everything above, in that order (default)
 #
@@ -58,6 +59,11 @@ run_benches() {
     # one just records the trajectory from the default build type.
     "$BUILD_DIR/bench_tile_coder" --reps 3 \
         --json "$ARTIFACTS_DIR/BENCH_tile_coder.json"
+
+    # Smoke the single-tile chunked-latency mode (p50/p99 per pool
+    # size); the gated run lives in perf mode.
+    "$BUILD_DIR/bench_tile_coder" --latency --reps 5 \
+        --json "$ARTIFACTS_DIR/BENCH_tile_latency.json"
 }
 
 run_perf_gate() {
@@ -110,21 +116,43 @@ run_perf_gate() {
     python3 ci/perf_gate.py --bench ground_serving \
         --max-regression "${GROUND_SERVING_MAX_REGRESSION:-0.25}" \
         --fresh "$ARTIFACTS_DIR/BENCH_ground_serving.release.json"
+
+    # Single-tile chunked-latency gate: p99 wall-ms must not grow past
+    # baseline * (1 + margin) on the fixed-thread-count rows (lower is
+    # better — see the tile_latency preset in ci/perf_gate.py).
+    # Latency tails are the noisiest metric we gate: the baseline is a
+    # min-merge of several runs, so the fresh side gets the same
+    # treatment — three runs, gated on each row's best-case p99.
+    for i in 1 2 3; do
+        "$perf_dir/bench_tile_coder" --latency \
+            --json "$ARTIFACTS_DIR/BENCH_tile_latency.release.$i.json"
+    done
+    python3 ci/perf_gate.py --bench tile_latency \
+        --max-regression "${TILE_LATENCY_MAX_REGRESSION:-0.5}" \
+        --fresh "$ARTIFACTS_DIR/BENCH_tile_latency.release.1.json" \
+        --fresh "$ARTIFACTS_DIR/BENCH_tile_latency.release.2.json" \
+        --fresh "$ARTIFACTS_DIR/BENCH_tile_latency.release.3.json"
+    cp "$ARTIFACTS_DIR/BENCH_tile_latency.release.1.json" \
+       "$ARTIFACTS_DIR/BENCH_tile_latency.release.json"
 }
 
 run_tsan() {
     # TSan configuration: the sharded archive's per-shard locking, the
     # tile server's request coalescing and its background prefetcher
-    # must be race-free under concurrent serveBatch + append. Scoped
-    # to the ground suite, which contains the concurrency tests.
+    # must be race-free under concurrent serveBatch + append — and the
+    # codec's chunk-parallel encode/decode (per-chunk range coders
+    # fanned over the pool, plus the staged encode pipeline) must be
+    # race-free under concurrent encodes. Scoped to the suites that
+    # contain the concurrency tests.
     local tsan_dir="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
     # shellcheck disable=SC2086
     cmake -B "$tsan_dir" -S . ${CMAKE_ARGS:-} \
           -DCMAKE_BUILD_TYPE=Debug \
           -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
-    cmake --build "$tsan_dir" -j --target ground_test parallel_test
+    cmake --build "$tsan_dir" -j \
+          --target ground_test parallel_test codec_test
     EARTHPLUS_THREADS=4 ctest --test-dir "$tsan_dir" \
-          --output-on-failure -R 'ground_test|parallel_test'
+          --output-on-failure -R 'ground_test|parallel_test|codec_test'
 }
 
 run_docs() {

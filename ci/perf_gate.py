@@ -3,7 +3,7 @@
 
 Diffs a fresh BENCH_<bench>.json (produced by `bench_<bench> --json
 <path>`) against the checked-in baseline and fails CI when a row
-regressed by more than the allowed margin. Three benches are gated,
+regressed by more than the allowed margin. Four benches are gated,
 each with its own preset (select with --bench):
 
 codec_kernels (default)
@@ -37,6 +37,15 @@ ground_serving
     as informational fields. Host-sensitive like tile_coder: hosted
     CI widens the margin via GROUND_SERVING_MAX_REGRESSION.
 
+tile_latency
+    Single-tile chunked encode/decode latency from
+    `bench_tile_coder --latency`. The metric is the row's "p99_ms"
+    field and LOWER is better: a row fails when its fresh p99 exceeds
+    baseline * (1 + margin). Only the fixed-thread-count rows
+    (/t1, /t2, /t4) are gated — /thw rows resolve to a different pool
+    size on every machine and stay informational. Host-sensitive;
+    hosted CI widens the margin via TILE_LATENCY_MAX_REGRESSION.
+
 `--absolute` forces the absolute metric for any bench (same-machine
 comparisons only).
 
@@ -47,13 +56,20 @@ Re-baselining (after an intentional perf change, on a quiet machine):
     python3 ci/perf_gate.py --fresh /tmp/fresh.json --rebaseline
     for i in 1 2 3; do
         ./build/bench_tile_coder --reps 21 --json /tmp/tc_$i.json
+        ./build/bench_tile_coder --latency --json /tmp/tl_$i.json
         ./build/bench_ground_serving --json /tmp/gs_$i.json
     done
     python3 ci/perf_gate.py --bench tile_coder --rebaseline \
         --fresh /tmp/tc_1.json --fresh /tmp/tc_2.json --fresh /tmp/tc_3.json
+    python3 ci/perf_gate.py --bench tile_latency --rebaseline \
+        --fresh /tmp/tl_1.json --fresh /tmp/tl_2.json --fresh /tmp/tl_3.json
     python3 ci/perf_gate.py --bench ground_serving --rebaseline \
         --fresh /tmp/gs_1.json --fresh /tmp/gs_2.json --fresh /tmp/gs_3.json
     git add ci/BENCH_*.baseline.json
+
+(For tile_latency, min-merging keeps each row's best-case p99 — the
+stable floor — and the gate allows fresh runs up to that floor plus
+the margin.)
 
 `--fresh` is repeatable: multiple files are merged by taking each
 row's *minimum* MB/s. For an absolute-metric baseline that is the
@@ -96,6 +112,16 @@ BENCHES = {
         "metric": "qps",
         "floors": [],
         "gated": lambda name: name.startswith("zipf_serving/"),
+    },
+    "tile_latency": {
+        "baseline": "ci/BENCH_tile_latency.baseline.json",
+        "absolute": True,
+        "metric": "p99_ms",
+        "lower_is_better": True,
+        "floors": [],
+        # /thw rows track the host's core count; informational only.
+        "gated": lambda name: name.startswith("tile_latency_")
+        and not name.endswith("/thw"),
     },
 }
 
@@ -206,8 +232,9 @@ def main():
                   "default sizes or re-baseline")
             return 1
 
+    lower_is_better = cfg.get("lower_is_better", False)
     if absolute:
-        metric_name = "qps" if metric_key == "qps" else "MB/s"
+        metric_name = metric_key if metric_key != "mb_per_s" else "MB/s"
         base_metric = {k: r[metric_key] for k, r in base.items()}
         fresh_metric = {k: r.get(metric_key, 0.0)
                         for k, r in fresh.items()}
@@ -224,16 +251,24 @@ def main():
             skipped += 1
             continue
         got = fresh_metric[key]
-        allowed = expected * (1.0 - args.max_regression)
-        status = "ok" if got >= allowed else "REGRESSED"
+        if lower_is_better:
+            allowed = expected * (1.0 + args.max_regression)
+            failed = got > allowed
+            bound = "allowed<="
+        else:
+            allowed = expected * (1.0 - args.max_regression)
+            failed = got < allowed
+            bound = "allowed>="
+        status = "REGRESSED" if failed else "ok"
         print(f"perf_gate: {name:<26} {level:<7} {metric_name} "
               f"baseline={expected:8.2f} fresh={got:8.2f} "
-              f"allowed>={allowed:8.2f}  {status}")
-        if got < allowed:
+              f"{bound}{allowed:8.2f}  {status}")
+        if failed:
+            cmp = ">" if lower_is_better else "<"
             failures.append(
-                f"{name}@{level}: {metric_name} {got:.2f} < "
+                f"{name}@{level}: {metric_name} {got:.2f} {cmp} "
                 f"{allowed:.2f} (baseline {expected:.2f}, "
-                f"-{args.max_regression:.0%} allowed)")
+                f"{args.max_regression:.0%} margin)")
 
     fresh_speedups = speedups(fresh) if metric_key == "mb_per_s" else {}
     for floor in (args.floor if args.floor is not None

@@ -1,9 +1,15 @@
 #include "codec/codec.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <climits>
 #include <cmath>
 #include <cstring>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
 
 #include "util/bytes.hh"
 #include "util/logging.hh"
@@ -15,10 +21,15 @@ namespace {
 
 // "EPC2": bumped from EPC1 when layer chunks gained per-tile length
 // framing, so streams from the old format are rejected instead of
-// decoding as garbage.
-constexpr uint32_t kMagic = 0x32435045;
+// decoding as garbage. Still accepted for decode (chunkRows == 0).
+constexpr uint32_t kMagicV1 = 0x32435045;
 
-/** Fixed serialized header size in bytes. */
+// "EPC3": adds the chunkRows header field and frames each tile's
+// per-layer sub-chunk into length-prefixed row-slab entropy chunks
+// (the sub-tile parallelism format). Emitted whenever chunkRows > 0.
+constexpr uint32_t kMagicV2 = 0x33435045;
+
+/** Fixed serialized header size in bytes (v2 adds 4 for chunkRows). */
 constexpr size_t kFixedHeader =
     4 +          // magic
     6 * 4 +      // width, height, tileSize, dwtLevels, layers, flags
@@ -53,9 +64,10 @@ EncodedImage::payloadBytes() const
 size_t
 EncodedImage::headerBytes() const
 {
-    // Fixed header + packed coded-tile bitmap + per-layer length fields.
-    return kFixedHeader + (tileCoded.size() + 7) / 8 +
-           4 * layerChunks.size();
+    // Fixed header (+ chunkRows in v2) + packed coded-tile bitmap +
+    // per-layer length fields.
+    return kFixedHeader + (chunkRows > 0 ? 4 : 0) +
+           (tileCoded.size() + 7) / 8 + 4 * layerChunks.size();
 }
 
 size_t
@@ -70,7 +82,8 @@ EncodedImage::totalBytesForLayers(int layerCount) const
     if (layerCount < 0 ||
         layerCount > static_cast<int>(layerChunks.size()))
         layerCount = static_cast<int>(layerChunks.size());
-    size_t total = kFixedHeader + (tileCoded.size() + 7) / 8 +
+    size_t total = kFixedHeader + (chunkRows > 0 ? 4 : 0) +
+                   (tileCoded.size() + 7) / 8 +
                    4 * static_cast<size_t>(layerCount);
     for (int l = 0; l < layerCount; ++l)
         total += layerChunks[static_cast<size_t>(l)].size();
@@ -94,7 +107,7 @@ EncodedImage::serialize() const
 {
     std::vector<uint8_t> out;
     out.reserve(totalBytes());
-    appendPod(out, kMagic);
+    appendPod(out, chunkRows > 0 ? kMagicV2 : kMagicV1);
     appendPod(out, static_cast<uint32_t>(width));
     appendPod(out, static_cast<uint32_t>(height));
     appendPod(out, static_cast<uint32_t>(tileSize));
@@ -105,6 +118,8 @@ EncodedImage::serialize() const
                      (static_cast<uint32_t>(losslessDepth) << 8);
     appendPod(out, flags);
     appendPod(out, quantStep);
+    if (chunkRows > 0)
+        appendPod(out, static_cast<uint32_t>(chunkRows));
     appendPod(out, static_cast<uint32_t>(tileCoded.size()));
     // Packed coded-tile bitmap.
     for (size_t i = 0; i < tileCoded.size(); i += 8) {
@@ -137,8 +152,13 @@ EncodedImage::deserialize(const uint8_t *data, size_t len)
     constexpr uint32_t kMaxLayers = 1u << 16;
 
     size_t pos = 0;
-    if (readPod<uint32_t>(data, len, pos) != kMagic)
+    uint32_t magic = readPod<uint32_t>(data, len, pos);
+    if (magic != kMagicV1 && magic != kMagicV2)
         fatal("bad encoded-image magic");
+    // Version-gated decode: the magic alone selects the stream layout,
+    // and v1 (EPC2) streams stay decodable forever — chunkRows == 0
+    // routes them through the original unframed tile-chunk path.
+    const bool v2 = magic == kMagicV2;
     EncodedImage e;
     uint32_t width = readPod<uint32_t>(data, len, pos);
     uint32_t height = readPod<uint32_t>(data, len, pos);
@@ -172,6 +192,13 @@ EncodedImage::deserialize(const uint8_t *data, size_t len)
     e.quantStep = readPod<double>(data, len, pos);
     if (!std::isfinite(e.quantStep) || e.quantStep <= 0.0)
         fatal("encoded image has invalid quantizer step");
+    if (v2) {
+        uint32_t chunkRows = readPod<uint32_t>(data, len, pos);
+        if (chunkRows == 0 || chunkRows > kMaxDim)
+            fatal("encoded image has invalid chunk height %u",
+                  chunkRows);
+        e.chunkRows = static_cast<int>(chunkRows);
+    }
     uint32_t tiles = readPod<uint32_t>(data, len, pos);
     uint64_t tilesX = (width + tileSize - 1) / tileSize;
     uint64_t tilesY = (height + tileSize - 1) / tileSize;
@@ -201,10 +228,93 @@ EncodedImage::deserialize(const uint8_t *data, size_t len)
     return e;
 }
 
+namespace {
+
+/**
+ * A run-once pipeline task whose owner can steal it: run() executes
+ * the function on the first caller and is a no-op for everyone else,
+ * so the task can sit in the pool queue AND be claimed directly by
+ * the thread that needs its result — whoever gets there first wins.
+ * This is what keeps every lane busy in the staged encode pipeline:
+ * the assembling thread never parks behind a task the pool has not
+ * scheduled yet, it just runs it.
+ *
+ * run() never throws (exceptions land in the shared future, rethrown
+ * by get()), which makes settle() safe to call during unwinding.
+ */
+template <typename R>
+class OnceTask
+{
+  public:
+    explicit OnceTask(std::function<R()> fn)
+        : fn_(std::move(fn)), future_(promise_.get_future().share())
+    {
+    }
+
+    void
+    run()
+    {
+        if (claimed_.exchange(true))
+            return;
+        try {
+            promise_.set_value(fn_());
+        } catch (...) {
+            promise_.set_exception(std::current_exception());
+        }
+    }
+
+    /** Steal-or-wait: run it here if unclaimed, else await the owner. */
+    const R &
+    get()
+    {
+        run();
+        return future_.get();
+    }
+
+    /** True once the result (or its exception) is available. */
+    bool
+    ready() const
+    {
+        return future_.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+    }
+
+    /** Force completion without observing the result; never throws. */
+    void
+    settle()
+    {
+        run();
+        future_.wait();
+    }
+
+  private:
+    std::function<R()> fn_;
+    std::atomic<bool> claimed_{false};
+    std::promise<R> promise_;
+    std::shared_future<R> future_;
+};
+
+using Coeffs = std::shared_ptr<const TileCoefficients>;
+using ChunkStreams = std::vector<std::vector<uint8_t>>;
+
+/**
+ * One tile's slot in the staged encode pipeline: the DWT+quant task,
+ * then (once it resolves) one entropy task per row-slab chunk.
+ */
+struct TileStage
+{
+    std::shared_ptr<OnceTask<Coeffs>> transform;
+    std::vector<std::shared_ptr<OnceTask<ChunkStreams>>> chunks;
+    size_t budget = 0;
+};
+
+} // anonymous namespace
+
 EncodedImage
 encode(const raster::Plane &img, const EncodeParams &params)
 {
     EP_ASSERT(params.layers >= 1, "need at least one quality layer");
+    EP_ASSERT(params.chunkRows >= 0, "negative chunk height");
     EP_ASSERT(params.bitsPerPixel > 0.0 || params.lossless,
               "non-positive bit budget");
     EP_ASSERT(!params.lossless || params.wavelet == Wavelet::LeGall53,
@@ -229,6 +339,7 @@ encode(const raster::Plane &img, const EncodeParams &params)
     out.lossless = params.lossless;
     out.losslessDepth = params.losslessDepth;
     out.quantStep = params.quantStep;
+    out.chunkRows = params.chunkRows;
     out.tileCoded.assign(static_cast<size_t>(grid.tileCount()), 0);
 
     TileCoderParams tp;
@@ -237,6 +348,7 @@ encode(const raster::Plane &img, const EncodeParams &params)
     tp.lossless = params.lossless;
     tp.losslessDepth = params.losslessDepth;
     tp.quantStep = params.quantStep;
+    tp.chunkRows = params.chunkRows;
 
     std::vector<int> codedTiles;
     for (int t = 0; t < grid.tileCount(); ++t) {
@@ -246,32 +358,122 @@ encode(const raster::Plane &img, const EncodeParams &params)
         codedTiles.push_back(t);
     }
 
-    // Each coded tile is one independent job (DWT + quantization +
-    // entropy coding of every quality layer into private sub-chunks);
-    // the layer chunks are then assembled in flat tile-index order, so
-    // the stream is byte-identical regardless of thread count.
     out.layerChunks.assign(static_cast<size_t>(params.layers), {});
-    util::orderedReduce(
-        codedTiles.size(),
-        [&](size_t s) {
-            raster::TileRect r = grid.rect(codedTiles[s]);
+    const int layers = params.layers;
+
+    auto budgetFor = [&](const raster::TileRect &r) {
+        size_t pixels = static_cast<size_t>(r.width) *
+                        static_cast<size_t>(r.height);
+        return params.lossless
+            ? SIZE_MAX / 2
+            : static_cast<size_t>(params.bitsPerPixel *
+                                  static_cast<double>(pixels) / 8.0);
+    };
+
+    auto appendTile = [&](ChunkStreams tileLayers) {
+        for (int l = 0; l < layers; ++l) {
+            const auto &sub = tileLayers[static_cast<size_t>(l)];
+            auto &chunk = out.layerChunks[static_cast<size_t>(l)];
+            appendPod(chunk, static_cast<uint32_t>(sub.size()));
+            chunk.insert(chunk.end(), sub.begin(), sub.end());
+        }
+    };
+
+    util::ThreadPool &pool = util::ThreadPool::global();
+    if (!pool.canFanOut() || codedTiles.size() <= 1) {
+        // Serial (or nested, or single-tile) path: plain in-order
+        // per-tile encode. With one tile this deliberately skips the
+        // pipeline so encodeTileLayers' own chunk fan-out still gets
+        // the whole pool — that is the oversized-tile latency case.
+        for (int t : codedTiles) {
+            raster::TileRect r = grid.rect(t);
             raster::Plane tile = img.crop(r.x0, r.y0, r.width, r.height);
-            size_t pixels = static_cast<size_t>(r.width) *
-                            static_cast<size_t>(r.height);
-            size_t budget = params.lossless
-                ? SIZE_MAX / 2
-                : static_cast<size_t>(params.bitsPerPixel *
-                                      static_cast<double>(pixels) / 8.0);
-            return encodeTileLayers(tile, tp, params.layers, budget);
-        },
-        [&](size_t, std::vector<std::vector<uint8_t>> &&tileLayers) {
-            for (int l = 0; l < params.layers; ++l) {
-                const auto &sub = tileLayers[static_cast<size_t>(l)];
-                auto &chunk = out.layerChunks[static_cast<size_t>(l)];
-                appendPod(chunk, static_cast<uint32_t>(sub.size()));
-                chunk.insert(chunk.end(), sub.begin(), sub.end());
-            }
-        });
+            appendTile(encodeTileLayers(tile, tp, layers, budgetFor(r)));
+        }
+        return out;
+    }
+
+    // Staged pipeline: DWT+quant of tile N+k overlaps entropy coding
+    // of tile N. A bounded lookahead window of transform tasks feeds
+    // per-chunk entropy tasks as transforms resolve; the caller
+    // assembles finished tiles in flat tile-index order, stealing any
+    // unclaimed task it is about to wait on (OnceTask) so no lane
+    // idles. Every task is a pure function of its inputs and the
+    // assembly order is fixed, so the stream is byte-identical to the
+    // serial path at every thread count.
+    const size_t lookahead =
+        2 * static_cast<size_t>(pool.threadCount());
+    std::deque<TileStage> window;
+    size_t nextTile = 0;
+
+    auto topUp = [&] {
+        while (window.size() < lookahead &&
+               nextTile < codedTiles.size()) {
+            raster::TileRect r = grid.rect(codedTiles[nextTile]);
+            TileStage st;
+            st.budget = budgetFor(r);
+            st.transform = std::make_shared<OnceTask<Coeffs>>(
+                [&img, r, &tp] {
+                    raster::Plane tile =
+                        img.crop(r.x0, r.y0, r.width, r.height);
+                    return std::make_shared<const TileCoefficients>(
+                        transformTile(tile, tp));
+                });
+            pool.submit([t = st.transform] { t->run(); });
+            window.push_back(std::move(st));
+            ++nextTile;
+        }
+    };
+
+    // Fan one resolved transform out into its entropy-chunk tasks.
+    // Called at most once per stage (guarded by chunks.empty()).
+    auto submitChunks = [&](TileStage &st) {
+        if (!st.chunks.empty())
+            return;
+        Coeffs coeffs = st.transform->get();
+        const int chunks = chunkCount(tp, coeffs->height);
+        st.chunks.reserve(static_cast<size_t>(chunks));
+        for (int c = 0; c < chunks; ++c) {
+            auto task = std::make_shared<OnceTask<ChunkStreams>>(
+                [coeffs, &tp, c, layers, budget = st.budget] {
+                    return encodeTileChunk(*coeffs, tp, c, layers,
+                                           budget);
+                });
+            pool.submit([task] { task->run(); });
+            st.chunks.push_back(std::move(task));
+        }
+    };
+
+    try {
+        topUp();
+        while (!window.empty()) {
+            // Opportunistically fan out the entropy work of every
+            // transformed tile in the window, not just the front one.
+            for (TileStage &st : window)
+                if (st.chunks.empty() && st.transform->ready())
+                    submitChunks(st);
+            TileStage &front = window.front();
+            submitChunks(front); // steals the transform if unclaimed
+            std::vector<ChunkStreams> perChunk;
+            perChunk.reserve(front.chunks.size());
+            for (auto &task : front.chunks)
+                perChunk.push_back(task->get());
+            appendTile(assembleChunkLayers(std::move(perChunk), layers,
+                                           tp.chunkRows > 0));
+            window.pop_front();
+            topUp();
+        }
+    } catch (...) {
+        // Tasks capture `img`, `tp` and window state by reference;
+        // force every outstanding one to completion (settle never
+        // throws) before unwinding the frame they point into.
+        for (TileStage &st : window) {
+            st.transform->settle();
+            for (auto &task : st.chunks)
+                task->settle();
+        }
+        throw;
+    }
     return out;
 }
 
@@ -311,6 +513,7 @@ sliceStream(const EncodedImage &e, const raster::TileGrid &grid,
     s.tp.lossless = e.lossless;
     s.tp.losslessDepth = e.losslessDepth;
     s.tp.quantStep = e.quantStep;
+    s.tp.chunkRows = e.chunkRows;
 
     s.slotOfTile.assign(static_cast<size_t>(grid.tileCount()), -1);
     for (int t = 0; t < grid.tileCount(); ++t) {

@@ -46,6 +46,13 @@ struct EncodeParams
     const raster::TileMask *roi = nullptr;
     /** Number of SNR-progressive quality layers (>= 1). */
     int layers = 1;
+    /**
+     * Rows per entropy chunk inside each tile (see
+     * TileCoderParams::chunkRows). The default emits the chunked v2
+     * stream format; 0 selects the legacy v1 format with one unframed
+     * entropy stream per tile.
+     */
+    int chunkRows = kDefaultChunkRows;
 };
 
 /**
@@ -63,6 +70,12 @@ struct EncodedImage
     bool lossless = false;
     int losslessDepth = 8;
     double quantStep = 1.0 / 512.0;
+    /**
+     * Entropy chunk height in rows: 0 for v1 (EPC2) streams, > 0 for
+     * v2 (EPC3) streams whose per-tile sub-chunks are internally
+     * framed into row-slab entropy chunks.
+     */
+    int chunkRows = 0;
     /** Per-tile coded flag, flat tile index order. */
     std::vector<uint8_t> tileCoded;
     /**
@@ -71,6 +84,8 @@ struct EncodedImage
      * little-endian length followed by that tile's self-contained
      * range-coded sub-chunk, so tiles encode and decode as independent
      * parallel jobs while the assembled stream stays deterministic.
+     * In v2 streams each tile sub-chunk is itself a sequence of
+     * length-prefixed entropy chunks (see docs/ARCHITECTURE.md).
      */
     std::vector<std::vector<uint8_t>> layerChunks;
 

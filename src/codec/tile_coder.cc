@@ -7,6 +7,7 @@
 #include "codec/kernels.hh"
 #include "util/bytes.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace earthplus::codec {
 
@@ -28,6 +29,22 @@ lastWordMask(int width)
 {
     int used = width % 64;
     return used == 0 ? ~0ull : ~0ull >> (64 - used);
+}
+
+/** First row of chunk `chunk` on the params' slab grid. */
+int
+chunkRow0(const TileCoderParams &params, int height, int chunk)
+{
+    int rowsPer = params.chunkRows <= 0 ? height : params.chunkRows;
+    return chunk * rowsPer;
+}
+
+/** Row count of chunk `chunk` (the last slab may be short). */
+int
+chunkRows(const TileCoderParams &params, int height, int chunk)
+{
+    int rowsPer = params.chunkRows <= 0 ? height : params.chunkRows;
+    return std::min(rowsPer, height - chunkRow0(params, height, chunk));
 }
 
 /**
@@ -220,24 +237,19 @@ struct DecoderScan
 
 } // anonymous namespace
 
-TileEncoder::TileEncoder(const raster::Plane &tile,
-                         const TileCoderParams &params)
-    : params_(params), width_(tile.width()), height_(tile.height()),
-      wordsPerRow_(packedWords(tile.width())), maxPlane_(-1),
-      planesCoded_(0), headerDone_(false)
+TileCoefficients
+transformTile(const raster::Plane &tile, const TileCoderParams &params)
 {
-    EP_ASSERT(width_ > 0 && height_ > 0, "empty tile");
-    size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
-    size_t nWords =
-        static_cast<size_t>(wordsPerRow_) * static_cast<size_t>(height_);
-    magnitude_.assign(n, 0);
-    sign_.assign(n, 0);
-    sigBits_.assign(nWords, 0);
-    visitedBits_.assign(nWords, 0);
-    refinableBits_.assign(nWords, 0);
-    planeBits_.assign(nWords, 0);
-    dilation_.assign(static_cast<size_t>(wordsPerRow_), 0);
-    orient_ = subbandOrientation(width_, height_, params_.dwtLevels);
+    TileCoefficients out;
+    out.width = tile.width();
+    out.height = tile.height();
+    EP_ASSERT(out.width > 0 && out.height > 0, "empty tile");
+    size_t n =
+        static_cast<size_t>(out.width) * static_cast<size_t>(out.height);
+    out.magnitude.assign(n, 0);
+    out.sign.assign(n, 0);
+    out.orient = subbandOrientation(out.width, out.height,
+                                    params.dwtLevels);
 
     // Pixel conversion, quantization and the sign/magnitude split run
     // through the dispatched kernel table; every level shares the
@@ -245,37 +257,65 @@ TileEncoder::TileEncoder(const raster::Plane &tile,
     // (and therefore the encoded stream) do not depend on the level.
     const kernels::KernelTable &K = kernels::active();
     const float *pixels = tile.row(0);
-    if (params_.lossless) {
-        EP_ASSERT(params_.wavelet == Wavelet::LeGall53,
+    if (params.lossless) {
+        EP_ASSERT(params.wavelet == Wavelet::LeGall53,
                   "lossless coding requires the 5/3 wavelet");
         float scale =
-            static_cast<float>((1 << params_.losslessDepth) - 1);
-        int32_t offset = 1 << (params_.losslessDepth - 1);
+            static_cast<float>((1 << params.losslessDepth) - 1);
+        int32_t offset = 1 << (params.losslessDepth - 1);
         std::vector<int32_t> coeffs(n);
         K.pixelsToI32(pixels, n, true, 0.0f, scale, offset,
                       coeffs.data());
-        forwardDwt53(coeffs, width_, height_, params_.dwtLevels);
-        K.splitI32(coeffs.data(), n, magnitude_.data(), sign_.data());
-    } else if (params_.wavelet == Wavelet::CDF97) {
+        forwardDwt53(coeffs, out.width, out.height, params.dwtLevels);
+        K.splitI32(coeffs.data(), n, out.magnitude.data(),
+                   out.sign.data());
+    } else if (params.wavelet == Wavelet::CDF97) {
         std::vector<float> coeffs(n);
         K.centerF(pixels, n, coeffs.data());
-        forwardDwt97(coeffs, width_, height_, params_.dwtLevels);
+        forwardDwt97(coeffs, out.width, out.height, params.dwtLevels);
         // Deadzone scalar quantizer.
-        float inv = static_cast<float>(1.0 / params_.quantStep);
-        K.quantF32(coeffs.data(), n, inv, magnitude_.data(),
-                   sign_.data());
+        float inv = static_cast<float>(1.0 / params.quantStep);
+        K.quantF32(coeffs.data(), n, inv, out.magnitude.data(),
+                   out.sign.data());
     } else {
         // Lossy 5/3: integer transform of 8-bit-scaled pixels, then the
         // same deadzone quantizer in 1/255 units.
         std::vector<int32_t> icoeffs(n);
         K.pixelsToI32(pixels, n, false, 0.5f, 255.0f, 0, icoeffs.data());
-        forwardDwt53(icoeffs, width_, height_, params_.dwtLevels);
-        float inv = static_cast<float>(1.0 / (params_.quantStep * 255.0));
-        K.quantI32(icoeffs.data(), n, inv, magnitude_.data(),
-                   sign_.data());
+        forwardDwt53(icoeffs, out.width, out.height, params.dwtLevels);
+        float inv = static_cast<float>(1.0 / (params.quantStep * 255.0));
+        K.quantI32(icoeffs.data(), n, inv, out.magnitude.data(),
+                   out.sign.data());
     }
+    return out;
+}
 
-    maxPlane_ = util::bitWidth(K.maxU32(magnitude_.data(), n)) - 1;
+TileEncoder::TileEncoder(const TileCoefficients &coeffs, int row0,
+                         int rows, const TileCoderParams &params)
+    : params_(params), width_(coeffs.width), height_(rows),
+      wordsPerRow_(packedWords(coeffs.width)), maxPlane_(-1),
+      planesCoded_(0), headerDone_(false)
+{
+    EP_ASSERT(width_ > 0 && rows > 0 && row0 >= 0 &&
+                  row0 + rows <= coeffs.height,
+              "chunk slab [%d, %d) outside tile of %d rows", row0,
+              row0 + rows, coeffs.height);
+    size_t base =
+        static_cast<size_t>(row0) * static_cast<size_t>(width_);
+    size_t n = static_cast<size_t>(width_) * static_cast<size_t>(rows);
+    magnitude_ = coeffs.magnitude.data() + base;
+    sign_ = coeffs.sign.data() + base;
+    orient_ = coeffs.orient.data() + base;
+    size_t nWords =
+        static_cast<size_t>(wordsPerRow_) * static_cast<size_t>(rows);
+    sigBits_.assign(nWords, 0);
+    visitedBits_.assign(nWords, 0);
+    refinableBits_.assign(nWords, 0);
+    planeBits_.assign(nWords, 0);
+    dilation_.assign(static_cast<size_t>(wordsPerRow_), 0);
+
+    const kernels::KernelTable &K = kernels::active();
+    maxPlane_ = util::bitWidth(K.maxU32(magnitude_, n)) - 1;
     EP_ASSERT(maxPlane_ <= kMaxPlaneLimit,
               "coefficient magnitude overflows bitplane header (%d)",
               maxPlane_);
@@ -307,8 +347,7 @@ TileEncoder::beginPlane(int plane)
     std::fill(visitedBits_.begin(), visitedBits_.end(), 0);
     const kernels::KernelTable &K = kernels::active();
     for (int y = 0; y < height_; ++y)
-        K.bitplaneMask(magnitude_.data() +
-                           static_cast<size_t>(y) * width_,
+        K.bitplaneMask(magnitude_ + static_cast<size_t>(y) * width_,
                        static_cast<size_t>(width_), plane,
                        planeBits_.data() +
                            static_cast<size_t>(y) * wordsPerRow_);
@@ -319,10 +358,8 @@ TileEncoder::encodeSigPass(RangeEncoder &enc)
 {
     runSigScan<false>(
         ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
-                 visitedBits_.data(), dilation_.data(), orient_.data(),
-                 &ctx_},
-        EncoderScan{enc, planeBits_.data(), wordsPerRow_,
-                    sign_.data()});
+                 visitedBits_.data(), dilation_.data(), orient_, &ctx_},
+        EncoderScan{enc, planeBits_.data(), wordsPerRow_, sign_});
 }
 
 void
@@ -346,10 +383,8 @@ TileEncoder::encodeCleanupPass(RangeEncoder &enc)
 {
     runSigScan<true>(
         ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
-                 visitedBits_.data(), dilation_.data(), orient_.data(),
-                 &ctx_},
-        EncoderScan{enc, planeBits_.data(), wordsPerRow_,
-                    sign_.data()});
+                 visitedBits_.data(), dilation_.data(), orient_, &ctx_},
+        EncoderScan{enc, planeBits_.data(), wordsPerRow_, sign_});
 }
 
 void
@@ -394,24 +429,22 @@ TileEncoder::encodePlanes(RangeEncoder &enc, size_t byteLimit,
     return planesThisCall;
 }
 
-TileDecoder::TileDecoder(int width, int height,
-                         const TileCoderParams &params)
-    : params_(params), width_(width), height_(height),
-      wordsPerRow_(packedWords(width)), maxPlane_(-1), nextPlane_(-1),
-      nextPass_(0), planesCoded_(0)
+TileDecoder::TileDecoder(int width, int rows,
+                         const TileCoderParams &params,
+                         uint32_t *magnitude, uint8_t *sign,
+                         uint8_t *lowPlane, const uint8_t *orient)
+    : params_(params), width_(width), height_(rows),
+      wordsPerRow_(packedWords(width)), magnitude_(magnitude),
+      sign_(sign), lowPlane_(lowPlane), orient_(orient), maxPlane_(-1),
+      nextPlane_(-1), nextPass_(0), planesCoded_(0)
 {
-    EP_ASSERT(width_ > 0 && height_ > 0, "empty tile");
-    size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
+    EP_ASSERT(width_ > 0 && height_ > 0, "empty tile chunk");
     size_t nWords =
         static_cast<size_t>(wordsPerRow_) * static_cast<size_t>(height_);
-    magnitude_.assign(n, 0);
-    sign_.assign(n, 0);
-    lowPlane_.assign(n, 0);
     sigBits_.assign(nWords, 0);
     visitedBits_.assign(nWords, 0);
     refinableBits_.assign(nWords, 0);
     dilation_.assign(static_cast<size_t>(wordsPerRow_), 0);
-    orient_ = subbandOrientation(width_, height_, params_.dwtLevels);
 }
 
 void
@@ -423,7 +456,8 @@ TileDecoder::decodeHeader(RangeDecoder &dec)
     nextPass_ = 0;
     // Until any bit of a coefficient is seen, its uncertainty spans all
     // coded planes.
-    std::fill(lowPlane_.begin(), lowPlane_.end(),
+    size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
+    std::fill(lowPlane_, lowPlane_ + n,
               static_cast<uint8_t>(std::max(maxPlane_ + 1, 0)));
 }
 
@@ -439,10 +473,8 @@ TileDecoder::decodeSigPass(RangeDecoder &dec, int plane)
 {
     runSigScan<false>(
         ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
-                 visitedBits_.data(), dilation_.data(), orient_.data(),
-                 &ctx_},
-        DecoderScan{dec, magnitude_.data(), sign_.data(),
-                    lowPlane_.data(), plane});
+                 visitedBits_.data(), dilation_.data(), orient_, &ctx_},
+        DecoderScan{dec, magnitude_, sign_, lowPlane_, plane});
 }
 
 void
@@ -454,8 +486,8 @@ TileDecoder::decodeRefinePass(RangeDecoder &dec, int plane)
             refinableBits_.data() + static_cast<size_t>(y) * W;
         size_t rowBase =
             static_cast<size_t>(y) * static_cast<size_t>(width_);
-        uint8_t *lowRow = lowPlane_.data() + rowBase;
-        uint32_t *magRow = magnitude_.data() + rowBase;
+        uint8_t *lowRow = lowPlane_ + rowBase;
+        uint32_t *magRow = magnitude_ + rowBase;
         for (int w = 0; w < W; ++w) {
             uint64_t m = refRow[w];
             while (m != 0) {
@@ -476,10 +508,8 @@ TileDecoder::decodeCleanupPass(RangeDecoder &dec, int plane)
 {
     runSigScan<true>(
         ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
-                 visitedBits_.data(), dilation_.data(), orient_.data(),
-                 &ctx_},
-        DecoderScan{dec, magnitude_.data(), sign_.data(),
-                    lowPlane_.data(), plane});
+                 visitedBits_.data(), dilation_.data(), orient_, &ctx_},
+        DecoderScan{dec, magnitude_, sign_, lowPlane_, plane});
 }
 
 void
@@ -510,36 +540,37 @@ TileDecoder::decodePlanes(RangeDecoder &dec)
 }
 
 raster::Plane
-TileDecoder::reconstruct() const
+reconstructTile(int width, int height, const TileCoderParams &params,
+                const uint32_t *magnitude, const uint8_t *sign,
+                const uint8_t *lowPlane, bool fullyDecoded)
 {
-    size_t n = static_cast<size_t>(width_) * static_cast<size_t>(height_);
-    raster::Plane out(width_, height_);
-    bool fullyDecoded = nextPlane_ < 0;
+    size_t n = static_cast<size_t>(width) * static_cast<size_t>(height);
+    raster::Plane out(width, height);
     const kernels::KernelTable &K = kernels::active();
 
-    if (params_.lossless && fullyDecoded) {
+    if (params.lossless && fullyDecoded) {
         std::vector<int32_t> coeffs(n);
-        K.combineI32(magnitude_.data(), sign_.data(), n, coeffs.data());
-        inverseDwt53(coeffs, width_, height_, params_.dwtLevels);
+        K.combineI32(magnitude, sign, n, coeffs.data());
+        inverseDwt53(coeffs, width, height, params.dwtLevels);
         float invScale = static_cast<float>(
-            1.0 / ((1 << params_.losslessDepth) - 1));
+            1.0 / ((1 << params.losslessDepth) - 1));
         float offset =
-            static_cast<float>(1 << (params_.losslessDepth - 1));
+            static_cast<float>(1 << (params.losslessDepth - 1));
         K.i32ToPixels(coeffs.data(), n, offset, invScale, 0.0f, 1.0f,
                       out.row(0));
         return out;
     }
 
     // Midpoint reconstruction: for coefficient i the bits above
-    // lowPlane_[i] are exact, so |c| lies in [m, m + 2^lowPlane[i])
+    // lowPlane[i] are exact, so |c| lies in [m, m + 2^lowPlane[i])
     // quantizer steps; the dequant kernels add half of that
     // uncertainty when significant (and decode zero otherwise).
 
-    if (params_.wavelet == Wavelet::CDF97) {
+    if (params.wavelet == Wavelet::CDF97) {
         std::vector<float> coeffs(n);
-        K.dequant97(magnitude_.data(), sign_.data(), lowPlane_.data(), n,
-                    static_cast<float>(params_.quantStep), coeffs.data());
-        inverseDwt97(coeffs, width_, height_, params_.dwtLevels);
+        K.dequant97(magnitude, sign, lowPlane, n,
+                    static_cast<float>(params.quantStep), coeffs.data());
+        inverseDwt97(coeffs, width, height, params.dwtLevels);
         K.uncenterClampF(coeffs.data(), n, 0.0f, 1.0f, out.row(0));
         return out;
     }
@@ -547,19 +578,18 @@ TileDecoder::reconstruct() const
     // 5/3 integer path: lossy 5/3 (quantizer in 1/255 units) or a
     // truncated lossless stream (quantizer step 1).
     std::vector<int32_t> coeffs(n);
-    float toInt = params_.lossless
+    float toInt = params.lossless
         ? 1.0f
-        : static_cast<float>(params_.quantStep * 255.0);
-    K.dequant53(magnitude_.data(), sign_.data(), lowPlane_.data(), n,
-                toInt, coeffs.data());
-    inverseDwt53(coeffs, width_, height_, params_.dwtLevels);
+        : static_cast<float>(params.quantStep * 255.0);
+    K.dequant53(magnitude, sign, lowPlane, n, toInt, coeffs.data());
+    inverseDwt53(coeffs, width, height, params.dwtLevels);
 
     float invScale;
     float offset;
-    if (params_.lossless) {
+    if (params.lossless) {
         invScale = static_cast<float>(
-            1.0 / ((1 << params_.losslessDepth) - 1));
-        offset = static_cast<float>(1 << (params_.losslessDepth - 1));
+            1.0 / ((1 << params.losslessDepth) - 1));
+        offset = static_cast<float>(1 << (params.losslessDepth - 1));
     } else {
         invScale = static_cast<float>(1.0 / 255.0);
         offset = 127.5f;
@@ -570,16 +600,31 @@ TileDecoder::reconstruct() const
 }
 
 std::vector<std::vector<uint8_t>>
-encodeTileLayers(const raster::Plane &tile, const TileCoderParams &params,
-                 int layers, size_t byteBudget)
+encodeTileChunk(const TileCoefficients &coeffs,
+                const TileCoderParams &params, int chunk, int layers,
+                size_t tileByteBudget)
 {
     EP_ASSERT(layers >= 1, "need at least one quality layer");
-    TileEncoder coder(tile, params);
+    EP_ASSERT(chunk >= 0 && chunk < chunkCount(params, coeffs.height),
+              "chunk %d out of range", chunk);
+    const int row0 = chunkRow0(params, coeffs.height, chunk);
+    const int rows = chunkRows(params, coeffs.height, chunk);
+
+    // Row-proportional share of the tile budget, computed without
+    // overflow even for the effectively-unbounded lossless budgets:
+    // exact pass-through when the chunk spans the whole tile, and the
+    // shares of a split tile never exceed the whole.
+    const size_t h = static_cast<size_t>(coeffs.height);
+    const size_t r = static_cast<size_t>(rows);
+    size_t byteBudget =
+        (tileByteBudget / h) * r + (tileByteBudget % h) * r / h;
+
+    TileEncoder coder(coeffs, row0, rows, params);
     std::vector<std::vector<uint8_t>> out(static_cast<size_t>(layers));
     size_t spent = 0;
     for (int layer = 0; layer < layers; ++layer) {
-        std::vector<uint8_t> &chunk = out[static_cast<size_t>(layer)];
-        RangeEncoder enc(chunk);
+        std::vector<uint8_t> &stream = out[static_cast<size_t>(layer)];
+        RangeEncoder enc(stream);
         if (layer == 0)
             coder.encodeHeader(enc);
         // Cumulative budget through this layer grows linearly so each
@@ -595,25 +640,140 @@ encodeTileLayers(const raster::Plane &tile, const TileCoderParams &params,
             int total = coder.maxPlane() + 1;
             maxPlanes = (total + layers - 1) / layers;
         }
-        coder.encodePlanes(enc, enc.bytesWritten() + remaining, maxPlanes);
+        coder.encodePlanes(enc, enc.bytesWritten() + remaining,
+                           maxPlanes);
         enc.flush();
-        spent += chunk.size();
+        spent += stream.size();
     }
     return out;
+}
+
+std::vector<std::vector<uint8_t>>
+assembleChunkLayers(std::vector<std::vector<std::vector<uint8_t>>> perChunk,
+                    int layers, bool framed)
+{
+    std::vector<std::vector<uint8_t>> out(static_cast<size_t>(layers));
+    if (!framed) {
+        EP_ASSERT(perChunk.size() == 1,
+                  "unframed (v1) streams hold exactly one chunk, not %zu",
+                  perChunk.size());
+        for (int l = 0; l < layers; ++l)
+            out[static_cast<size_t>(l)] =
+                std::move(perChunk[0][static_cast<size_t>(l)]);
+        return out;
+    }
+    for (int l = 0; l < layers; ++l) {
+        std::vector<uint8_t> &layer = out[static_cast<size_t>(l)];
+        for (auto &chunk : perChunk) {
+            const std::vector<uint8_t> &stream =
+                chunk[static_cast<size_t>(l)];
+            util::appendPod(layer,
+                            static_cast<uint32_t>(stream.size()));
+            layer.insert(layer.end(), stream.begin(), stream.end());
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<uint8_t>>
+encodeTileLayers(const raster::Plane &tile, const TileCoderParams &params,
+                 int layers, size_t byteBudget)
+{
+    EP_ASSERT(layers >= 1, "need at least one quality layer");
+    TileCoefficients coeffs = transformTile(tile, params);
+    if (params.chunkRows <= 0)
+        return encodeTileChunk(coeffs, params, 0, layers, byteBudget);
+
+    const int chunks = chunkCount(params, coeffs.height);
+    std::vector<std::vector<std::vector<uint8_t>>> perChunk(
+        static_cast<size_t>(chunks));
+    util::ThreadPool::global().parallelFor(
+        0, chunks,
+        [&](int64_t c) {
+            perChunk[static_cast<size_t>(c)] = encodeTileChunk(
+                coeffs, params, static_cast<int>(c), layers, byteBudget);
+        },
+        1);
+    return assembleChunkLayers(std::move(perChunk), layers, true);
 }
 
 raster::Plane
 decodeTileLayers(int width, int height, const TileCoderParams &params,
                  const std::vector<ChunkSpan> &layerSpans)
 {
-    TileDecoder dec(width, height, params);
-    for (size_t l = 0; l < layerSpans.size(); ++l) {
-        RangeDecoder rd(layerSpans[l].data, layerSpans[l].size);
-        if (l == 0)
-            dec.decodeHeader(rd);
-        dec.decodePlanes(rd);
+    const int chunks = chunkCount(params, height);
+    const size_t nLayers = layerSpans.size();
+
+    // Split every layer span into its per-chunk windows up front
+    // (spans[chunk][layer]); v1 streams are one unframed chunk.
+    std::vector<std::vector<ChunkSpan>> spans(
+        static_cast<size_t>(chunks), std::vector<ChunkSpan>(nLayers));
+    if (params.chunkRows <= 0) {
+        for (size_t l = 0; l < nLayers; ++l)
+            spans[0][l] = layerSpans[l];
+    } else {
+        for (size_t l = 0; l < nLayers; ++l) {
+            const uint8_t *base = layerSpans[l].data;
+            const size_t size = layerSpans[l].size;
+            size_t pos = 0;
+            for (int c = 0; c < chunks; ++c) {
+                if (size - pos < 4)
+                    fatal("tile chunk %d length prefix truncated in "
+                          "layer %zu",
+                          c, l);
+                uint32_t len = util::readPodAt<uint32_t>(base, pos);
+                pos += 4;
+                if (len > size - pos)
+                    fatal("tile chunk %d truncated in layer %zu: %u "
+                          "bytes framed but only %zu remain",
+                          c, l, len, size - pos);
+                spans[static_cast<size_t>(c)][l] = {base + pos, len};
+                pos += len;
+            }
+        }
     }
-    return dec.reconstruct();
+
+    size_t n = static_cast<size_t>(width) * static_cast<size_t>(height);
+    std::vector<uint32_t> magnitude(n, 0);
+    std::vector<uint8_t> sign(n, 0);
+    std::vector<uint8_t> lowPlane(n, 0);
+    std::vector<uint8_t> orient =
+        subbandOrientation(width, height, params.dwtLevels);
+
+    // Chunks write disjoint row slabs of the shared tile buffers, so
+    // decoding them concurrently is race-free; a single-chunk tile
+    // skips the loop machinery entirely.
+    std::vector<uint8_t> chunkFull(static_cast<size_t>(chunks), 0);
+    auto decodeChunk = [&](int64_t c) {
+        const int row0 =
+            chunkRow0(params, height, static_cast<int>(c));
+        const int rows =
+            chunkRows(params, height, static_cast<int>(c));
+        const size_t base =
+            static_cast<size_t>(row0) * static_cast<size_t>(width);
+        TileDecoder dec(width, rows, params, magnitude.data() + base,
+                        sign.data() + base, lowPlane.data() + base,
+                        orient.data() + base);
+        for (size_t l = 0; l < nLayers; ++l) {
+            RangeDecoder rd(spans[static_cast<size_t>(c)][l].data,
+                            spans[static_cast<size_t>(c)][l].size);
+            if (l == 0)
+                dec.decodeHeader(rd);
+            dec.decodePlanes(rd);
+        }
+        chunkFull[static_cast<size_t>(c)] =
+            dec.fullyDecoded() ? 1 : 0;
+    };
+    if (chunks == 1)
+        decodeChunk(0);
+    else
+        util::ThreadPool::global().parallelFor(0, chunks, decodeChunk, 1);
+
+    bool fullyDecoded = true;
+    for (uint8_t f : chunkFull)
+        fullyDecoded = fullyDecoded && f != 0;
+    return reconstructTile(width, height, params, magnitude.data(),
+                           sign.data(), lowPlane.data(), fullyDecoded);
 }
 
 } // namespace earthplus::codec

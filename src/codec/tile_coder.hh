@@ -23,6 +23,15 @@
  * exactly — including mid-pass significance propagating to the right
  * neighbor — so encoded streams are byte-identical to the original
  * per-pixel coder; `tests/golden_stream_test.cc` pins that.
+ *
+ * Sub-tile parallelism: when `TileCoderParams::chunkRows > 0` the tile
+ * is partitioned into full-width row slabs ("chunks"), each coded by
+ * an independent TileEncoder/TileDecoder pair — own range coder, own
+ * context set, own significance state. Chunks are embarrassingly
+ * parallel and the per-layer stream frames them in fixed chunk order
+ * with u32 length prefixes, so the bytes are identical at every thread
+ * count. `chunkRows == 0` keeps the original single unframed stream
+ * (the v1 / EPC2 wire format) byte-for-byte.
  */
 
 #ifndef EARTHPLUS_CODEC_TILE_CODER_HH
@@ -37,6 +46,16 @@
 #include "raster/plane.hh"
 
 namespace earthplus::codec {
+
+/**
+ * Default chunk height for chunked (v2) encoding. Chosen so the
+ * default 64-px tile grid stays single-chunk (framing adds only the
+ * one length prefix per layer) while an oversized 1024×1024 tile
+ * splits into 8 independently codable slabs — enough to keep four
+ * lanes busy on the latency path without shrinking the context-model
+ * training window to the point of hurting compression.
+ */
+constexpr int kDefaultChunkRows = 128;
 
 /** Tunables shared by the tile encoder and decoder. */
 struct TileCoderParams
@@ -55,7 +74,24 @@ struct TileCoderParams
     int losslessDepth = 8;
     /** Deadzone quantizer step for the lossy path. */
     double quantStep = 1.0 / 512.0;
+    /**
+     * Rows per entropy chunk. 0 (the default) selects the legacy
+     * single unframed entropy stream — the v1 wire format. Any
+     * positive value selects the framed chunked format (v2), even
+     * when the tile fits in one chunk, so a stream's framing is
+     * decided by the params alone, never by the tile size.
+     */
+    int chunkRows = 0;
 };
+
+/** Number of entropy chunks a `height`-row tile codes into. */
+inline int
+chunkCount(const TileCoderParams &params, int height)
+{
+    if (params.chunkRows <= 0)
+        return 1;
+    return (height + params.chunkRows - 1) / params.chunkRows;
+}
 
 /**
  * Context model set shared by encoder and decoder.
@@ -63,7 +99,7 @@ struct TileCoderParams
  * Significance contexts are selected by subband orientation and the
  * number of already-significant 4-neighbors; refinement bits use a
  * single model. Models persist across quality layers, mirroring the
- * decoder exactly.
+ * decoder exactly. Each entropy chunk owns a private set.
  */
 struct TileContexts
 {
@@ -74,22 +110,53 @@ struct TileContexts
 };
 
 /**
- * Encoder for a single tile.
+ * One tile's quantized wavelet coefficients in sign/magnitude form —
+ * the output of the DWT+quantization stage and the input of the
+ * entropy stage. Splitting the stages apart is what lets the codec
+ * pipeline them (transform tile N+1 while tile N is entropy coded)
+ * and fan the entropy work of one tile across row-slab chunks.
+ */
+struct TileCoefficients
+{
+    int width = 0;
+    int height = 0;
+    std::vector<uint32_t> magnitude;
+    std::vector<uint8_t> sign;
+    std::vector<uint8_t> orient; ///< Subband orientation per pixel.
+};
+
+/**
+ * DWT + quantization of one tile (values in [0, 1]) into
+ * sign/magnitude coefficients. Pure function of (pixels, params);
+ * runs through the dispatched kernel table but every SIMD level
+ * shares the scalar dataflow, so the result is level-independent.
+ */
+TileCoefficients transformTile(const raster::Plane &tile,
+                               const TileCoderParams &params);
+
+/**
+ * Encoder for one entropy chunk (a row slab) of a transformed tile.
  *
- * Usage: construct (runs the DWT and quantization), call encodeHeader()
- * once, then call encodePlanes() one or more times (once per quality
- * layer) until done() or the byte budget runs out.
+ * Usage: construct over `[row0, row0 + rows)` of the coefficients
+ * (borrowed — the TileCoefficients must outlive the encoder), call
+ * encodeHeader() once, then call encodePlanes() one or more times
+ * (once per quality layer) until done() or the byte budget runs out.
+ * A single chunk spanning the whole tile reproduces the original
+ * whole-tile coder bit for bit.
  */
 class TileEncoder
 {
   public:
     /**
-     * @param tile Pixel data, values in [0, 1].
+     * @param coeffs Transformed tile (see transformTile()).
+     * @param row0 First row of this chunk's slab.
+     * @param rows Slab height; row0 + rows <= coeffs.height.
      * @param params Coder configuration.
      */
-    TileEncoder(const raster::Plane &tile, const TileCoderParams &params);
+    TileEncoder(const TileCoefficients &coeffs, int row0, int rows,
+                const TileCoderParams &params);
 
-    /** Emit the tile header (max magnitude bitplane). */
+    /** Emit the chunk header (max magnitude bitplane of the slab). */
     void encodeHeader(RangeEncoder &enc);
 
     /**
@@ -110,17 +177,18 @@ class TileEncoder
     /** Planes coded so far across all calls. */
     int planesCoded() const { return planesCoded_; }
 
-    /** Highest magnitude bitplane present (-1 for an all-zero tile). */
+    /** Highest magnitude bitplane present (-1 for an all-zero slab). */
     int maxPlane() const { return maxPlane_; }
 
   private:
     TileCoderParams params_;
     int width_;
-    int height_;
+    int height_; ///< Slab height (rows), not the full tile height.
     int wordsPerRow_; ///< 64-pixel words per packed bitset row.
-    std::vector<uint32_t> magnitude_;
-    std::vector<uint8_t> sign_;
-    std::vector<uint8_t> orient_;
+    /// Borrowed slab views into the TileCoefficients (offset to row0).
+    const uint32_t *magnitude_;
+    const uint8_t *sign_;
+    const uint8_t *orient_;
     /// Word-packed per-pixel state, row stride wordsPerRow_.
     std::vector<uint64_t> sigBits_;       ///< Significant so far.
     std::vector<uint64_t> visitedBits_;   ///< Coded in pass 0, this plane.
@@ -142,42 +210,54 @@ class TileEncoder
 };
 
 /**
- * Decoder mirroring TileEncoder.
+ * Decoder mirroring TileEncoder: decodes one entropy chunk into a
+ * caller-owned slab of the tile's coefficient buffers.
  *
- * Usage: construct, call decodeHeader() once, call decodePlanes() once
- * per encoded layer chunk, then reconstruct().
+ * The output pointers are borrowed and pre-offset to the slab's first
+ * row; a chunk writes only its own `width * rows` elements, which is
+ * what makes chunk-parallel decode of one tile race-free. Usage:
+ * construct, call decodeHeader() once, call decodePlanes() once per
+ * encoded layer chunk; reconstruct the full tile afterwards with
+ * reconstructTile().
  */
 class TileDecoder
 {
   public:
     /**
      * @param width Tile width in pixels.
-     * @param height Tile height in pixels.
+     * @param rows Slab height in rows.
      * @param params Must match the encoder's parameters.
+     * @param magnitude Slab output, `width * rows` entries, zeroed.
+     * @param sign Slab output, `width * rows` entries, zeroed.
+     * @param lowPlane Slab output, `width * rows` entries, zeroed.
+     * @param orient Slab view of the tile's subband-orientation map.
      */
-    TileDecoder(int width, int height, const TileCoderParams &params);
+    TileDecoder(int width, int rows, const TileCoderParams &params,
+                uint32_t *magnitude, uint8_t *sign, uint8_t *lowPlane,
+                const uint8_t *orient);
 
-    /** Read the tile header. */
+    /** Read the chunk header. */
     void decodeHeader(RangeDecoder &dec);
 
     /** Decode the next group of bitplanes (one encodePlanes() call). */
     void decodePlanes(RangeDecoder &dec);
 
-    /** Dequantize + inverse DWT into pixel space. */
-    raster::Plane reconstruct() const;
-
     /** Planes decoded so far. */
     int planesCoded() const { return planesCoded_; }
+
+    /** True once every coded bitplane of this chunk was consumed. */
+    bool fullyDecoded() const { return nextPlane_ < 0; }
 
   private:
     TileCoderParams params_;
     int width_;
-    int height_;
+    int height_; ///< Slab height (rows).
     int wordsPerRow_;
-    std::vector<uint32_t> magnitude_;
-    std::vector<uint8_t> sign_;
-    std::vector<uint8_t> lowPlane_; ///< Lowest plane with a decoded bit.
-    std::vector<uint8_t> orient_;
+    /// Borrowed slab views into the caller's tile buffers.
+    uint32_t *magnitude_;
+    uint8_t *sign_;
+    uint8_t *lowPlane_; ///< Lowest plane with a decoded bit.
+    const uint8_t *orient_;
     /// Word-packed per-pixel state mirroring TileEncoder.
     std::vector<uint64_t> sigBits_;
     std::vector<uint64_t> visitedBits_;
@@ -196,6 +276,18 @@ class TileDecoder
     void decodeCleanupPass(RangeDecoder &dec, int plane);
 };
 
+/**
+ * Dequantize + inverse DWT a full tile's decoded coefficients into
+ * pixel space. `fullyDecoded` selects exact lossless reconstruction
+ * when every plane of every chunk was decoded; otherwise the midpoint
+ * reconstruction driven by `lowPlane` applies.
+ */
+raster::Plane reconstructTile(int width, int height,
+                              const TileCoderParams &params,
+                              const uint32_t *magnitude,
+                              const uint8_t *sign, const uint8_t *lowPlane,
+                              bool fullyDecoded);
+
 /** A read-only byte window into a larger entropy-coded chunk. */
 struct ChunkSpan
 {
@@ -204,14 +296,46 @@ struct ChunkSpan
 };
 
 /**
+ * Entropy-code one chunk (row slab) of a transformed tile: all
+ * `layers` quality layers into private per-layer streams (one flushed
+ * range coder per layer). Pure function of (coeffs, params, chunk) —
+ * safe to run on any thread in any order; the per-tile stream is
+ * assembled from these in fixed chunk order (assembleChunkLayers).
+ *
+ * @param coeffs Transformed tile.
+ * @param params Coder configuration; chunkRows fixes the slab grid.
+ * @param chunk Chunk index in [0, chunkCount(params, coeffs.height)).
+ * @param layers Number of SNR-progressive layers (>= 1).
+ * @param tileByteBudget Whole-tile entropy byte budget across all
+ *        layers (ignored when params.lossless); this chunk takes its
+ *        row-proportional share.
+ * @return One stream per layer for this chunk.
+ */
+std::vector<std::vector<uint8_t>>
+encodeTileChunk(const TileCoefficients &coeffs,
+                const TileCoderParams &params, int chunk, int layers,
+                size_t tileByteBudget);
+
+/**
+ * Assemble per-chunk per-layer streams (perChunk[chunk][layer]) into
+ * the tile's per-layer sub-chunks. `framed` (the v2 format) prefixes
+ * every chunk stream with its u32 byte length, in chunk order;
+ * unframed (v1) requires exactly one chunk and passes its streams
+ * through untouched.
+ */
+std::vector<std::vector<uint8_t>>
+assembleChunkLayers(std::vector<std::vector<std::vector<uint8_t>>> perChunk,
+                    int layers, bool framed);
+
+/**
  * Encode one tile completely, as a single self-contained job.
  *
  * Runs the DWT + quantization and codes all `layers` quality layers
- * into private sub-chunks (one flushed range-coder stream per layer).
- * The output depends only on the tile pixels and the parameters, which
- * is what makes tile jobs safe to run on any thread in any order: the
- * image-level stream is assembled from these sub-chunks in
- * deterministic tile order.
+ * into private sub-chunks (one per layer, framed per
+ * params.chunkRows). The output depends only on the tile pixels and
+ * the parameters — chunks fan out across the global pool when it has
+ * idle lanes, and the fixed assembly order makes the bytes identical
+ * at every thread count.
  *
  * @param tile Pixel data, values in [0, 1].
  * @param params Coder configuration.
@@ -227,7 +351,8 @@ encodeTileLayers(const raster::Plane &tile, const TileCoderParams &params,
 /**
  * Decode one tile from its per-layer sub-chunks (the inverse of
  * encodeTileLayers); spans may cover fewer layers than were encoded
- * for a lower-quality prefix decode.
+ * for a lower-quality prefix decode. With params.chunkRows > 0 the
+ * framed chunks decode in parallel when the pool has idle lanes.
  */
 raster::Plane
 decodeTileLayers(int width, int height, const TileCoderParams &params,

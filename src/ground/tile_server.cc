@@ -364,11 +364,16 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
                         view.data(), view.size());
                     stream = &local;
                 }
-                // Decode inline while holding claims: fanning into
-                // the pool here can deadlock — every worker may be
-                // parked in fut.get() on exactly these claims, so the
-                // helper tasks would never be scheduled.
-                util::InlineRegion inlineRegion;
+                // Decoding while holding claims may fan tile and
+                // entropy-chunk work into the pool even though other
+                // workers could be parked in fut.get() on exactly
+                // these claims: parallelFor's helper jobs are
+                // detached, so the calling thread drains the whole
+                // range itself when no worker ever picks one up —
+                // completion never depends on pool scheduling, which
+                // is what makes this fan-out deadlock-free. Large
+                // tiles decode chunk-parallel here, which is the
+                // serve-latency win of the chunked (v2) format.
                 auto decoded = codec::decodeTiles(*stream, misses,
                                                   query.maxLayers);
                 for (size_t i = 0; i < misses.size(); ++i) {
@@ -393,9 +398,11 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
             throw;
         }
         for (auto &[t, fut] : joined) {
-            // Safe to block: the producer decodes inline on its own
-            // thread (InlineRegion above — never queued behind this
-            // wait), so the join cannot deadlock the pool.
+            // Safe to block: the claim holder always completes its own
+            // decode — any pool fan-out it attempts degrades to a
+            // caller-driven drain when workers are busy (detached
+            // parallelFor helpers), so this join can never be queued
+            // behind the very decode it waits on.
             tiles.emplace_back(t, fut.get());
             ++result.tilesCoalesced;
         }

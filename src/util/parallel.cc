@@ -92,68 +92,131 @@ ThreadPool::workerLoop()
     }
 }
 
+namespace {
+
+/**
+ * Shared state of one parallelFor invocation. Helpers hold it via
+ * shared_ptr, so a helper the pool schedules only after the caller
+ * has already returned finds the range exhausted and exits without
+ * ever touching the (by then destroyed) caller stack — the body is
+ * copied in here, never borrowed.
+ */
+struct ForState
+{
+    std::function<void(int64_t)> body;
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+    int64_t grain = 1;
+    std::atomic<bool> firstError{false};
+    std::exception_ptr error;
+    std::mutex mutex;
+    std::condition_variable cv;
+    int active = 0; ///< Helpers currently inside drainFor().
+};
+
+void
+drainFor(ForState &s)
+{
+    DepthGuard depth;
+    for (;;) {
+        int64_t i0 = s.next.fetch_add(s.grain);
+        if (i0 >= s.end)
+            return;
+        int64_t i1 = std::min(i0 + s.grain, s.end);
+        try {
+            for (int64_t i = i0; i < i1; ++i)
+                s.body(i);
+        } catch (...) {
+            if (!s.firstError.exchange(true))
+                s.error = std::current_exception();
+            s.next.store(s.end); // cancel remaining chunks
+            return;
+        }
+    }
+}
+
+} // anonymous namespace
+
 void
 ThreadPool::parallelFor(int64_t begin, int64_t end,
                         const std::function<void(int64_t)> &body,
                         int64_t grain)
 {
+    tryParallelFor(begin, end, body, grain);
+}
+
+bool
+ThreadPool::tryParallelFor(int64_t begin, int64_t end,
+                           const std::function<void(int64_t)> &body,
+                           int64_t grain)
+{
     int64_t count = end - begin;
     if (count <= 0)
-        return;
+        return false;
 
-    // Serial path: single-lane pool, tiny range, or nested region.
-    if (threads_ <= 1 || count == 1 || tlsParallelDepth > 0) {
+    // A lone iteration is not a parallel region: run it directly with
+    // no depth marker, so parallelism nested inside it (chunk-parallel
+    // decode of one tile) still reaches the pool.
+    if (count == 1) {
+        body(begin);
+        return false;
+    }
+
+    // Serial path: single-lane pool or nested region.
+    if (threads_ <= 1 || tlsParallelDepth > 0) {
         DepthGuard depth;
         for (int64_t i = begin; i < end; ++i)
             body(i);
-        return;
+        return false;
     }
 
     if (grain <= 0)
         grain = std::max<int64_t>(
             1, count / (static_cast<int64_t>(threads_) * 4));
 
-    auto next = std::make_shared<std::atomic<int64_t>>(begin);
-    auto firstError = std::make_shared<std::atomic<bool>>(false);
-    auto errorPtr = std::make_shared<std::exception_ptr>();
+    auto state = std::make_shared<ForState>();
+    state->body = body;
+    state->next.store(begin);
+    state->end = end;
+    state->grain = grain;
 
-    auto drain = [next, firstError, errorPtr, end, grain, &body] {
-        DepthGuard depth;
-        for (;;) {
-            int64_t i0 = next->fetch_add(grain);
-            if (i0 >= end)
-                return;
-            int64_t i1 = std::min(i0 + grain, end);
-            try {
-                for (int64_t i = i0; i < i1; ++i)
-                    body(i);
-            } catch (...) {
-                if (!firstError->exchange(true))
-                    *errorPtr = std::current_exception();
-                next->store(end); // cancel remaining chunks
-                return;
-            }
-        }
-    };
-
-    // One helper per extra lane (bounded by the chunk count); the
-    // caller drains chunks too, so completion never depends on the
-    // helpers being scheduled.
+    // One detached helper per extra lane (bounded by the chunk count).
+    // The caller drains chunks itself, so by the time its own drain
+    // returns the range is exhausted; it then waits only for helpers
+    // that actually STARTED draining. A helper the pool never ran —
+    // every worker parked on futures only this thread will fulfil,
+    // the scenario behind the tile server's coalesced decode — runs
+    // later as a no-op instead of deadlocking the caller, which is
+    // why completion never depends on helper scheduling.
     int64_t chunks = (count + grain - 1) / grain;
     int helpers = static_cast<int>(
         std::min<int64_t>(threads_ - 1, chunks - 1));
-    std::vector<std::future<void>> pending;
-    pending.reserve(static_cast<size_t>(helpers));
     for (int i = 0; i < helpers; ++i) {
-        auto task = std::make_shared<std::packaged_task<void()>>(drain);
-        pending.push_back(task->get_future());
-        enqueue([task] { (*task)(); });
+        enqueue([state] {
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                ++state->active;
+            }
+            drainFor(*state);
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                --state->active;
+            }
+            state->cv.notify_all();
+        });
     }
-    drain();
-    for (auto &f : pending)
-        f.wait();
-    if (firstError->load())
-        std::rethrow_exception(*errorPtr);
+    drainFor(*state);
+    {
+        // Any helper that claimed work incremented `active` before its
+        // first chunk claim; once our own drain saw the range
+        // exhausted, helpers arriving later cannot claim anything, so
+        // waiting for active == 0 covers every body() in flight.
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->cv.wait(lock, [&] { return state->active == 0; });
+    }
+    if (state->firstError.load())
+        std::rethrow_exception(state->error);
+    return true;
 }
 
 BackgroundQueue::BackgroundQueue(size_t maxDepth)

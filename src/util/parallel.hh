@@ -92,7 +92,10 @@ class ThreadPool
     /**
      * Run body(i) for every i in [begin, end), blocking until all
      * iterations finish. The calling thread participates, so progress
-     * is guaranteed even when every worker is busy elsewhere.
+     * is guaranteed even when every worker is busy elsewhere — helper
+     * jobs are detached: one that the pool never gets around to
+     * scheduling is simply a no-op once the caller has drained the
+     * range, so completion never waits on a parked worker.
      *
      * Iterations are distributed dynamically in chunks of `grain`
      * (0 = pick automatically). The body must not assume any
@@ -105,6 +108,36 @@ class ThreadPool
     void parallelFor(int64_t begin, int64_t end,
                      const std::function<void(int64_t)> &body,
                      int64_t grain = 0);
+
+    /**
+     * parallelFor() that reports whether the loop actually fanned out
+     * across pool lanes. False means every iteration ran serially on
+     * the calling thread — a single-lane pool, a nested parallel
+     * region (worker thread or InlineRegion), or a range too small to
+     * split. Callers that *structure* work around the fan-out (the
+     * codec's chunked entropy stages) use this so a nested call
+     * degrades to a deliberate serial pass instead of quietly
+     * serializing inside what looks like a parallel region.
+     *
+     * A range of exactly one iteration runs the body directly WITHOUT
+     * entering a nested-region scope: a lone item is not a parallel
+     * region, and parallelism nested inside it (chunk-parallel decode
+     * of a single tile) must still be able to reach the pool.
+     */
+    bool tryParallelFor(int64_t begin, int64_t end,
+                        const std::function<void(int64_t)> &body,
+                        int64_t grain = 0);
+
+    /**
+     * True when a parallelFor from the calling thread could fan into
+     * the pool: multi-lane pool and not already inside a parallel
+     * region. A cheap pre-check for code that picks between a staged
+     * parallel structure and a plain serial loop up front.
+     */
+    bool canFanOut() const
+    {
+        return threads_ > 1 && !onWorkerThread();
+    }
 
     /**
      * The process-wide pool, created on first use with

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "codec/codec.hh"
 #include "codec/kernels.hh"
@@ -533,6 +534,144 @@ TEST(Codec, NonMultipleTileSizes)
     ASSERT_EQ(dec.width(), 200);
     ASSERT_EQ(dec.height(), 136);
     EXPECT_GT(raster::psnr(img, dec), 35.0);
+}
+
+TEST(Codec, ChunkedStreamByteIdenticalAcrossThreadCounts)
+{
+    // The chunked (v2) determinism guarantee: tiles split into several
+    // row-slab entropy chunks must still produce one exact stream at
+    // every thread count — chunk jobs are pure functions assembled in
+    // fixed order, never dependent on scheduling.
+    raster::Plane img = testImage(300, 200, 30);
+    EncodeParams p;
+    p.bitsPerPixel = 1.5;
+    p.layers = 2;
+    p.tileSize = 96;   // ragged grid: 96- and 8-row tiles
+    p.chunkRows = 32;  // full tiles code as 3 chunks each
+
+    util::ThreadPool::setGlobalThreads(1);
+    std::vector<uint8_t> serial = encode(img, p).serialize();
+    raster::Plane serialDec = decode(EncodedImage::deserialize(serial));
+
+    for (int threads : {2, 7, util::ThreadPool::defaultThreadCount()}) {
+        util::ThreadPool::setGlobalThreads(threads);
+        std::vector<uint8_t> bytes = encode(img, p).serialize();
+        EXPECT_EQ(bytes, serial) << "threads=" << threads;
+        raster::Plane dec = decode(EncodedImage::deserialize(bytes));
+        EXPECT_EQ(dec.data(), serialDec.data()) << "threads=" << threads;
+    }
+    util::ThreadPool::setGlobalThreads(
+        util::ThreadPool::defaultThreadCount());
+}
+
+TEST(Codec, ChunkedStreamByteIdenticalAcrossSimdLevels)
+{
+    // Multi-chunk tiles through every dispatch level: per-chunk
+    // maxPlane scans and bitplane masks must agree with scalar.
+    raster::Plane img = testImage(203, 131, 31);
+    EncodeParams p;
+    p.bitsPerPixel = 1.5;
+    p.layers = 2;
+    p.tileSize = 96;
+    p.chunkRows = 32;
+
+    util::simd::Level prev = util::simd::activeLevel();
+    util::simd::setActiveLevel(util::simd::Level::Scalar);
+    std::vector<uint8_t> golden = encode(img, p).serialize();
+    for (util::simd::Level l : kernels::availableLevels()) {
+        util::simd::setActiveLevel(l);
+        EXPECT_EQ(encode(img, p).serialize(), golden)
+            << "at " << util::simd::levelName(l);
+    }
+    util::simd::setActiveLevel(prev);
+}
+
+TEST(Codec, V1StreamsStillDecode)
+{
+    // chunkRows == 0 emits the legacy EPC2 format, which must stay
+    // writable and decodable forever (the ground archive holds such
+    // streams); chunkRows > 0 emits EPC3. Both reconstruct losslessly.
+    raster::Plane img = testImage(150, 110, 32);
+    for (auto &v : img.data())
+        v = std::round(v * 255.0f) / 255.0f;
+    EncodeParams p;
+    p.lossless = true;
+    p.wavelet = Wavelet::LeGall53;
+    p.tileSize = 96;
+
+    p.chunkRows = 0;
+    std::vector<uint8_t> v1 = encode(img, p).serialize();
+    p.chunkRows = 48;
+    std::vector<uint8_t> v2 = encode(img, p).serialize();
+
+    // The magic spells out the version ("EPC2" vs "EPC3").
+    EXPECT_EQ(std::memcmp(v1.data(), "EPC2", 4), 0);
+    EXPECT_EQ(std::memcmp(v2.data(), "EPC3", 4), 0);
+
+    for (int v = 0; v < 2; ++v) {
+        const std::vector<uint8_t> &bytes = v == 0 ? v1 : v2;
+        EncodedImage back = EncodedImage::deserialize(bytes);
+        EXPECT_EQ(back.chunkRows, v == 0 ? 0 : 48);
+        raster::Plane dec = decode(back);
+        for (size_t i = 0; i < img.data().size(); ++i)
+            ASSERT_NEAR(img.data()[i], dec.data()[i], 1e-6)
+                << "pixel " << i;
+    }
+}
+
+TEST(CodecDeath, TruncatedChunkLengthPrefixIsFatal)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    raster::Plane tile = testImage(96, 96, 33);
+    TileCoderParams tp;
+    tp.chunkRows = 32; // 3 framed chunks per layer stream
+    auto layers = encodeTileLayers(tile, tp, 1, 96 * 96 * 2 / 8);
+    const std::vector<uint8_t> &layer0 = layers[0];
+    ASSERT_GT(layer0.size(), 8u);
+    auto spanOf = [](const std::vector<uint8_t> &v) {
+        return std::vector<ChunkSpan>{{v.data(), v.size()}};
+    };
+
+    // Cut inside the very first length prefix.
+    std::vector<uint8_t> cut(layer0.begin(), layer0.begin() + 2);
+    EXPECT_EXIT(decodeTileLayers(96, 96, tp, spanOf(cut)),
+                ::testing::ExitedWithCode(1),
+                "length prefix truncated");
+    // Cut inside the last chunk's payload.
+    std::vector<uint8_t> short2(layer0.begin(), layer0.end() - 2);
+    EXPECT_EXIT(decodeTileLayers(96, 96, tp, spanOf(short2)),
+                ::testing::ExitedWithCode(1), "truncated");
+    // A framed length larger than the remaining stream.
+    std::vector<uint8_t> bad = layer0;
+    uint32_t huge = 0x7FFFFFFFu;
+    std::memcpy(bad.data(), &huge, 4);
+    EXPECT_EXIT(decodeTileLayers(96, 96, tp, spanOf(bad)),
+                ::testing::ExitedWithCode(1),
+                "bytes framed but only");
+}
+
+TEST(Codec, ConcurrentChunkedEncodesShareThePoolSafely)
+{
+    // Several external threads drive chunked encodes through the one
+    // global pool at once (the tile server's serve threads do exactly
+    // this on decode); every stream must come out identical. Run
+    // under TSan via `ci/check.sh tsan`.
+    raster::Plane img = testImage(192, 192, 34);
+    EncodeParams p;
+    p.bitsPerPixel = 1.0;
+    p.tileSize = 96;
+    p.chunkRows = 32;
+    std::vector<uint8_t> expect = encode(img, p).serialize();
+
+    std::vector<std::vector<uint8_t>> got(4);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < got.size(); ++i)
+        threads.emplace_back(
+            [&, i] { got[i] = encode(img, p).serialize(); });
+    for (auto &t : threads)
+        t.join();
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], expect) << "thread " << i;
 }
 
 TEST(Codec, FlatImageIsTiny)

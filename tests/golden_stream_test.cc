@@ -19,6 +19,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -134,6 +137,38 @@ const GoldenFixture kGolden[] = {
     {"sparse", 130, 70, "lossless", 3, 517u, 0x31103FB0u},
 };
 
+/**
+ * V2 (EPC3 chunked) fixtures: the same tiles coded with chunkRows =
+ * 32, so every fixture splits into at least two framed entropy chunks
+ * (64x64 -> 2, 61x47 -> 2, 130x70 -> 3) and the per-chunk headers,
+ * length prefixes and budget splits are all pinned. Recorded
+ * deliberately when the chunked format was introduced — the PR 6
+ * migration, see the worked example in docs/ARCHITECTURE.md.
+ * Regenerate by running this binary with EARTHPLUS_PRINT_GOLDEN=1 and
+ * pasting the printed rows.
+ */
+constexpr int kGoldenV2ChunkRows = 32;
+const GoldenFixture kGoldenV2[] = {
+    {"textured", 64, 64, "cdf97", 1, 1158u, 0x12C8C7ADu},
+    {"textured", 64, 64, "cdf97", 3, 1192u, 0xB27AB9A4u},
+    {"textured", 64, 64, "lossy53", 1, 1239u, 0x7EABC228u},
+    {"textured", 64, 64, "lossy53", 3, 1273u, 0x294FB827u},
+    {"textured", 64, 64, "lossless", 1, 2916u, 0x7D5F8D71u},
+    {"textured", 64, 64, "lossless", 3, 2950u, 0x359CA36Au},
+    {"textured", 61, 47, "cdf97", 3, 833u, 0xAAFDFBD9u},
+    {"textured", 61, 47, "lossless", 3, 2133u, 0x5CDCDE26u},
+    {"textured", 130, 70, "cdf97", 3, 2779u, 0x019F23F5u},
+    {"textured", 130, 70, "lossy53", 3, 2880u, 0xB2813062u},
+    {"textured", 130, 70, "lossless", 3, 6520u, 0x9B55CBE3u},
+    {"sparse", 64, 64, "cdf97", 1, 518u, 0x960A5931u},
+    {"sparse", 64, 64, "lossy53", 3, 387u, 0xD0029408u},
+    {"sparse", 64, 64, "lossless", 3, 364u, 0x6A21B424u},
+    {"sparse", 61, 47, "cdf97", 3, 498u, 0x379CE68Eu},
+    {"sparse", 61, 47, "lossless", 1, 311u, 0xD1F06D4Cu},
+    {"sparse", 130, 70, "lossy53", 3, 620u, 0xFC5E6480u},
+    {"sparse", 130, 70, "lossless", 3, 577u, 0x3AD72528u},
+};
+
 /** The fixture's exact tile content and coder configuration. */
 void
 buildGolden(const GoldenFixture &f, raster::Plane &tile,
@@ -163,12 +198,13 @@ buildGolden(const GoldenFixture &f, raster::Plane &tile,
 
 /** Encode one fixture and return (total bytes, CRC32 of the chunks). */
 std::pair<size_t, uint32_t>
-encodeGolden(const GoldenFixture &f)
+encodeGolden(const GoldenFixture &f, int chunkRows = 0)
 {
     raster::Plane tile(1, 1);
     TileCoderParams params;
     size_t budget = 0;
     buildGolden(f, tile, params, budget);
+    params.chunkRows = chunkRows;
     auto chunks = encodeTileLayers(tile, params, f.layers, budget);
     uint32_t crc = 0;
     size_t total = 0;
@@ -208,15 +244,44 @@ TEST(GoldenStream, StreamsMatchRecordedFormatAtEveryLevel)
     util::simd::setActiveLevel(prev);
 }
 
-TEST(GoldenStream, FixturesRoundTrip)
+TEST(GoldenStream, V2ChunkedStreamsMatchRecordedFormatAtEveryLevel)
 {
-    // The CRCs pin the bytes; this pins that those bytes still decode
-    // to a sane tile (and exactly, in lossless mode).
-    for (const GoldenFixture &f : kGolden) {
+    if (std::getenv("EARTHPLUS_PRINT_GOLDEN") != nullptr) {
+        // Regeneration mode: print table rows to paste into kGoldenV2.
+        for (const GoldenFixture &f : kGoldenV2) {
+            auto [bytes, crc] = encodeGolden(f, kGoldenV2ChunkRows);
+            std::printf("    {\"%s\", %d, %d, \"%s\", %d, %zuu, "
+                        "0x%08Xu},\n",
+                        f.content, f.w, f.h, f.mode, f.layers, bytes,
+                        crc);
+        }
+    }
+    util::simd::Level prev = util::simd::activeLevel();
+    for (util::simd::Level l : kernels::availableLevels()) {
+        util::simd::setActiveLevel(l);
+        for (const GoldenFixture &f : kGoldenV2) {
+            auto [bytes, crc] = encodeGolden(f, kGoldenV2ChunkRows);
+            EXPECT_EQ(bytes, f.bytes)
+                << fixtureName(f) << " at " << util::simd::levelName(l);
+            EXPECT_EQ(crc, f.crc)
+                << fixtureName(f) << " at " << util::simd::levelName(l);
+        }
+    }
+    util::simd::setActiveLevel(prev);
+}
+
+/** Shared body for the v1 and v2 round-trip checks. */
+static void
+roundTripFixtures(const GoldenFixture *fixtures, size_t count,
+                  int chunkRows)
+{
+    for (size_t fi = 0; fi < count; ++fi) {
+        const GoldenFixture &f = fixtures[fi];
         raster::Plane tile(1, 1);
         TileCoderParams params;
         size_t budget = 0;
         buildGolden(f, tile, params, budget);
+        params.chunkRows = chunkRows;
         auto chunks = encodeTileLayers(tile, params, f.layers, budget);
         std::vector<ChunkSpan> spans;
         for (const auto &c : chunks)
@@ -239,4 +304,17 @@ TEST(GoldenStream, FixturesRoundTrip)
             }
         }
     }
+}
+
+TEST(GoldenStream, FixturesRoundTrip)
+{
+    // The CRCs pin the bytes; this pins that those bytes still decode
+    // to a sane tile (and exactly, in lossless mode).
+    roundTripFixtures(kGolden, std::size(kGolden), 0);
+}
+
+TEST(GoldenStream, V2FixturesRoundTrip)
+{
+    roundTripFixtures(kGoldenV2, std::size(kGoldenV2),
+                      kGoldenV2ChunkRows);
 }

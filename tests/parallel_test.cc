@@ -111,6 +111,91 @@ TEST(ThreadPool, GlobalPoolResizes)
               ThreadPool::defaultThreadCount());
 }
 
+TEST(ThreadPool, TryParallelForReportsFanOut)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    auto body = [&](int64_t) { count.fetch_add(1); };
+
+    // Multi-lane pool, real range: fans out.
+    EXPECT_TRUE(pool.tryParallelFor(0, 100, body));
+    EXPECT_EQ(count.load(), 100);
+
+    // Empty and single-iteration ranges never count as a fan-out,
+    // but a single iteration still executes.
+    count.store(0);
+    EXPECT_FALSE(pool.tryParallelFor(3, 3, body));
+    EXPECT_EQ(count.load(), 0);
+    EXPECT_FALSE(pool.tryParallelFor(3, 4, body));
+    EXPECT_EQ(count.load(), 1);
+
+    // Single-lane pool: serial, reported as such.
+    ThreadPool serial(1);
+    count.store(0);
+    EXPECT_FALSE(serial.tryParallelFor(0, 100, body));
+    EXPECT_EQ(count.load(), 100);
+
+    // Nested region (inside a worker-run iteration): serial.
+    std::atomic<bool> nestedFannedOut{true};
+    pool.parallelFor(0, 8, [&](int64_t) {
+        if (!pool.tryParallelFor(0, 8, [](int64_t) {}))
+            nestedFannedOut.store(false);
+    });
+    EXPECT_FALSE(nestedFannedOut.load());
+}
+
+TEST(ThreadPool, SingleIterationDoesNotBlockNestedFanOut)
+{
+    // A one-item parallelFor is not a parallel region: work nested
+    // inside it (chunk-parallel decode of a single tile) must still
+    // reach the pool instead of silently serializing.
+    ThreadPool pool(4);
+    bool fannedOut = false;
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 1, [&](int64_t) {
+        fannedOut = pool.tryParallelFor(
+            0, 64, [&](int64_t) { count.fetch_add(1); });
+    });
+    EXPECT_TRUE(fannedOut);
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, CanFanOutReflectsPoolAndNesting)
+{
+    ThreadPool pool(4);
+    EXPECT_TRUE(pool.canFanOut());
+    ThreadPool serial(1);
+    EXPECT_FALSE(serial.canFanOut());
+    std::atomic<bool> insideWorker{true};
+    pool.parallelFor(0, 4, [&](int64_t) {
+        if (pool.canFanOut())
+            insideWorker.store(false);
+    });
+    EXPECT_TRUE(insideWorker.load());
+}
+
+TEST(ThreadPool, ParallelForCompletesWhileWorkersAreParked)
+{
+    // Helper jobs are detached: a parallelFor whose helpers never get
+    // scheduled — here the pool's only worker is parked on a future
+    // that THIS thread will fulfil afterwards — must still complete
+    // via the caller's own drain. The tile server relies on this to
+    // fan decode work while holding coalescing claims.
+    ThreadPool pool(2); // one worker thread besides the caller
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    std::promise<void> parked;
+    pool.submit([&parked, opened] {
+        parked.set_value();
+        opened.wait();
+    });
+    parked.get_future().wait(); // worker is now committed to the gate
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 100, [&](int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+    gate.set_value(); // release the worker so the pool can shut down
+}
+
 TEST(ThreadPool, DefaultThreadCountIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
