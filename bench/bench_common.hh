@@ -23,10 +23,42 @@
 #include "core/simulation.hh"
 #include "synth/dataset.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 namespace epbench {
 
 using namespace earthplus;
+
+/** Value following `flag` in argv, or empty when absent. */
+inline std::string
+flagValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return "";
+}
+
+/**
+ * Dump the process-wide telemetry snapshot to the path given by
+ * `--metrics-json <path>` (no-op when the flag is absent). Benches
+ * call this after their measurement loops, so the snapshot covers
+ * every instrumented subsystem the run exercised.
+ */
+inline void
+writeMetricsSnapshot(int argc, char **argv)
+{
+    std::string path = flagValue(argc, argv, "--metrics-json");
+    if (path.empty())
+        return;
+    std::ofstream f(path);
+    if (f) {
+        f << telemetry::snapshotJson();
+        std::cout << "wrote " << path << "\n";
+    } else {
+        std::cerr << "cannot write " << path << "\n";
+    }
+}
 
 // ------------------------------------------------------------ JSON mode
 //

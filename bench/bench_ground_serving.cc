@@ -201,6 +201,50 @@ runClients(TileServer &server,
     return sec;
 }
 
+/**
+ * Dedicated tracing pass for `--trace-json`: a short workload built to
+ * emit spans from every instrumented subsystem — a fresh encode
+ * (codec), appends + cold serves (archive, ground), a serveBatch
+ * (pool), and a sequential-day walk that triggers the prefetcher (bg).
+ * Runs after the measurement sweep so tracing cost never touches the
+ * gated numbers.
+ */
+bool
+runTracePhase(const Archive &archive, const std::string &path)
+{
+    telemetry::setTracing(true);
+    {
+        TileServer server(archive, 64u << 20);
+        // Sequential-day walk: the second forward step looks
+        // sequential, so the prefetcher posts background work.
+        for (int d = 0; d <= kDeltasPerLocation; ++d) {
+            TileQuery q;
+            q.locationId = 0;
+            q.day = 1.5 + d;
+            q.width = 128;
+            q.height = 128;
+            server.serve(q);
+        }
+        std::vector<TileQuery> workload = clientWorkload(0);
+        workload.resize(64);
+        server.serveBatch(workload);
+        server.waitForPrefetchIdle();
+    }
+    // One fresh encode so the trace holds codec pipeline spans (the
+    // archive build ran before tracing was enabled).
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 2.0;
+    ep.tileSize = kTileSize;
+    codec::encode(sceneLike(kImageSize, kImageSize, 0x7ace), ep);
+    telemetry::setTracing(false);
+    if (!telemetry::writeTrace(path)) {
+        std::cerr << "failed to write " << path << "\n";
+        return false;
+    }
+    std::cout << "wrote " << path << "\n";
+    return true;
+}
+
 } // anonymous namespace
 
 int
@@ -276,6 +320,10 @@ main(int argc, char **argv)
         std::cerr << "failed to write " << jsonPath << "\n";
         return 1;
     }
+    epbench::writeMetricsSnapshot(argc, argv);
+    std::string tracePath = epbench::flagValue(argc, argv, "--trace-json");
+    if (!tracePath.empty() && !runTracePhase(archive, tracePath))
+        return 1;
     if (std::thread::hardware_concurrency() <= 1)
         std::cout << "note: single-core host; multi-client q/s is "
                      "expected to be flat here and to scale with "

@@ -245,8 +245,11 @@ main(int argc, char **argv)
             latency = true;
     }
     std::string jsonPath = epbench::JsonReporter::pathFromArgs(argc, argv);
-    if (latency)
-        return runLatencyMode(std::max(reps * 2, 20), jsonPath);
+    if (latency) {
+        int rc = runLatencyMode(std::max(reps * 2, 20), jsonPath);
+        epbench::writeMetricsSnapshot(argc, argv);
+        return rc;
+    }
 
     const int tilesPerRep = 8;
     // 2 bpp for dense content; sparse tiles use far less by themselves.
@@ -355,5 +358,6 @@ main(int argc, char **argv)
         std::cerr << "failed to write " << jsonPath << "\n";
         return 1;
     }
+    epbench::writeMetricsSnapshot(argc, argv);
     return 0;
 }

@@ -50,9 +50,13 @@ run_benches() {
 
     # Smoke the ground-segment serving path: queries/sec and cache hit
     # rate vs. thread count (informational; the run must succeed). The
-    # JSON lands in the artifacts dir for the perf trajectory.
+    # JSON lands in the artifacts dir for the perf trajectory, and the
+    # run also dumps the telemetry snapshot plus a sample Chrome trace
+    # (both uploaded as CI artifacts and validated below).
     "$BUILD_DIR/bench_ground_serving" \
-        --json "$ARTIFACTS_DIR/BENCH_ground_serving.json"
+        --json "$ARTIFACTS_DIR/BENCH_ground_serving.json" \
+        --metrics-json "$ARTIFACTS_DIR/telemetry_snapshot.json" \
+        --trace-json "$ARTIFACTS_DIR/telemetry_trace.json"
 
     # Smoke the end-to-end tile coder (dense / sparse-delta / lossless
     # at every dispatch level). The gated run lives in perf mode; this
@@ -61,9 +65,22 @@ run_benches() {
         --json "$ARTIFACTS_DIR/BENCH_tile_coder.json"
 
     # Smoke the single-tile chunked-latency mode (p50/p99 per pool
-    # size); the gated run lives in perf mode.
+    # size); the gated run lives in perf mode. The metrics snapshot
+    # rides on this mode because its big tiles fan chunks over the
+    # pool (the throughput mode's default 128-px tiles are one chunk
+    # each and record nothing).
     "$BUILD_DIR/bench_tile_coder" --latency --reps 5 \
-        --json "$ARTIFACTS_DIR/BENCH_tile_latency.json"
+        --json "$ARTIFACTS_DIR/BENCH_tile_latency.json" \
+        --metrics-json "$ARTIFACTS_DIR/telemetry_tile_coder.json"
+
+    # Telemetry artifact gate: the snapshot must parse with the
+    # documented shape and the trace must be valid Chrome trace-event
+    # JSON with >= 1 complete event per instrumented subsystem.
+    python3 ci/trace_check.py \
+        --metrics "$ARTIFACTS_DIR/telemetry_snapshot.json" \
+        --trace "$ARTIFACTS_DIR/telemetry_trace.json"
+    python3 ci/trace_check.py \
+        --metrics "$ARTIFACTS_DIR/telemetry_tile_coder.json"
 }
 
 run_perf_gate() {
@@ -142,17 +159,20 @@ run_tsan() {
     # must be race-free under concurrent serveBatch + append — and the
     # codec's chunk-parallel encode/decode (per-chunk range coders
     # fanned over the pool, plus the staged encode pipeline) must be
-    # race-free under concurrent encodes. Scoped to the suites that
-    # contain the concurrency tests.
+    # race-free under concurrent encodes — and the telemetry layer's
+    # sharded counters/histograms and trace buffers must be race-free
+    # under concurrent recording. Scoped to the suites that contain
+    # the concurrency tests.
     local tsan_dir="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
     # shellcheck disable=SC2086
     cmake -B "$tsan_dir" -S . ${CMAKE_ARGS:-} \
           -DCMAKE_BUILD_TYPE=Debug \
           -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
     cmake --build "$tsan_dir" -j \
-          --target ground_test parallel_test codec_test
+          --target ground_test parallel_test codec_test telemetry_test
     EARTHPLUS_THREADS=4 ctest --test-dir "$tsan_dir" \
-          --output-on-failure -R 'ground_test|parallel_test|codec_test'
+          --output-on-failure \
+          -R 'ground_test|parallel_test|codec_test|telemetry_test'
 }
 
 run_docs() {

@@ -14,10 +14,38 @@
 #include "util/bytes.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
+#include "util/telemetry.hh"
 
 namespace earthplus::codec {
 
 namespace {
+
+/**
+ * Codec-pipeline metrics, resolved once per process. Registry entries
+ * are leaked, so the references stay valid forever.
+ */
+struct CodecMetrics
+{
+    telemetry::Counter &tilesEncoded =
+        telemetry::counter("codec.tiles_encoded");
+    telemetry::Counter &tilesDecoded =
+        telemetry::counter("codec.tiles_decoded");
+    telemetry::Histogram &transformNs =
+        telemetry::histogram("codec.transform_ns");
+    telemetry::Histogram &entropyChunkNs =
+        telemetry::histogram("codec.entropy_chunk_ns");
+    telemetry::Counter &stalls =
+        telemetry::counter("codec.pipeline.stalls");
+    telemetry::Histogram &stallNs =
+        telemetry::histogram("codec.pipeline.stall_ns");
+};
+
+CodecMetrics &
+codecMetrics()
+{
+    static CodecMetrics m;
+    return m;
+}
 
 // "EPC2": bumped from EPC1 when layer chunks gained per-tile length
 // framing, so streams from the old format are rejected instead of
@@ -279,6 +307,17 @@ class OnceTask
                std::future_status::ready;
     }
 
+    /**
+     * True once some lane owns the task. claimed() && !ready() means
+     * a get() would genuinely wait on another lane — the pipeline's
+     * stall metric keys on exactly that state.
+     */
+    bool
+    claimed() const
+    {
+        return claimed_.load(std::memory_order_acquire);
+    }
+
     /** Force completion without observing the result; never throws. */
     void
     settle()
@@ -313,6 +352,7 @@ struct TileStage
 EncodedImage
 encode(const raster::Plane &img, const EncodeParams &params)
 {
+    telemetry::TraceSpan encodeSpan("codec.encode", "codec");
     EP_ASSERT(params.layers >= 1, "need at least one quality layer");
     EP_ASSERT(params.chunkRows >= 0, "negative chunk height");
     EP_ASSERT(params.bitsPerPixel > 0.0 || params.lossless,
@@ -371,6 +411,7 @@ encode(const raster::Plane &img, const EncodeParams &params)
     };
 
     auto appendTile = [&](ChunkStreams tileLayers) {
+        codecMetrics().tilesEncoded.add();
         for (int l = 0; l < layers; ++l) {
             const auto &sub = tileLayers[static_cast<size_t>(l)];
             auto &chunk = out.layerChunks[static_cast<size_t>(l)];
@@ -386,6 +427,7 @@ encode(const raster::Plane &img, const EncodeParams &params)
         // pipeline so encodeTileLayers' own chunk fan-out still gets
         // the whole pool — that is the oversized-tile latency case.
         for (int t : codedTiles) {
+            telemetry::TraceSpan tileSpan("codec.tile", "codec");
             raster::TileRect r = grid.rect(t);
             raster::Plane tile = img.crop(r.x0, r.y0, r.width, r.height);
             appendTile(encodeTileLayers(tile, tp, layers, budgetFor(r)));
@@ -414,6 +456,10 @@ encode(const raster::Plane &img, const EncodeParams &params)
             st.budget = budgetFor(r);
             st.transform = std::make_shared<OnceTask<Coeffs>>(
                 [&img, r, &tp] {
+                    telemetry::TraceSpan span("codec.transform",
+                                              "codec");
+                    telemetry::ScopedTimer timer(
+                        codecMetrics().transformNs);
                     raster::Plane tile =
                         img.crop(r.x0, r.y0, r.width, r.height);
                     return std::make_shared<const TileCoefficients>(
@@ -436,6 +482,10 @@ encode(const raster::Plane &img, const EncodeParams &params)
         for (int c = 0; c < chunks; ++c) {
             auto task = std::make_shared<OnceTask<ChunkStreams>>(
                 [coeffs, &tp, c, layers, budget = st.budget] {
+                    telemetry::TraceSpan span("codec.entropy_chunk",
+                                              "codec");
+                    telemetry::ScopedTimer timer(
+                        codecMetrics().entropyChunkNs);
                     return encodeTileChunk(*coeffs, tp, c, layers,
                                            budget);
                 });
@@ -456,8 +506,20 @@ encode(const raster::Plane &img, const EncodeParams &params)
             submitChunks(front); // steals the transform if unclaimed
             std::vector<ChunkStreams> perChunk;
             perChunk.reserve(front.chunks.size());
-            for (auto &task : front.chunks)
-                perChunk.push_back(task->get());
+            for (auto &task : front.chunks) {
+                if (task->claimed() && !task->ready()) {
+                    // Another lane owns this chunk and has not
+                    // finished: the assembly lane genuinely stalls.
+                    codecMetrics().stalls.add();
+                    telemetry::TraceSpan stallSpan(
+                        "codec.pipeline.stall", "codec");
+                    telemetry::ScopedTimer stall(
+                        codecMetrics().stallNs);
+                    perChunk.push_back(task->get());
+                } else {
+                    perChunk.push_back(task->get());
+                }
+            }
             appendTile(assembleChunkLayers(std::move(perChunk), layers,
                                            tp.chunkRows > 0));
             window.pop_front();
@@ -553,6 +615,7 @@ sliceStream(const EncodedImage &e, const raster::TileGrid &grid,
 raster::Plane
 decode(const EncodedImage &e, int maxLayers)
 {
+    telemetry::TraceSpan decodeSpan("codec.decode", "codec");
     raster::TileGrid grid(e.width, e.height, e.tileSize);
     SlicedStream s = sliceStream(e, grid, maxLayers);
 
@@ -561,6 +624,8 @@ decode(const EncodedImage &e, int maxLayers)
     raster::Plane out(e.width, e.height, 0.0f);
     util::ThreadPool::global().parallelFor(
         0, static_cast<int64_t>(s.codedTiles.size()), [&](int64_t slot) {
+            telemetry::TraceSpan span("codec.decode_tile", "codec");
+            codecMetrics().tilesDecoded.add();
             raster::TileRect r =
                 grid.rect(s.codedTiles[static_cast<size_t>(slot)]);
             out.paste(decodeTileLayers(r.width, r.height, s.tp,
@@ -582,11 +647,13 @@ decodeTiles(const EncodedImage &e, const std::vector<int> &tiles,
     SlicedStream s = sliceStream(e, grid, maxLayers);
 
     return util::parallelMap(tiles.size(), [&](size_t i) {
+        telemetry::TraceSpan span("codec.decode_tile", "codec");
         int t = tiles[i];
         raster::TileRect r = grid.rect(t);
         int slot = s.slotOfTile[static_cast<size_t>(t)];
         if (slot < 0)
             return raster::Plane(r.width, r.height, 0.0f);
+        codecMetrics().tilesDecoded.add();
         return decodeTileLayers(r.width, r.height, s.tp,
                                 s.spans[static_cast<size_t>(slot)]);
     });

@@ -9,6 +9,7 @@
 #include "ground/crc32.hh"
 #include "util/bytes.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define EARTHPLUS_ARCHIVE_MMAP 1
@@ -56,6 +57,44 @@ using util::readPodAt;
 /** Record flag bits. */
 constexpr uint32_t kFlagFullDownload = 1u << 0;
 constexpr uint32_t kFlagHasReference = 1u << 1;
+
+/**
+ * Archive metrics, resolved once per process. Registry entries are
+ * leaked, so the references outlive every Archive instance.
+ */
+struct ArchiveMetrics
+{
+    telemetry::Counter &appends =
+        telemetry::counter("archive.appends");
+    telemetry::Counter &appendBytes =
+        telemetry::counter("archive.append_bytes");
+    telemetry::Counter &payloadViews =
+        telemetry::counter("archive.payload_views");
+    telemetry::Counter &bytesMapped =
+        telemetry::counter("archive.bytes_mapped");
+    telemetry::Histogram &shardLockWaitNs =
+        telemetry::histogram("archive.shard_lock_wait_ns");
+};
+
+ArchiveMetrics &
+archiveMetrics()
+{
+    static ArchiveMetrics m;
+    return m;
+}
+
+/** Locks a shard mutex, recording the acquisition wait. */
+std::unique_lock<std::mutex>
+lockShardTimed(std::mutex &mutex)
+{
+    if (!telemetry::metricsEnabled())
+        return std::unique_lock<std::mutex>(mutex);
+    uint64_t t0 = telemetry::nowNanos();
+    std::unique_lock<std::mutex> lock(mutex);
+    archiveMetrics().shardLockWaitNs.record(telemetry::nowNanos() -
+                                            t0);
+    return lock;
+}
 
 /**
  * Seek with a 64-bit offset. std::fseek takes a long, which is 32
@@ -593,11 +632,14 @@ Archive::indexRecordLocked(size_t shardIdx, uint32_t local,
 size_t
 Archive::append(const RecordMeta &meta, const std::vector<uint8_t> &payload)
 {
+    telemetry::TraceSpan span("archive.append", "archive");
     size_t shardIdx =
         static_cast<size_t>(shardForLocation(meta.locationId));
     Shard &shard = *shards_[shardIdx];
+    archiveMetrics().appends.add();
+    archiveMetrics().appendBytes.add(payload.size());
 
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::unique_lock<std::mutex> lock = lockShardTimed(shard.mutex);
     uint32_t local = static_cast<uint32_t>(shard.records.size());
     writeRecordLocked(shard, meta, payload);
     // Shard -> global is the one nesting order everywhere (see
@@ -729,6 +771,7 @@ Archive::ensureMapped(Shard &shard, uint64_t end) const
     ::close(fd);
     if (addr == MAP_FAILED)
         return false;
+    archiveMetrics().bytesMapped.add(len);
     // Outstanding PayloadViews aim into the old mapping, so it is
     // retired (freed at destruction), never unmapped here.
     if (shard.mapAddr)
@@ -747,6 +790,8 @@ Archive::ensureMapped(Shard &shard, uint64_t end) const
 PayloadView
 Archive::payloadView(size_t idx) const
 {
+    telemetry::TraceSpan span("archive.payload_view", "archive");
+    archiveMetrics().payloadViews.add();
     GlobalRef ref;
     {
         std::shared_lock<std::shared_mutex> g(globalMutex_);
@@ -768,7 +813,8 @@ Archive::payloadView(size_t idx) const
     RecordEntry entry;
     const uint8_t *mapped = nullptr;
     {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        std::unique_lock<std::mutex> lock =
+            lockShardTimed(shard.mutex);
         entry = shard.records[ref.local];
         if (shard.path.empty()) {
             const std::vector<uint8_t> &bytes =

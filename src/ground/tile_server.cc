@@ -10,14 +10,43 @@
 #include "codec/codec.hh"
 #include "raster/tile.hh"
 #include "util/logging.hh"
-#include "util/stats.hh"
 
 namespace earthplus::ground {
 
 namespace {
 
-/** Latency samples kept for the p50/p99 estimate (recent window). */
-constexpr size_t kLatencyWindow = 4096;
+/**
+ * Tile-server metrics, resolved once per process. Registry entries
+ * are leaked, so the references outlive every TileServer. These are
+ * the snapshotJson() view of serving; ServerStats keeps its own
+ * per-server tallies for API compatibility.
+ */
+struct ServeMetrics
+{
+    telemetry::Counter &queries =
+        telemetry::counter("ground.serve.queries");
+    telemetry::Counter &tilesDecoded =
+        telemetry::counter("ground.tiles.decoded");
+    telemetry::Counter &tilesFromCache =
+        telemetry::counter("ground.tiles.cache_hit");
+    telemetry::Counter &tilesCoalesced =
+        telemetry::counter("ground.tiles.coalesced");
+    telemetry::Counter &coalesceClaims =
+        telemetry::counter("ground.coalesce.claims");
+    telemetry::Histogram &coalesceWaitNs =
+        telemetry::histogram("ground.coalesce.wait_ns");
+    telemetry::Counter &prefetchTasks =
+        telemetry::counter("ground.prefetch.tasks");
+    telemetry::Counter &prefetchDropped =
+        telemetry::counter("ground.prefetch.dropped");
+};
+
+ServeMetrics &
+serveMetrics()
+{
+    static ServeMetrics m;
+    return m;
+}
 
 } // anonymous namespace
 
@@ -115,9 +144,12 @@ TileServer::TileServer(const Archive &archive, size_t cacheBytes)
 
 TileServer::TileServer(const Archive &archive,
                        const TileServerOptions &options)
-    : archive_(archive), cache_(options.cacheBytes), options_(options)
+    : archive_(archive), cache_(options.cacheBytes), options_(options),
+      latencyHist_(&telemetry::histogram("ground.serve.latency_ns"))
 {
-    latencyRing_.reserve(kLatencyWindow);
+    // Baseline at construction: a fresh server's ServerStats window
+    // must not include queries an earlier server in this process ran.
+    latencyBase_ = latencyHist_->snapshot();
     if (options_.prefetch)
         prefetchQueue_ = std::make_unique<util::BackgroundQueue>(
             options_.prefetchQueueDepth);
@@ -153,12 +185,19 @@ TileServer::rememberInfo(size_t recordIdx,
 TileResult
 TileServer::serve(const TileQuery &query)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    telemetry::TraceSpan span("ground.serve", "ground");
+    uint64_t t0 =
+        telemetry::metricsEnabled() ? telemetry::nowNanos() : 0;
     double nextDay = std::numeric_limits<double>::infinity();
     TileResult result = serveImpl(query, &nextDay);
-    double ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+    if (t0 != 0)
+        latencyHist_->record(telemetry::nowNanos() - t0);
+
+    ServeMetrics &m = serveMetrics();
+    m.queries.add();
+    m.tilesDecoded.add(static_cast<uint64_t>(result.tilesDecoded));
+    m.tilesFromCache.add(static_cast<uint64_t>(result.tilesFromCache));
+    m.tilesCoalesced.add(static_cast<uint64_t>(result.tilesCoalesced));
 
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
@@ -169,11 +208,6 @@ TileServer::serve(const TileQuery &query)
         stats_.tilesCoalesced +=
             static_cast<uint64_t>(result.tilesCoalesced);
         stats_.cacheEvictions = cache_.evictions();
-        if (latencyRing_.size() < kLatencyWindow)
-            latencyRing_.push_back(ms);
-        else
-            latencyRing_[latencyNext_] = ms;
-        latencyNext_ = (latencyNext_ + 1) % kLatencyWindow;
     }
 
     if (result.found && options_.prefetch)
@@ -237,6 +271,8 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
         // The payload view aims into the shard's file mapping, so
         // parsing copies only the entropy chunks, never the whole
         // serialized payload.
+        telemetry::TraceSpan parseSpan("ground.payload_parse",
+                                       "ground");
         PayloadView view = archive_.payloadView(idx);
         codec::EncodedImage stream =
             codec::EncodedImage::deserialize(view.data(), view.size());
@@ -359,11 +395,14 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
                 if (itParsed != parsedThisQuery.end()) {
                     stream = &itParsed->second;
                 } else {
+                    telemetry::TraceSpan parseSpan(
+                        "ground.payload_parse", "ground");
                     PayloadView view = archive_.payloadView(recordIdx);
                     local = codec::EncodedImage::deserialize(
                         view.data(), view.size());
                     stream = &local;
                 }
+                serveMetrics().coalesceClaims.add(misses.size());
                 // Decoding while holding claims may fan tile and
                 // entropy-chunk work into the pool even though other
                 // workers could be parked in fut.get() on exactly
@@ -374,6 +413,8 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
                 // is what makes this fan-out deadlock-free. Large
                 // tiles decode chunk-parallel here, which is the
                 // serve-latency win of the chunked (v2) format.
+                telemetry::TraceSpan decodeSpan("ground.decode",
+                                                "ground");
                 auto decoded = codec::decodeTiles(*stream, misses,
                                                   query.maxLayers);
                 for (size_t i = 0; i < misses.size(); ++i) {
@@ -403,7 +444,13 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
             // caller-driven drain when workers are busy (detached
             // parallelFor helpers), so this join can never be queued
             // behind the very decode it waits on.
-            tiles.emplace_back(t, fut.get());
+            {
+                telemetry::TraceSpan joinSpan("ground.coalesce.join",
+                                              "ground");
+                telemetry::ScopedTimer wait(
+                    serveMetrics().coalesceWaitNs);
+                tiles.emplace_back(t, fut.get());
+            }
             ++result.tilesCoalesced;
         }
         for (auto &[t, pixels] : tiles) {
@@ -451,11 +498,14 @@ TileServer::maybePrefetch(const TileQuery &query, double nextDay)
     TileQuery ahead = query;
     ahead.day = nextDay;
     bool posted = prefetchQueue_->post([this, ahead] {
+        telemetry::TraceSpan span("ground.prefetch", "ground");
         serveImpl(ahead);
+        serveMetrics().prefetchTasks.add();
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.prefetchTasks;
     });
     if (!posted) {
+        serveMetrics().prefetchDropped.add();
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.prefetchDropped;
     }
@@ -464,6 +514,7 @@ TileServer::maybePrefetch(const TileQuery &query, double nextDay)
 std::vector<TileResult>
 TileServer::serveBatch(const std::vector<TileQuery> &batch)
 {
+    telemetry::TraceSpan span("ground.serve_batch", "ground");
     return util::parallelMap(batch.size(), [&](size_t i) {
         return serve(batch[i]);
     });
@@ -472,27 +523,34 @@ TileServer::serveBatch(const std::vector<TileQuery> &batch)
 ServerStats
 TileServer::stats() const
 {
-    // Copy under the lock, sort outside it: percentile computation
-    // must not stall concurrent serve() stat updates.
+    // Copy the tallies and the baseline under the lock; merge the
+    // histogram shards and extract quantiles outside it so percentile
+    // computation never stalls concurrent serve() stat updates.
     ServerStats out;
-    EmpiricalDistribution window;
+    telemetry::HistogramSnapshot base;
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         out = stats_;
-        window.add(latencyRing_);
+        base = latencyBase_;
     }
-    out.latencyP50Ms = window.quantile(0.50);
-    out.latencyP99Ms = window.quantile(0.99);
+    telemetry::HistogramSnapshot window =
+        latencyHist_->snapshot().since(base);
+    constexpr double kNsPerMs = 1e6;
+    out.latencyP50Ms = window.quantile(0.50) / kNsPerMs;
+    out.latencyP99Ms = window.quantile(0.99) / kNsPerMs;
+    out.latencyP999Ms = window.quantile(0.999) / kNsPerMs;
     return out;
 }
 
 void
 TileServer::resetStats()
 {
+    // The registry histogram is monotonic by design; resetting the
+    // window means re-baselining, not clearing.
+    telemetry::HistogramSnapshot base = latencyHist_->snapshot();
     std::lock_guard<std::mutex> lock(statsMutex_);
     stats_ = ServerStats{};
-    latencyRing_.clear();
-    latencyNext_ = 0;
+    latencyBase_ = std::move(base);
 }
 
 void

@@ -46,6 +46,7 @@
 #include "ground/archive.hh"
 #include "raster/plane.hh"
 #include "util/parallel.hh"
+#include "util/telemetry.hh"
 
 namespace earthplus::codec {
 struct EncodedImage;
@@ -102,11 +103,18 @@ struct ServerStats
 
     /**
      * Median foreground serve() latency in milliseconds. Percentiles
-     * reflect the most recent window (up to 4096 queries).
+     * come from the process-wide "ground.serve.latency_ns" registry
+     * histogram, windowed to the samples since this server's
+     * construction (or last resetStats()): exact counts, log-bucketed
+     * values (error bounded by telemetry::Histogram::kMaxRelativeError),
+     * covering *every* query in the window rather than a recent ring.
+     * Zero when telemetry metrics are disabled.
      */
     double latencyP50Ms = 0.0;
     /** 99th-percentile foreground serve() latency in milliseconds. */
     double latencyP99Ms = 0.0;
+    /** 99.9th-percentile foreground serve() latency in milliseconds. */
+    double latencyP999Ms = 0.0;
 
     /**
      * Fraction of tile serves that did not pay for a decode, in
@@ -290,9 +298,16 @@ class TileServer
 
     mutable std::mutex statsMutex_;
     ServerStats stats_;
-    /** Ring buffer of recent foreground latencies (milliseconds). */
-    std::vector<double> latencyRing_;
-    size_t latencyNext_ = 0;
+    /** Process-wide serve-latency histogram (nanoseconds). */
+    telemetry::Histogram *latencyHist_;
+    /**
+     * Histogram state at construction / last resetStats(); stats()
+     * reports quantiles of snapshot().since(latencyBase_), so the
+     * registry histogram stays monotonic while ServerStats still
+     * describes only this server's current window. Guarded by
+     * statsMutex_.
+     */
+    telemetry::HistogramSnapshot latencyBase_;
 
     /** Declared last: its worker must stop before members above die. */
     std::unique_ptr<util::BackgroundQueue> prefetchQueue_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <vector>
 
 namespace earthplus {
@@ -32,10 +34,40 @@ strfmt(const char *fmt, ...)
 
 namespace {
 
+/** Message severities, least to most severe. panic/fatal always print. */
+enum Level { LevelInfo = 0, LevelWarn = 1, LevelError = 2 };
+
+/**
+ * Minimum severity that reaches stderr, from EARTHPLUS_LOG_LEVEL
+ * ("info" default, "warn", or "error"/"quiet"). Parsed once; an
+ * unrecognized value falls back to info so messages are never silently
+ * lost to a typo.
+ */
+int
+logThreshold()
+{
+    static const int threshold = [] {
+        const char *env = std::getenv("EARTHPLUS_LOG_LEVEL");
+        if (env == nullptr)
+            return static_cast<int>(LevelInfo);
+        if (std::strcmp(env, "warn") == 0)
+            return static_cast<int>(LevelWarn);
+        if (std::strcmp(env, "error") == 0 ||
+            std::strcmp(env, "quiet") == 0)
+            return static_cast<int>(LevelError);
+        return static_cast<int>(LevelInfo);
+    }();
+    return threshold;
+}
+
 void
 emit(const char *prefix, const char *fmt, va_list args)
 {
+    // Format outside the lock (vstrfmt allocates), print inside it so
+    // concurrent warn()/inform() lines never interleave mid-message.
     std::string msg = vstrfmt(fmt, args);
+    static std::mutex emitMutex;
+    std::lock_guard<std::mutex> lock(emitMutex);
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 
@@ -64,6 +96,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (logThreshold() > LevelWarn)
+        return;
     va_list args;
     va_start(args, fmt);
     emit("warn", fmt, args);
@@ -73,6 +107,8 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (logThreshold() > LevelInfo)
+        return;
     va_list args;
     va_start(args, fmt);
     emit("info", fmt, args);

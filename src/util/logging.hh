@@ -5,6 +5,11 @@
  * Follows the gem5 convention: panic() for internal invariant violations
  * (aborts), fatal() for unrecoverable user/configuration errors (exit 1),
  * warn()/inform() for non-fatal status messages.
+ *
+ * Output is serialized: concurrent warn()/inform() calls never interleave
+ * mid-line. The EARTHPLUS_LOG_LEVEL environment variable ("info" default,
+ * "warn", "error"/"quiet") filters non-fatal messages; panic() and
+ * fatal() always print.
  */
 
 #ifndef EARTHPLUS_UTIL_LOGGING_HH

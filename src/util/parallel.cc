@@ -6,10 +6,50 @@
 #include <exception>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace earthplus::util {
 
 namespace {
+
+/**
+ * Pool/queue metrics, resolved once. Registry entries are process-wide
+ * and leaked, so the references stay valid for the program's lifetime.
+ */
+struct PoolMetrics
+{
+    telemetry::Gauge &queueDepth =
+        telemetry::gauge("pool.queue_depth");
+    telemetry::Histogram &taskWaitNs =
+        telemetry::histogram("pool.task_wait_ns");
+    telemetry::Counter &tasks = telemetry::counter("pool.tasks");
+    telemetry::Counter &fanouts =
+        telemetry::counter("pool.parallel_for.fanout");
+    telemetry::Counter &serials =
+        telemetry::counter("pool.parallel_for.serial");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+/** BackgroundQueue metrics; same lifetime story as PoolMetrics. */
+struct BgMetrics
+{
+    telemetry::Gauge &queueDepth = telemetry::gauge("bg.queue_depth");
+    telemetry::Counter &tasks = telemetry::counter("bg.tasks");
+    telemetry::Counter &dropped = telemetry::counter("bg.dropped");
+};
+
+BgMetrics &
+bgMetrics()
+{
+    static BgMetrics m;
+    return m;
+}
 
 /**
  * Depth of parallel regions on the current thread: > 0 inside a pool
@@ -67,9 +107,15 @@ InlineRegion::~InlineRegion()
 void
 ThreadPool::enqueue(std::function<void()> job)
 {
+    Job entry;
+    entry.fn = std::move(job);
+    if (telemetry::metricsEnabled()) {
+        entry.enqueueNs = telemetry::nowNanos();
+        poolMetrics().queueDepth.add(1);
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(job));
+        queue_.push_back(std::move(entry));
     }
     cv_.notify_one();
 }
@@ -79,7 +125,7 @@ ThreadPool::workerLoop()
 {
     DepthGuard depth; // everything a worker runs counts as nested
     for (;;) {
-        std::function<void()> job;
+        Job job;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -88,7 +134,14 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();
+        if (job.enqueueNs != 0 && telemetry::metricsEnabled()) {
+            PoolMetrics &m = poolMetrics();
+            m.queueDepth.add(-1);
+            m.taskWaitNs.record(telemetry::nowNanos() - job.enqueueNs);
+            m.tasks.add();
+        }
+        telemetry::TraceSpan span("pool.task", "pool");
+        job.fn();
     }
 }
 
@@ -162,13 +215,20 @@ ThreadPool::tryParallelFor(int64_t begin, int64_t end,
         return false;
     }
 
+    // A multi-iteration region is a "pool.parallel_for" span whether
+    // it fans out or degrades to the serial path — single-lane hosts
+    // still show the region in traces.
+    telemetry::TraceSpan span("pool.parallel_for", "pool");
+
     // Serial path: single-lane pool or nested region.
     if (threads_ <= 1 || tlsParallelDepth > 0) {
+        poolMetrics().serials.add();
         DepthGuard depth;
         for (int64_t i = begin; i < end; ++i)
             body(i);
         return false;
     }
+    poolMetrics().fanouts.add();
 
     if (grain <= 0)
         grain = std::max<int64_t>(
@@ -230,7 +290,11 @@ BackgroundQueue::~BackgroundQueue()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
-        queue_.clear(); // unstarted tasks are best-effort: discard
+        // Unstarted tasks are best-effort: discard (and keep the depth
+        // gauge honest about the tasks that will never run).
+        bgMetrics().queueDepth.add(
+            -static_cast<int64_t>(queue_.size()));
+        queue_.clear();
     }
     cv_.notify_all();
     idleCv_.notify_all(); // wake drain()ers blocked on idleness
@@ -244,10 +308,13 @@ BackgroundQueue::post(std::function<void()> task)
         std::lock_guard<std::mutex> lock(mutex_);
         if (stop_)
             return false;
-        if (queue_.size() >= maxDepth_)
+        if (queue_.size() >= maxDepth_) {
+            bgMetrics().dropped.add();
             return false;
+        }
         queue_.push_back(std::move(task));
     }
+    bgMetrics().queueDepth.add(1);
     cv_.notify_one();
     return true;
 }
@@ -275,11 +342,14 @@ BackgroundQueue::workerLoop()
             queue_.pop_front();
             busy_ = true;
         }
+        bgMetrics().queueDepth.add(-1);
+        bgMetrics().tasks.add();
         // Tasks are best-effort by contract: an escaping exception
         // must not terminate the process via the worker thread. They
         // also run as a nested parallel region (see the class docs).
         try {
             InlineRegion inlineRegion;
+            telemetry::TraceSpan span("bg.task", "bg");
             task();
         } catch (const std::exception &e) {
             warn("background task failed: %s", e.what());

@@ -156,12 +156,19 @@ class ThreadPool
     static int defaultThreadCount();
 
   private:
+    /** Queued task plus its submission stamp for the wait histogram. */
+    struct Job
+    {
+        std::function<void()> fn;
+        uint64_t enqueueNs = 0;
+    };
+
     void enqueue(std::function<void()> job);
     void workerLoop();
 
     int threads_;
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Job> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stop_ = false;
