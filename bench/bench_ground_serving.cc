@@ -21,12 +21,23 @@
  * inline on the issuing client thread: concurrency in this bench
  * comes from the clients, like production serving, not from the
  * codec's own tile fan-out.
+ *
+ * `--net` switches to the loopback serving benchmark: a net::Server
+ * on an ephemeral port driven open-loop — Poisson arrivals at fixed
+ * rates, latency measured from each query's *scheduled* send time to
+ * response receipt, so queueing delay (and sender lateness) counts
+ * instead of being coordinated away. Below capacity the p50/p99/p999
+ * rows gate via `ci/perf_gate.py --bench ground_net`; a final
+ * deliberately-overloaded row demonstrates admission control (sheds
+ * with retry-after hints, bounded queueing) and stays informational.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -34,6 +45,9 @@
 #include "codec/codec.hh"
 #include "ground/archive.hh"
 #include "ground/tile_server.hh"
+#include "net/client.hh"
+#include "net/protocol.hh"
+#include "net/server.hh"
 #include "raster/tile.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -138,13 +152,13 @@ zipfLocation(Rng &rng)
  * occasional random jumps back.
  */
 std::vector<TileQuery>
-clientWorkload(int client)
+clientWorkload(int client, int count = kQueriesPerClient)
 {
     std::vector<TileQuery> queries;
-    queries.reserve(kQueriesPerClient);
+    queries.reserve(static_cast<size_t>(count));
     Rng rng(0x9e77 + static_cast<uint64_t>(client) * 0x1009);
     std::vector<double> cursor(kLocations, 1.5);
-    for (int i = 0; i < kQueriesPerClient; ++i) {
+    for (int i = 0; i < count; ++i) {
         TileQuery q;
         q.locationId = zipfLocation(rng);
         double &day = cursor[static_cast<size_t>(q.locationId)];
@@ -185,7 +199,7 @@ runClients(TileServer &server,
             while (!go.load(std::memory_order_acquire))
                 std::this_thread::yield();
             for (const TileQuery &q : workload)
-                if (!server.serve(q).found)
+                if (!server.serve(q).ok())
                     notFound.fetch_add(1);
         });
     auto t0 = std::chrono::steady_clock::now();
@@ -199,6 +213,230 @@ runClients(TileServer &server,
         std::cerr << "warning: " << notFound.load()
                   << " queries missed the archive\n";
     return sec;
+}
+
+// ------------------------------------------------------------ --net mode
+
+/** One open-loop phase's outcome. */
+struct OpenLoopStats
+{
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
+    double achievedQps = 0.0;
+    int served = 0;
+    int shed = 0;
+
+    double
+    shedRate() const
+    {
+        return served + shed > 0
+                   ? static_cast<double>(shed) / (served + shed)
+                   : 0.0;
+    }
+};
+
+/**
+ * Drive `client` open-loop: Poisson arrivals at `ratePerSec`, one
+ * sender thread pacing the schedule and one receiver thread matching
+ * responses by request id. Latency is measured from the *scheduled*
+ * send time, so when the sender falls behind (or the server queues)
+ * the delay lands in the percentiles instead of stretching the
+ * arrival process — the standard correction for coordinated omission.
+ * Shed responses count toward shedRate() but not the percentiles.
+ */
+OpenLoopStats
+runOpenLoop(net::TileClient &client,
+            const std::vector<TileQuery> &queries, double ratePerSec,
+            uint64_t seed)
+{
+    const size_t n = queries.size();
+    std::vector<uint64_t> scheduleNs(n);
+    Rng rng(seed);
+    double t = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        t += rng.exponential(ratePerSec) * 1e9;
+        scheduleNs[i] = static_cast<uint64_t>(t);
+    }
+
+    // Indexed by request id - 1; the receiver is the only writer of
+    // each slot and joins before anyone reads them.
+    std::vector<int64_t> latencyNs(n, -1);
+    std::vector<uint8_t> wasShed(n, 0);
+    const uint64_t start = telemetry::nowNanos();
+    std::thread receiver([&] {
+        for (size_t i = 0; i < n; ++i) {
+            TileResult r;
+            uint64_t id = 0;
+            if (!client.receive(r, &id))
+                return;
+            size_t idx = static_cast<size_t>(id - 1);
+            if (idx >= n)
+                return;
+            latencyNs[idx] =
+                static_cast<int64_t>(telemetry::nowNanos()) -
+                static_cast<int64_t>(start + scheduleNs[idx]);
+            wasShed[idx] = r.error == ServeError::Shed ? 1 : 0;
+        }
+    });
+    for (size_t i = 0; i < n; ++i) {
+        // Sleep to within a millisecond of the deadline, then yield:
+        // oversleep would show up as latency (measured from the
+        // schedule), and hard spinning would starve the server loop
+        // on small hosts.
+        for (;;) {
+            uint64_t now = telemetry::nowNanos();
+            uint64_t due = start + scheduleNs[i];
+            if (now >= due)
+                break;
+            if (due - now > 1'000'000)
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(due - now - 1'000'000));
+            else
+                std::this_thread::yield();
+        }
+        if (!client.send(queries[i], static_cast<uint64_t>(i + 1)))
+            break;
+    }
+    receiver.join();
+
+    OpenLoopStats out;
+    std::vector<double> servedMs;
+    servedMs.reserve(n);
+    uint64_t lastNs = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (latencyNs[i] < 0)
+            continue; // no response (send/receive aborted)
+        if (wasShed[i]) {
+            ++out.shed;
+        } else {
+            ++out.served;
+            servedMs.push_back(static_cast<double>(latencyNs[i]) / 1e6);
+        }
+        lastNs = std::max(
+            lastNs, scheduleNs[i] + static_cast<uint64_t>(latencyNs[i]));
+    }
+    if (!servedMs.empty()) {
+        std::sort(servedMs.begin(), servedMs.end());
+        auto rank = [&](double p) {
+            size_t r = static_cast<size_t>(
+                std::ceil(p * static_cast<double>(servedMs.size())));
+            return servedMs[std::min(r, servedMs.size()) - 1];
+        };
+        out.p50Ms = rank(0.50);
+        out.p99Ms = rank(0.99);
+        out.p999Ms = rank(0.999);
+    }
+    if (lastNs > 0)
+        out.achievedQps = static_cast<double>(out.served + out.shed) /
+                          (static_cast<double>(lastNs) / 1e9);
+    return out;
+}
+
+/** The --net benchmark: loopback serving under open-loop load. */
+int
+runNetBench(const Archive &archive, const std::string &jsonPath)
+{
+    epbench::JsonReporter json("ground_net");
+
+    // One serving lane: the CI floor is a single-core host, and the
+    // gate needs the same serving topology everywhere.
+    int dflt = util::ThreadPool::defaultThreadCount();
+    util::ThreadPool::setGlobalThreads(1);
+
+    TileServer tiles(archive, 256u << 20);
+    net::ServerOptions options;
+    options.maxPending = 128;
+    net::Server server(tiles, options);
+    if (!server.start()) {
+        std::cerr << "failed to start loopback server\n";
+        return 1;
+    }
+    net::TileClient client;
+    if (!client.connect("127.0.0.1", server.port())) {
+        std::cerr << "failed to connect to loopback server\n";
+        return 1;
+    }
+
+    Table table("Ground serving over loopback EPT: open-loop Poisson "
+                "arrivals (pending queue " +
+                Table::num(static_cast<double>(options.maxPending), 0) +
+                ", retry-after " +
+                Table::num(static_cast<double>(options.retryAfterMs), 0) +
+                " ms)");
+    table.setHeader({"arrival rate", "achieved q/s", "p50 ms", "p99 ms",
+                     "p99.9 ms", "shed"});
+
+    // Warm the decoded-tile cache (and the wire path) closed-loop
+    // before any timed phase.
+    std::vector<TileQuery> warmup = clientWorkload(0, 512);
+    for (const TileQuery &q : warmup) {
+        TileResult r;
+        if (!client.query(q, r) || !r.ok()) {
+            std::cerr << "warmup query failed\n";
+            return 1;
+        }
+    }
+
+    // Fixed below-capacity rates (gated: same workload everywhere),
+    // then a rate far past capacity (informational: demonstrates that
+    // overload sheds instead of queueing without bound).
+    struct Phase
+    {
+        const char *name;
+        double rate;
+        int queries;
+        bool gated;
+    };
+    const Phase phases[] = {
+        {"net_serving/open/r500", 500.0, 1500, true},
+        {"net_serving/open/r1000", 1000.0, 2000, true},
+        {"net_serving/overload/r20000", 20000.0, 2000, false},
+    };
+    bool sawShedUnderOverload = false;
+    for (const Phase &phase : phases) {
+        std::vector<TileQuery> queries =
+            clientWorkload(1, phase.queries);
+        OpenLoopStats stats = runOpenLoop(client, queries, phase.rate,
+                                          0x0b5e + phase.queries);
+        if (stats.served + stats.shed < phase.queries) {
+            std::cerr << phase.name << ": lost responses ("
+                      << stats.served + stats.shed << "/"
+                      << phase.queries << ")\n";
+            return 1;
+        }
+        if (!phase.gated)
+            sawShedUnderOverload = stats.shed > 0;
+        table.addRow({Table::num(phase.rate, 0) + "/s",
+                      Table::num(stats.achievedQps, 1),
+                      Table::num(stats.p50Ms, 3),
+                      Table::num(stats.p99Ms, 3),
+                      Table::num(stats.p999Ms, 3),
+                      Table::pct(stats.shedRate())});
+        json.add(phase.name,
+                 {{"rate_per_s",
+                   std::to_string(static_cast<int>(phase.rate))},
+                  {"queries", std::to_string(phase.queries)}},
+                 stats.p50Ms, 0.0,
+                 {{"p50_ms", stats.p50Ms},
+                  {"p99_ms", stats.p99Ms},
+                  {"p999_ms", stats.p999Ms},
+                  {"qps", stats.achievedQps},
+                  {"shed_rate", stats.shedRate()}});
+    }
+    client.close();
+    server.stop();
+    util::ThreadPool::setGlobalThreads(dflt);
+
+    table.print(std::cout);
+    if (!sawShedUnderOverload)
+        std::cout << "note: overload phase shed nothing — this host "
+                     "outruns 20k q/s; the row stays informational\n";
+    if (!json.write(jsonPath)) {
+        std::cerr << "failed to write " << jsonPath << "\n";
+        return 1;
+    }
+    return 0;
 }
 
 /**
@@ -229,6 +467,21 @@ runTracePhase(const Archive &archive, const std::string &path)
         workload.resize(64);
         server.serveBatch(workload);
         server.waitForPrefetchIdle();
+
+        // A loopback round trip so the trace holds net-tier frame
+        // spans alongside the serving spans they wrap.
+        net::Server netServer(server);
+        net::TileClient netClient;
+        if (netServer.start() &&
+            netClient.connect("127.0.0.1", netServer.port())) {
+            TileQuery q;
+            q.locationId = 0;
+            q.day = 1.5;
+            q.width = 128;
+            q.height = 128;
+            TileResult r;
+            netClient.query(q, r);
+        }
     }
     // One fresh encode so the trace holds codec pipeline spans (the
     // archive build ran before tracing was enabled).
@@ -251,9 +504,14 @@ int
 main(int argc, char **argv)
 {
     std::string jsonPath = epbench::JsonReporter::pathFromArgs(argc, argv);
-    epbench::JsonReporter json("ground_serving");
     Archive archive("");
     buildArchive(archive);
+
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--net")
+            return runNetBench(archive, jsonPath);
+
+    epbench::JsonReporter json("ground_serving");
 
     // Decode inline on the client threads (see the file comment).
     int dflt = util::ThreadPool::defaultThreadCount();
@@ -295,7 +553,7 @@ main(int argc, char **argv)
         double warmQps = kWarmReps * totalQueries / warmSec;
         if (clients == 1)
             warmBaseline = warmQps;
-        ServerStats stats = server.stats();
+        StatsView stats = server.statsView();
         table.addRow({std::to_string(clients), Table::num(coldQps, 1),
                       Table::num(warmQps, 1),
                       Table::num(warmBaseline > 0.0

@@ -4,8 +4,8 @@
 #   build   configure, build, run the full ctest suite
 #   bench   smoke-run the end-to-end benches, emit BENCH_*.json
 #   perf    run the gated benches (codec kernels, tile coder, ground
-#           serving, tile latency) against their checked-in baselines
-#           (ci/perf_gate.py)
+#           serving, ground net, tile latency) against their
+#           checked-in baselines (ci/perf_gate.py)
 #   asan    ASan+UBSan build of the byte-level parser suites
 #   tsan    TSan build of the concurrent archive/serving/codec suites
 #   docs    API-doc check (Doxygen when installed + doc-comment lint)
@@ -57,6 +57,15 @@ run_benches() {
         --json "$ARTIFACTS_DIR/BENCH_ground_serving.json" \
         --metrics-json "$ARTIFACTS_DIR/telemetry_snapshot.json" \
         --trace-json "$ARTIFACTS_DIR/telemetry_trace.json"
+
+    # Smoke the serving daemon and the loopback EPT path: --selftest
+    # binds an ephemeral port, handshakes, round-trips pixels over the
+    # wire against an in-memory archive, and shuts down cleanly. The
+    # open-loop bench JSON records the latency trajectory (the gated
+    # run lives in perf mode).
+    "$BUILD_DIR/earthplus_tile_serverd" --selftest
+    "$BUILD_DIR/bench_ground_serving" --net \
+        --json "$ARTIFACTS_DIR/BENCH_ground_net.json"
 
     # Smoke the end-to-end tile coder (dense / sparse-delta / lossless
     # at every dispatch level). The gated run lives in perf mode; this
@@ -134,6 +143,26 @@ run_perf_gate() {
         --max-regression "${GROUND_SERVING_MAX_REGRESSION:-0.25}" \
         --fresh "$ARTIFACTS_DIR/BENCH_ground_serving.release.json"
 
+    # Open-loop loopback serving gate: p99 latency at fixed
+    # below-capacity arrival rates must not grow past baseline *
+    # (1 + margin) (lower is better — the ground_net preset in
+    # ci/perf_gate.py; the overload row is informational). Network
+    # latency tails are noisy, so like tile_latency the fresh side is
+    # a min-merge of three runs against a min-merged baseline, with a
+    # wide default margin that hosted CI widens further via
+    # GROUND_NET_MAX_REGRESSION.
+    for i in 1 2 3; do
+        "$perf_dir/bench_ground_serving" --net \
+            --json "$ARTIFACTS_DIR/BENCH_ground_net.release.$i.json"
+    done
+    python3 ci/perf_gate.py --bench ground_net \
+        --max-regression "${GROUND_NET_MAX_REGRESSION:-0.5}" \
+        --fresh "$ARTIFACTS_DIR/BENCH_ground_net.release.1.json" \
+        --fresh "$ARTIFACTS_DIR/BENCH_ground_net.release.2.json" \
+        --fresh "$ARTIFACTS_DIR/BENCH_ground_net.release.3.json"
+    cp "$ARTIFACTS_DIR/BENCH_ground_net.release.1.json" \
+       "$ARTIFACTS_DIR/BENCH_ground_net.release.json"
+
     # Single-tile chunked-latency gate: p99 wall-ms must not grow past
     # baseline * (1 + margin) on the fixed-thread-count rows (lower is
     # better — see the tile_latency preset in ci/perf_gate.py).
@@ -161,18 +190,22 @@ run_tsan() {
     # fanned over the pool, plus the staged encode pipeline) must be
     # race-free under concurrent encodes — and the telemetry layer's
     # sharded counters/histograms and trace buffers must be race-free
-    # under concurrent recording. Scoped to the suites that contain
-    # the concurrency tests.
+    # under concurrent recording — and the EPT serving front's
+    # event-loop/pool handoff (serveAsync completions crossing to the
+    # loop thread over the wake pipe) must be race-free under
+    # pipelined load. Scoped to the suites that contain the
+    # concurrency tests.
     local tsan_dir="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
     # shellcheck disable=SC2086
     cmake -B "$tsan_dir" -S . ${CMAKE_ARGS:-} \
           -DCMAKE_BUILD_TYPE=Debug \
           -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
     cmake --build "$tsan_dir" -j \
-          --target ground_test parallel_test codec_test telemetry_test
+          --target ground_test parallel_test codec_test telemetry_test \
+                   net_test
     EARTHPLUS_THREADS=4 ctest --test-dir "$tsan_dir" \
           --output-on-failure \
-          -R 'ground_test|parallel_test|codec_test|telemetry_test'
+          -R 'ground_test|parallel_test|codec_test|telemetry_test|net_test'
 }
 
 run_docs() {
@@ -181,7 +214,8 @@ run_docs() {
 
 run_asan() {
     # ASan+UBSan configuration: the byte-level parsers (downlink
-    # packets, archive file format, codec streams) and the SIMD kernels
+    # packets, archive file format, codec streams, EPT wire frames)
+    # and the SIMD kernels
     # must be sanitizer-clean on both their happy paths and their
     # corruption-recovery paths. Scoped to the suites that exercise
     # those parsers so CI time stays bounded.
@@ -191,9 +225,9 @@ run_asan() {
           -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
     cmake --build "$SAN_BUILD_DIR" -j \
           --target ground_test uplink_planner_test codec_test simd_test \
-                   golden_stream_test
+                   golden_stream_test net_test
     ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure \
-          -R 'ground_test|uplink_planner_test|codec_test|simd_test|golden_stream_test'
+          -R 'ground_test|uplink_planner_test|codec_test|simd_test|golden_stream_test|net_test'
 }
 
 case "$MODE" in

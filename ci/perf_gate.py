@@ -3,7 +3,7 @@
 
 Diffs a fresh BENCH_<bench>.json (produced by `bench_<bench> --json
 <path>`) against the checked-in baseline and fails CI when a row
-regressed by more than the allowed margin. Four benches are gated,
+regressed by more than the allowed margin. Five benches are gated,
 each with its own preset (select with --bench):
 
 codec_kernels (default)
@@ -37,6 +37,16 @@ ground_serving
     as informational fields. Host-sensitive like tile_coder: hosted
     CI widens the margin via GROUND_SERVING_MAX_REGRESSION.
 
+ground_net
+    Open-loop loopback serving latency from
+    `bench_ground_serving --net`: a Poisson arrival process at fixed
+    rates below capacity, measured from scheduled send time to
+    response receipt (so queueing delay counts). The metric is the
+    row's "p99_ms" and LOWER is better. Only the fixed-rate rows are
+    gated; the deliberately-overloaded row demonstrates shedding and
+    stays informational. Host-sensitive; hosted CI widens the margin
+    via GROUND_NET_MAX_REGRESSION.
+
 tile_latency
     Single-tile chunked encode/decode latency from
     `bench_tile_coder --latency`. The metric is the row's "p99_ms"
@@ -58,6 +68,7 @@ Re-baselining (after an intentional perf change, on a quiet machine):
         ./build/bench_tile_coder --reps 21 --json /tmp/tc_$i.json
         ./build/bench_tile_coder --latency --json /tmp/tl_$i.json
         ./build/bench_ground_serving --json /tmp/gs_$i.json
+        ./build/bench_ground_serving --net --json /tmp/gn_$i.json
     done
     python3 ci/perf_gate.py --bench tile_coder --rebaseline \
         --fresh /tmp/tc_1.json --fresh /tmp/tc_2.json --fresh /tmp/tc_3.json
@@ -65,6 +76,8 @@ Re-baselining (after an intentional perf change, on a quiet machine):
         --fresh /tmp/tl_1.json --fresh /tmp/tl_2.json --fresh /tmp/tl_3.json
     python3 ci/perf_gate.py --bench ground_serving --rebaseline \
         --fresh /tmp/gs_1.json --fresh /tmp/gs_2.json --fresh /tmp/gs_3.json
+    python3 ci/perf_gate.py --bench ground_net --rebaseline \
+        --fresh /tmp/gn_1.json --fresh /tmp/gn_2.json --fresh /tmp/gn_3.json
     git add ci/BENCH_*.baseline.json
 
 (For tile_latency, min-merging keeps each row's best-case p99 — the
@@ -112,6 +125,17 @@ BENCHES = {
         "metric": "qps",
         "floors": [],
         "gated": lambda name: name.startswith("zipf_serving/"),
+    },
+    "ground_net": {
+        "baseline": "ci/BENCH_ground_net.baseline.json",
+        "absolute": True,
+        "metric": "p99_ms",
+        "lower_is_better": True,
+        "floors": [],
+        # Fixed-rate open-loop rows only: the overload row sheds by
+        # design (its p99 measures the shed path) and the arrival
+        # process at saturation is host-dependent — informational.
+        "gated": lambda name: name.startswith("net_serving/open/"),
     },
     "tile_latency": {
         "baseline": "ci/BENCH_tile_latency.baseline.json",

@@ -23,7 +23,7 @@ import argparse
 import json
 import sys
 
-REQUIRED_CATEGORIES = ("codec", "ground", "archive", "pool", "bg")
+REQUIRED_CATEGORIES = ("codec", "ground", "archive", "pool", "bg", "net")
 HISTOGRAM_FIELDS = ("count", "sum", "mean", "p50", "p90", "p99",
                     "p999", "max")
 

@@ -125,10 +125,10 @@ main(int argc, char **argv)
 
     TileServer server(archive);
     TileResult r = server.serve(q);
-    if (!r.found) {
-        std::cerr << "no archived download covers location "
-                  << q.locationId << " band " << q.band << " at day "
-                  << q.day << "\n";
+    if (!r.ok()) {
+        std::cerr << "serve failed (" << serveErrorName(r.error)
+                  << ") for location " << q.locationId << " band "
+                  << q.band << " at day " << q.day << "\n";
         return 1;
     }
 

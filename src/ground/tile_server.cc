@@ -6,6 +6,7 @@
 #include <exception>
 #include <functional>
 #include <limits>
+#include <utility>
 
 #include "codec/codec.hh"
 #include "raster/tile.hh"
@@ -18,8 +19,8 @@ namespace {
 /**
  * Tile-server metrics, resolved once per process. Registry entries
  * are leaked, so the references outlive every TileServer. These are
- * the snapshotJson() view of serving; ServerStats keeps its own
- * per-server tallies for API compatibility.
+ * the single source of truth for serving statistics: StatsView is a
+ * windowed read of exactly these entries.
  */
 struct ServeMetrics
 {
@@ -49,6 +50,51 @@ serveMetrics()
 }
 
 } // anonymous namespace
+
+const char *
+serveErrorName(ServeError error)
+{
+    switch (error) {
+    case ServeError::None:
+        return "ok";
+    case ServeError::NotFound:
+        return "not_found";
+    case ServeError::Truncated:
+        return "truncated";
+    case ServeError::Shed:
+        return "shed";
+    case ServeError::BadQuery:
+        return "bad_query";
+    }
+    return "unknown";
+}
+
+ServeError
+TileQuery::validate() const
+{
+    if (width <= 0 || height <= 0)
+        return ServeError::BadQuery;
+    if (locationId < 0 || band < 0)
+        return ServeError::BadQuery;
+    if (!std::isfinite(day))
+        return ServeError::BadQuery;
+    if (maxLayers < -1)
+        return ServeError::BadQuery;
+    return ServeError::None;
+}
+
+ClippedRect
+TileQuery::clipTo(int imageWidth, int imageHeight) const
+{
+    ClippedRect rect;
+    rect.x0 = std::max(x0, 0);
+    rect.y0 = std::max(y0, 0);
+    rect.x1 = std::min(x0 + width, imageWidth);
+    rect.y1 = std::min(y0 + height, imageHeight);
+    rect.truncated = rect.x0 != x0 || rect.y0 != y0 ||
+                     rect.x1 != x0 + width || rect.y1 != y0 + height;
+    return rect;
+}
 
 DecodedTileCache::DecodedTileCache(size_t capacityBytes)
     : shardCapacityBytes_(capacityBytes / kShards)
@@ -147,8 +193,17 @@ TileServer::TileServer(const Archive &archive,
     : archive_(archive), cache_(options.cacheBytes), options_(options),
       latencyHist_(&telemetry::histogram("ground.serve.latency_ns"))
 {
-    // Baseline at construction: a fresh server's ServerStats window
+    // Baseline at construction: a fresh server's StatsView window
     // must not include queries an earlier server in this process ran.
+    ServeMetrics &m = serveMetrics();
+    metricsBase_.queries = m.queries.value();
+    metricsBase_.tilesDecoded = m.tilesDecoded.value();
+    metricsBase_.tilesCacheHit = m.tilesFromCache.value();
+    metricsBase_.tilesCoalesced = m.tilesCoalesced.value();
+    metricsBase_.coalesceClaims = m.coalesceClaims.value();
+    metricsBase_.prefetchTasks = m.prefetchTasks.value();
+    metricsBase_.prefetchDropped = m.prefetchDropped.value();
+    metricsBase_.cacheEvictions = 0; // cache_ is brand new
     latencyBase_ = latencyHist_->snapshot();
     if (options_.prefetch)
         prefetchQueue_ = std::make_unique<util::BackgroundQueue>(
@@ -182,16 +237,46 @@ TileServer::rememberInfo(size_t recordIdx,
     return info_.emplace(recordIdx, std::move(parsed)).first->second;
 }
 
+std::shared_future<TileResult>
+TileServer::serveAsync(const TileQuery &query, ServeCompletion onDone)
+{
+    // ThreadPool::submit carries the whole dispatch policy: a
+    // multi-lane pool queues the serve to a worker (the future
+    // completes off-thread, which is what lets an event loop keep
+    // polling), while a single-lane pool or a caller already inside a
+    // parallel region runs it inline — exactly the pre-async serve()
+    // behavior, so in-process callers and benches see no change.
+    return util::ThreadPool::global()
+        .submit([this, query, done = std::move(onDone)]() {
+            TileResult result = serveFront(query);
+            if (done)
+                done(result);
+            return result;
+        })
+        .share();
+}
+
 TileResult
 TileServer::serve(const TileQuery &query)
 {
+    // Equivalent to serveAsync(query).get(), but runs the core
+    // directly on the calling thread: a blocked caller gains nothing
+    // from a pool hop, and skipping the future keeps the sync path's
+    // overhead identical to the pre-async API (the latency-histogram
+    // bracketing tests measure that).
+    return serveFront(query);
+}
+
+TileResult
+TileServer::serveFront(const TileQuery &query)
+{
     telemetry::TraceSpan span("ground.serve", "ground");
-    uint64_t t0 =
-        telemetry::metricsEnabled() ? telemetry::nowNanos() : 0;
+    uint64_t t0 = telemetry::nowNanos();
     double nextDay = std::numeric_limits<double>::infinity();
     TileResult result = serveImpl(query, &nextDay);
-    if (t0 != 0)
-        latencyHist_->record(telemetry::nowNanos() - t0);
+    result.serveNs = telemetry::nowNanos() - t0;
+    if (telemetry::metricsEnabled())
+        latencyHist_->record(result.serveNs);
 
     ServeMetrics &m = serveMetrics();
     m.queries.add();
@@ -199,18 +284,7 @@ TileServer::serve(const TileQuery &query)
     m.tilesFromCache.add(static_cast<uint64_t>(result.tilesFromCache));
     m.tilesCoalesced.add(static_cast<uint64_t>(result.tilesCoalesced));
 
-    {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.queries;
-        stats_.tilesDecoded += static_cast<uint64_t>(result.tilesDecoded);
-        stats_.tilesFromCache +=
-            static_cast<uint64_t>(result.tilesFromCache);
-        stats_.tilesCoalesced +=
-            static_cast<uint64_t>(result.tilesCoalesced);
-        stats_.cacheEvictions = cache_.evictions();
-    }
-
-    if (result.found && options_.prefetch)
+    if (result.ok() && options_.prefetch)
         maybePrefetch(query, nextDay);
     return result;
 }
@@ -219,6 +293,10 @@ TileResult
 TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
 {
     TileResult result;
+    if (query.validate() != ServeError::None) {
+        result.error = ServeError::BadQuery;
+        return result;
+    }
 
     // Resolve the delta chain: records at or before the query day,
     // starting from the latest full download among them. Append order
@@ -243,7 +321,7 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
     if (nextDayOut)
         *nextDayOut = nextDay;
     if (relevant.empty())
-        return result;
+        return result; // NotFound (the default)
     std::stable_sort(relevant.begin(), relevant.end(),
                      [](const auto &a, const auto &b) {
                          return a.second.captureDay < b.second.captureDay;
@@ -288,15 +366,21 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
                   "archive chain mixes geometries for location %d band %d",
                   query.locationId, query.band);
 
-    // Clip the request to the image.
-    int x0 = std::max(query.x0, 0);
-    int y0 = std::max(query.y0, 0);
-    int x1 = std::min(query.x0 + query.width, newest.width);
-    int y1 = std::min(query.y0 + query.height, newest.height);
-    if (x0 >= x1 || y0 >= y1)
+    // Clip the request to the image — TileQuery::clipTo is the one
+    // clamping authority; a rect that misses the image entirely is a
+    // malformed request, not an absent record.
+    ClippedRect rect = query.clipTo(newest.width, newest.height);
+    if (rect.empty()) {
+        result.error = ServeError::BadQuery;
         return result;
+    }
+    int x0 = rect.x0;
+    int y0 = rect.y0;
+    int x1 = rect.x1;
+    int y1 = rect.y1;
 
-    result.found = true;
+    result.error =
+        rect.truncated ? ServeError::Truncated : ServeError::None;
     result.pixels = raster::Plane(x1 - x0, y1 - y0, 0.0f);
 
     // Newest record wins per tile: walk streams newest -> oldest and
@@ -501,14 +585,9 @@ TileServer::maybePrefetch(const TileQuery &query, double nextDay)
         telemetry::TraceSpan span("ground.prefetch", "ground");
         serveImpl(ahead);
         serveMetrics().prefetchTasks.add();
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.prefetchTasks;
     });
-    if (!posted) {
+    if (!posted)
         serveMetrics().prefetchDropped.add();
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.prefetchDropped;
-    }
 }
 
 std::vector<TileResult>
@@ -520,21 +599,32 @@ TileServer::serveBatch(const std::vector<TileQuery> &batch)
     });
 }
 
-ServerStats
-TileServer::stats() const
+StatsView
+TileServer::statsView() const
 {
-    // Copy the tallies and the baseline under the lock; merge the
-    // histogram shards and extract quantiles outside it so percentile
-    // computation never stalls concurrent serve() stat updates.
-    ServerStats out;
-    telemetry::HistogramSnapshot base;
+    // Copy the baselines under the lock; read the registry and merge
+    // the histogram shards outside it so percentile computation never
+    // stalls concurrent serve() completions.
+    MetricsBaseline base;
+    telemetry::HistogramSnapshot histBase;
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
-        out = stats_;
-        base = latencyBase_;
+        base = metricsBase_;
+        histBase = latencyBase_;
     }
+    ServeMetrics &m = serveMetrics();
+    StatsView out;
+    out.queries = m.queries.value() - base.queries;
+    out.tilesDecoded = m.tilesDecoded.value() - base.tilesDecoded;
+    out.tilesCacheHit = m.tilesFromCache.value() - base.tilesCacheHit;
+    out.tilesCoalesced = m.tilesCoalesced.value() - base.tilesCoalesced;
+    out.coalesceClaims = m.coalesceClaims.value() - base.coalesceClaims;
+    out.prefetchTasks = m.prefetchTasks.value() - base.prefetchTasks;
+    out.prefetchDropped =
+        m.prefetchDropped.value() - base.prefetchDropped;
+    out.cacheEvictions = cache_.evictions() - base.cacheEvictions;
     telemetry::HistogramSnapshot window =
-        latencyHist_->snapshot().since(base);
+        latencyHist_->snapshot().since(histBase);
     constexpr double kNsPerMs = 1e6;
     out.latencyP50Ms = window.quantile(0.50) / kNsPerMs;
     out.latencyP99Ms = window.quantile(0.99) / kNsPerMs;
@@ -545,12 +635,22 @@ TileServer::stats() const
 void
 TileServer::resetStats()
 {
-    // The registry histogram is monotonic by design; resetting the
+    // The registry metrics are monotonic by design; resetting the
     // window means re-baselining, not clearing.
-    telemetry::HistogramSnapshot base = latencyHist_->snapshot();
+    ServeMetrics &m = serveMetrics();
+    MetricsBaseline base;
+    base.queries = m.queries.value();
+    base.tilesDecoded = m.tilesDecoded.value();
+    base.tilesCacheHit = m.tilesFromCache.value();
+    base.tilesCoalesced = m.tilesCoalesced.value();
+    base.coalesceClaims = m.coalesceClaims.value();
+    base.prefetchTasks = m.prefetchTasks.value();
+    base.prefetchDropped = m.prefetchDropped.value();
+    base.cacheEvictions = cache_.evictions();
+    telemetry::HistogramSnapshot histBase = latencyHist_->snapshot();
     std::lock_guard<std::mutex> lock(statsMutex_);
-    stats_ = ServerStats{};
-    latencyBase_ = std::move(base);
+    metricsBase_ = base;
+    latencyBase_ = std::move(histBase);
 }
 
 void

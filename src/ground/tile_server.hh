@@ -24,17 +24,24 @@
  *    day-by-day through a location's history (the dominant analytic
  *    access pattern) triggers a background decode of the next day's
  *    records into the cache, off the serving threads' latency path;
- *  - tracks per-query latency and reports p50/p99 in ServerStats —
+ *  - tracks per-query latency and reports p50/p99/p999 in StatsView —
  *    the serving SLO numbers, not just throughput;
- *  - executes batches fanned across the util::parallel thread pool
- *    (serveBatch), the serving-throughput path bench_ground_serving
- *    measures.
+ *  - exposes an **async core** (serveAsync) whose completion is
+ *    posted off the global thread pool, so event-loop front ends
+ *    (src/net) compose with serving without blocking their loop
+ *    thread; serve()/serveBatch() are thin synchronous wrappers.
+ *
+ * Every outcome is reported through one TileResult carrying a typed
+ * ServeError — the same enum the network protocol's EPTR status byte
+ * transports, so in-process and remote callers see identical
+ * semantics.
  */
 
 #ifndef EARTHPLUS_GROUND_TILE_SERVER_HH
 #define EARTHPLUS_GROUND_TILE_SERVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -54,61 +61,165 @@ struct EncodedImage;
 
 namespace earthplus::ground {
 
+/**
+ * Typed outcome of one tile serve, shared verbatim by the in-process
+ * API and the network protocol's EPTR status byte (values are wire
+ * format — never renumber, only append).
+ */
+enum class ServeError : uint8_t
+{
+    /** The full requested rectangle was served. */
+    None = 0,
+    /** No archived download covers (location, band) at the query day. */
+    NotFound = 1,
+    /**
+     * The rectangle overhung the imaged area and was clipped; the
+     * pixels hold the (non-empty) intersection. A partial answer, not
+     * a failure: TileResult::ok() is still true.
+     */
+    Truncated = 2,
+    /**
+     * Load-shed by a serving front's admission control before
+     * reaching the server; retry after TileResult::retryAfterMs.
+     * Never produced by the in-process serve path.
+     */
+    Shed = 3,
+    /** Malformed query (non-positive extent, rect outside the image,
+     *  bad layer count, negative ids, non-finite day). */
+    BadQuery = 4,
+};
+
+/** Short stable name of a ServeError ("ok", "not_found", ...). */
+const char *serveErrorName(ServeError error);
+
+/**
+ * A query rectangle clipped against an image, from
+ * TileQuery::clipTo() — the single clamping authority every serve
+ * path (in-process and network-parsed) goes through.
+ */
+struct ClippedRect
+{
+    int x0 = 0; ///< Left edge after clipping (inclusive).
+    int y0 = 0; ///< Top edge after clipping (inclusive).
+    int x1 = 0; ///< Right edge after clipping (exclusive).
+    int y1 = 0; ///< Bottom edge after clipping (exclusive).
+    /** True when clipping shrank the requested rectangle. */
+    bool truncated = false;
+
+    /** True when nothing of the request intersects the image. */
+    bool
+    empty() const
+    {
+        return x0 >= x1 || y0 >= y1;
+    }
+};
+
 /** One tile-rectangle request. */
 struct TileQuery
 {
     int locationId = 0; ///< Location whose imagery is requested.
     /** Serve the image state as of this day. */
     double day = 0.0;
-    int band = 0;       ///< Band index.
+    int band = 0;   ///< Band index.
     int x0 = 0;     ///< Requested rect: left edge (clipped).
     int y0 = 0;     ///< Requested rect: top edge (clipped).
     int width = 0;  ///< Requested rect: width in pixels.
     int height = 0; ///< Requested rect: height in pixels.
     /** Decode only the first maxLayers quality layers (-1 = all). */
     int maxLayers = -1;
+
+    /**
+     * Image-independent validity check: ServeError::None for a
+     * well-formed query, ServeError::BadQuery for non-positive
+     * extents, negative location/band ids, a non-finite day, or
+     * maxLayers below -1. Both the serve pipeline and the network
+     * frame parser route queries through this single check, so a
+     * network-decoded query cannot bypass validation.
+     */
+    ServeError validate() const;
+
+    /**
+     * Clip the requested rectangle against an imageWidth x
+     * imageHeight image. This is the only clamping site in the
+     * serving stack; the result's `truncated` flag is what turns
+     * into ServeError::Truncated when the intersection is non-empty.
+     */
+    ClippedRect clipTo(int imageWidth, int imageHeight) const;
 };
 
 /** Answer to one TileQuery. */
 struct TileResult
 {
-    /** False when no archived download covers the query. */
-    bool found = false;
+    /**
+     * Outcome of the serve. A default-constructed result reports
+     * NotFound; the serve pipeline upgrades it to None/Truncated
+     * (payload valid) or BadQuery. Network fronts add Shed.
+     */
+    ServeError error = ServeError::NotFound;
     /** Requested pixels (clipped rectangle, zero-filled where no
-     *  record ever covered a tile). */
+     *  record ever covered a tile). Valid only when ok(). */
     raster::Plane pixels;
     /** Capture day of the newest record that contributed. */
     double servedDay = 0.0;
+    /** Wall-clock nanoseconds this query spent inside the server
+     *  (chain resolution through paste; excludes any network front's
+     *  queueing). Zero for Shed responses. */
+    uint64_t serveNs = 0;
+    /** For Shed results: suggested client backoff in milliseconds. */
+    uint32_t retryAfterMs = 0;
     /** Tiles whose decode ran for this query (cache misses). */
     int tilesDecoded = 0;
     /** Tiles served from the decoded-tile cache. */
     int tilesFromCache = 0;
     /** Tiles served by joining another query's in-flight decode. */
     int tilesCoalesced = 0;
+
+    /** True when `pixels` holds a servable answer (None/Truncated). */
+    bool
+    ok() const
+    {
+        return error == ServeError::None ||
+               error == ServeError::Truncated;
+    }
 };
 
-/** Aggregate serving statistics. */
-struct ServerStats
+/**
+ * One coherent serving-statistics view: the telemetry registry's
+ * ground.* metrics (docs/OBSERVABILITY.md naming) windowed to this
+ * server's lifetime (construction, or the last resetStats()). This
+ * replaces the old ServerStats side-tallies — the registry is the
+ * single source of truth, and StatsView is a read of it, so the
+ * snapshotJson() export and this accessor can never disagree.
+ *
+ * The window subtracts per-server baselines from the process-wide
+ * metrics; when several servers serve concurrently in one process,
+ * each window spans the whole process's serving activity during its
+ * lifetime (use the registry directly to attribute finer).
+ */
+struct StatsView
 {
-    uint64_t queries = 0;        ///< Foreground queries served.
-    uint64_t tilesDecoded = 0;   ///< Tile decodes actually executed.
-    uint64_t tilesFromCache = 0; ///< Tiles served from the LRU cache.
-    /** Tile waits that joined another query's in-flight decode. */
+    uint64_t queries = 0;      ///< Window over ground.serve.queries.
+    uint64_t tilesDecoded = 0; ///< Window over ground.tiles.decoded.
+    /** Window over ground.tiles.cache_hit (LRU hits). */
+    uint64_t tilesCacheHit = 0;
+    /** Window over ground.tiles.coalesced (joined in-flight decodes). */
     uint64_t tilesCoalesced = 0;
-    uint64_t cacheEvictions = 0; ///< LRU evictions so far.
-    /** Background delta-chain prefetch tasks executed. */
+    /** Window over ground.coalesce.claims (decode claims published). */
+    uint64_t coalesceClaims = 0;
+    /** This server's decoded-tile-cache evictions in the window. */
+    uint64_t cacheEvictions = 0;
+    /** Window over ground.prefetch.tasks (background warmups run). */
     uint64_t prefetchTasks = 0;
-    /** Prefetch tasks dropped because the queue was saturated. */
+    /** Window over ground.prefetch.dropped (saturated-queue drops). */
     uint64_t prefetchDropped = 0;
 
     /**
-     * Median foreground serve() latency in milliseconds. Percentiles
-     * come from the process-wide "ground.serve.latency_ns" registry
-     * histogram, windowed to the samples since this server's
-     * construction (or last resetStats()): exact counts, log-bucketed
-     * values (error bounded by telemetry::Histogram::kMaxRelativeError),
-     * covering *every* query in the window rather than a recent ring.
-     * Zero when telemetry metrics are disabled.
+     * Median foreground serve() latency in milliseconds, from the
+     * process-wide "ground.serve.latency_ns" histogram windowed to
+     * the same baseline: exact counts, log-bucketed values (error
+     * bounded by telemetry::Histogram::kMaxRelativeError), covering
+     * *every* query in the window rather than a recent ring. Zero
+     * when telemetry metrics are disabled.
      */
     double latencyP50Ms = 0.0;
     /** 99th-percentile foreground serve() latency in milliseconds. */
@@ -120,9 +231,10 @@ struct ServerStats
      * Fraction of tile serves that did not pay for a decode, in
      * [0, 1]: cache hits and coalesced joins both count as warm.
      */
-    double hitRate() const
+    double
+    hitRate() const
     {
-        uint64_t warm = tilesFromCache + tilesCoalesced;
+        uint64_t warm = tilesCacheHit + tilesCoalesced;
         uint64_t total = tilesDecoded + warm;
         return total ? static_cast<double>(warm) /
                            static_cast<double>(total)
@@ -201,6 +313,14 @@ class TileServer
 {
   public:
     /**
+     * Invoked exactly once with the finished result of a serveAsync()
+     * call, on whichever thread completed the serve (a pool worker,
+     * or the caller when the pool runs inline). Must not throw; keep
+     * it cheap — it runs on the serving latency path.
+     */
+    using ServeCompletion = std::function<void(const TileResult &)>;
+
+    /**
      * @param archive Archive to serve from (must outlive the server).
      *        The server memoizes stream geometry and decoded tiles by
      *        record index; concurrent appends are fine (new indices),
@@ -220,7 +340,30 @@ class TileServer
     TileServer(const TileServer &) = delete;            ///< Non-copyable.
     TileServer &operator=(const TileServer &) = delete; ///< Non-copyable.
 
-    /** Answer one query. Thread-safe. */
+    /**
+     * Answer one query asynchronously. Thread-safe.
+     *
+     * The serve runs through util::ThreadPool::global(): queued to a
+     * worker when the caller could fan out, executed inline (future
+     * already ready on return) on a single-lane pool or from inside a
+     * parallel region — the same discipline as every other pool use,
+     * so nested serving can never deadlock the fixed-size pool.
+     *
+     * @param query The tile rectangle to serve.
+     * @param onDone Optional completion, invoked with the result
+     *        after the serve finishes (not invoked if the serve
+     *        throws; the exception is delivered via the future).
+     * @return Shared future yielding the TileResult.
+     */
+    std::shared_future<TileResult>
+    serveAsync(const TileQuery &query, ServeCompletion onDone = {});
+
+    /**
+     * Answer one query synchronously. Semantically identical to
+     * serveAsync(query).get(), but the core runs on the calling
+     * thread (a blocked caller gains nothing from a pool hop).
+     * Thread-safe.
+     */
     TileResult serve(const TileQuery &query);
 
     /**
@@ -229,10 +372,16 @@ class TileServer
      */
     std::vector<TileResult> serveBatch(const std::vector<TileQuery> &batch);
 
-    /** Aggregate statistics since construction. */
-    ServerStats stats() const;
+    /** Serving statistics windowed since construction / resetStats(). */
+    StatsView statsView() const;
 
-    /** Reset aggregate statistics (cache contents are kept). */
+    /**
+     * @deprecated Alias of statsView(), kept for source compatibility
+     * with pre-StatsView callers; new code should use statsView().
+     */
+    StatsView stats() const { return statsView(); }
+
+    /** Reset the statistics window (cache contents are kept). */
     void resetStats();
 
     /**
@@ -256,6 +405,22 @@ class TileServer
         std::vector<uint8_t> tileCoded;
     };
 
+    /**
+     * Raw values of the ground.* registry metrics this server windows
+     * for StatsView; captured at construction and resetStats().
+     */
+    struct MetricsBaseline
+    {
+        uint64_t queries = 0;
+        uint64_t tilesDecoded = 0;
+        uint64_t tilesCacheHit = 0;
+        uint64_t tilesCoalesced = 0;
+        uint64_t coalesceClaims = 0;
+        uint64_t prefetchTasks = 0;
+        uint64_t prefetchDropped = 0;
+        uint64_t cacheEvictions = 0;
+    };
+
     /** (record index, tile, maxLayers): one decode unit. */
     using TileKey = std::tuple<size_t, int, int>;
 
@@ -267,10 +432,18 @@ class TileServer
                                    const codec::EncodedImage &stream);
 
     /**
+     * One foreground serve: serveImpl() wrapped with the latency
+     * histogram, registry counters, per-query timing, and prefetch
+     * scheduling. Both the inline and the pooled serveAsync() paths
+     * land here.
+     */
+    TileResult serveFront(const TileQuery &query);
+
+    /**
      * The serve pipeline: chain resolution, coalesced decode, paste.
-     * serve() wraps it with stats + latency + prefetch scheduling;
-     * prefetch tasks call it directly so warmups stay out of the
-     * foreground statistics. When `nextDayOut` is non-null it
+     * serveFront() wraps it with stats + latency + prefetch
+     * scheduling; prefetch tasks call it directly so warmups stay out
+     * of the foreground statistics. When `nextDayOut` is non-null it
      * receives the earliest capture day strictly after the query day
      * (+inf when none) — the chain is already being scanned here, so
      * the prefetcher gets its target without a second locked pass.
@@ -297,13 +470,14 @@ class TileServer
     std::map<std::pair<int, int>, double> lastServedDay_;
 
     mutable std::mutex statsMutex_;
-    ServerStats stats_;
+    /** Registry values at the start of the window (statsMutex_). */
+    MetricsBaseline metricsBase_;
     /** Process-wide serve-latency histogram (nanoseconds). */
     telemetry::Histogram *latencyHist_;
     /**
-     * Histogram state at construction / last resetStats(); stats()
+     * Histogram state at construction / last resetStats(); statsView()
      * reports quantiles of snapshot().since(latencyBase_), so the
-     * registry histogram stays monotonic while ServerStats still
+     * registry histogram stays monotonic while StatsView still
      * describes only this server's current window. Guarded by
      * statsMutex_.
      */

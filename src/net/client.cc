@@ -1,0 +1,159 @@
+#include "net/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace earthplus::net {
+
+namespace {
+
+/** Read one frame from a blocking socket through a FrameReader. */
+bool
+readFrame(int fd, FrameReader &reader, Frame &out)
+{
+    for (;;) {
+        if (reader.next(out))
+            return true;
+        if (reader.error() != FrameError::None)
+            return false;
+        uint8_t buf[64 * 1024];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            reader.feed(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EOF or transport error
+    }
+}
+
+} // anonymous namespace
+
+TileClient::~TileClient()
+{
+    close();
+}
+
+void
+TileClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    reader_ = FrameReader{};
+}
+
+bool
+TileClient::sendAll(const uint8_t *data, size_t size)
+{
+    size_t sent = 0;
+    while (sent < size) {
+        ssize_t n =
+            ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+TileClient::connect(const std::string &host, uint16_t port)
+{
+    close();
+    serverVersion_ = 0;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+
+    // Version handshake: announce ours, require the server's EPTH
+    // back with a matching version.
+    std::vector<uint8_t> hello = encodeHello(kProtocolVersion);
+    if (!sendAll(hello.data(), hello.size()))
+        return false;
+    Frame frame;
+    if (!readFrame(fd_, reader_, frame) ||
+        frame.magic != kHelloMagic || !frame.body.empty()) {
+        close();
+        return false;
+    }
+    serverVersion_ = frame.version;
+    if (frame.version != kProtocolVersion) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+TileClient::send(const ground::TileQuery &query, uint64_t requestId)
+{
+    if (fd_ < 0)
+        return false;
+    std::vector<uint8_t> frame = encodeQuery(requestId, query);
+    return sendAll(frame.data(), frame.size());
+}
+
+bool
+TileClient::receive(ground::TileResult &result, uint64_t *requestId)
+{
+    if (fd_ < 0)
+        return false;
+    Frame frame;
+    if (!readFrame(fd_, reader_, frame)) {
+        close();
+        return false;
+    }
+    uint64_t id = 0;
+    if (!decodeResult(frame, id, result)) {
+        close();
+        return false;
+    }
+    if (requestId)
+        *requestId = id;
+    return true;
+}
+
+bool
+TileClient::query(const ground::TileQuery &query,
+                  ground::TileResult &result)
+{
+    uint64_t id = nextRequestId_++;
+    if (!send(query, id))
+        return false;
+    uint64_t got = 0;
+    if (!receive(result, &got))
+        return false;
+    if (got != id) {
+        close(); // lockstep round trip: ids must match
+        return false;
+    }
+    return true;
+}
+
+} // namespace earthplus::net

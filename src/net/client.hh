@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Blocking EPT protocol client.
+ *
+ * The counterpart of net::Server for tests and the load generator: a
+ * plain blocking socket that handshakes on connect(), then either
+ * round-trips one query at a time (query()) or pipelines — send()
+ * tags each query with a caller-chosen request id and receive()
+ * returns responses in server completion order, so one sender thread
+ * and one receiver thread can share a client (they touch opposite
+ * directions of the socket; any other concurrent use is on the
+ * caller).
+ *
+ * Transport or protocol failures latch the client closed: every
+ * subsequent call fails until the next connect().
+ */
+
+#ifndef EARTHPLUS_NET_CLIENT_HH
+#define EARTHPLUS_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ground/tile_server.hh"
+#include "net/protocol.hh"
+
+namespace earthplus::net {
+
+/** Blocking client for one server connection. */
+class TileClient
+{
+  public:
+    TileClient() = default;
+
+    /** Closes the connection if open. */
+    ~TileClient();
+
+    TileClient(const TileClient &) = delete;            ///< Non-copyable.
+    TileClient &operator=(const TileClient &) = delete; ///< Non-copyable.
+
+    /**
+     * Connect and perform the EPTH version handshake. False on
+     * connect failure or a version mismatch (the server's version is
+     * still readable via serverVersion() to report the mismatch).
+     */
+    bool connect(const std::string &host, uint16_t port);
+
+    /** True while the connection is usable. */
+    bool connected() const { return fd_ >= 0; }
+
+    /** Protocol version the server announced in its EPTH. */
+    uint32_t serverVersion() const { return serverVersion_; }
+
+    /**
+     * One blocking round trip: send `query`, wait for its response.
+     * False on transport failure (result untouched); a served error
+     * (NotFound/Shed/...) is a *successful* round trip reported
+     * through result.error.
+     */
+    bool query(const ground::TileQuery &query,
+               ground::TileResult &result);
+
+    /** Send one query tagged `requestId` without waiting. */
+    bool send(const ground::TileQuery &query, uint64_t requestId);
+
+    /**
+     * Block for the next EPTR frame. Fills `result` and, when
+     * `requestId` is non-null, the id echoed by the server (pipelined
+     * responses arrive in server completion order, and shed responses
+     * overtake served ones). False on EOF or transport failure.
+     */
+    bool receive(ground::TileResult &result,
+                 uint64_t *requestId = nullptr);
+
+    /** Drop the connection. Idempotent. */
+    void close();
+
+  private:
+    bool sendAll(const uint8_t *data, size_t size);
+
+    int fd_ = -1;
+    uint32_t serverVersion_ = 0;
+    uint64_t nextRequestId_ = 1;
+    FrameReader reader_;
+};
+
+} // namespace earthplus::net
+
+#endif // EARTHPLUS_NET_CLIENT_HH

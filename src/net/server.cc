@@ -1,0 +1,632 @@
+#include "net/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "net/protocol.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/telemetry.hh"
+
+namespace earthplus::net {
+
+namespace {
+
+/**
+ * Serving-front metrics, resolved once per process (the net.*
+ * inventory in docs/OBSERVABILITY.md).
+ */
+struct NetMetrics
+{
+    telemetry::Counter &accepted =
+        telemetry::counter("net.connections.accepted");
+    telemetry::Counter &rejected =
+        telemetry::counter("net.connections.rejected");
+    telemetry::Gauge &active =
+        telemetry::gauge("net.connections.active");
+    telemetry::Counter &framesRx = telemetry::counter("net.frames.rx");
+    telemetry::Counter &framesTx = telemetry::counter("net.frames.tx");
+    telemetry::Counter &bytesRx = telemetry::counter("net.bytes.rx");
+    telemetry::Counter &bytesTx = telemetry::counter("net.bytes.tx");
+    telemetry::Counter &queries = telemetry::counter("net.queries");
+    telemetry::Counter &shed = telemetry::counter("net.shed");
+    telemetry::Counter &protocolErrors =
+        telemetry::counter("net.protocol_errors");
+    telemetry::Histogram &queueWaitNs =
+        telemetry::histogram("net.queue.wait_ns");
+    telemetry::Histogram &queueDepth =
+        telemetry::histogram("net.queue.depth");
+};
+
+NetMetrics &
+netMetrics()
+{
+    static NetMetrics m;
+    return m;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** Readiness bits Poller::wait reports per fd. */
+constexpr unsigned kReadable = 1u;
+constexpr unsigned kWritable = 2u;
+constexpr unsigned kBroken = 4u;
+
+/**
+ * Minimal readiness poller: epoll on Linux, poll(2) everywhere (and
+ * on Linux too when the caller asks — the fallback stays tested on
+ * the platform that never needs it). Interest is level-triggered in
+ * both backends, so the two are drop-in equivalent.
+ */
+class Poller
+{
+  public:
+    explicit Poller(bool usePoll)
+    {
+#ifdef __linux__
+        if (!usePoll)
+            epfd_ = epoll_create1(0);
+#else
+        (void)usePoll;
+#endif
+    }
+
+    ~Poller()
+    {
+#ifdef __linux__
+        if (epfd_ >= 0)
+            ::close(epfd_);
+#endif
+    }
+
+    void
+    add(int fd, bool wantWrite)
+    {
+        interest_[fd] = wantWrite;
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            epoll_event ev{};
+            ev.events = EPOLLIN | (wantWrite ? EPOLLOUT : 0u);
+            ev.data.fd = fd;
+            epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+        }
+#endif
+    }
+
+    void
+    mod(int fd, bool wantWrite)
+    {
+        interest_[fd] = wantWrite;
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            epoll_event ev{};
+            ev.events = EPOLLIN | (wantWrite ? EPOLLOUT : 0u);
+            ev.data.fd = fd;
+            epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+        }
+#endif
+    }
+
+    void
+    del(int fd)
+    {
+        interest_.erase(fd);
+#ifdef __linux__
+        if (epfd_ >= 0)
+            epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+    }
+
+    /** Block until something is ready; fills (fd, readiness) pairs. */
+    void
+    wait(std::vector<std::pair<int, unsigned>> &out)
+    {
+        out.clear();
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            epoll_event evs[64];
+            int n = epoll_wait(epfd_, evs, 64, -1);
+            for (int i = 0; i < n; ++i) {
+                unsigned bits = 0;
+                if (evs[i].events & (EPOLLIN | EPOLLPRI))
+                    bits |= kReadable;
+                if (evs[i].events & EPOLLOUT)
+                    bits |= kWritable;
+                if (evs[i].events & (EPOLLERR | EPOLLHUP))
+                    bits |= kBroken;
+                int fd = evs[i].data.fd;
+                out.emplace_back(fd, bits);
+            }
+            return;
+        }
+#endif
+        std::vector<pollfd> fds;
+        fds.reserve(interest_.size());
+        for (const auto &[fd, wantWrite] : interest_) {
+            pollfd p{};
+            p.fd = fd;
+            p.events =
+                static_cast<short>(POLLIN | (wantWrite ? POLLOUT : 0));
+            fds.push_back(p);
+        }
+        int n = ::poll(fds.data(),
+                       static_cast<nfds_t>(fds.size()), -1);
+        if (n <= 0)
+            return;
+        for (const pollfd &p : fds) {
+            if (p.revents == 0)
+                continue;
+            unsigned bits = 0;
+            if (p.revents & (POLLIN | POLLPRI))
+                bits |= kReadable;
+            if (p.revents & POLLOUT)
+                bits |= kWritable;
+            if (p.revents & (POLLERR | POLLHUP | POLLNVAL))
+                bits |= kBroken;
+            out.emplace_back(p.fd, bits);
+        }
+    }
+
+  private:
+#ifdef __linux__
+    int epfd_ = -1;
+#endif
+    std::unordered_map<int, bool> interest_; // fd -> write interest
+};
+
+} // anonymous namespace
+
+/** Everything the loop thread owns; no lock guards any of it. */
+struct Server::LoopState
+{
+    struct Connection
+    {
+        int fd = -1;
+        uint64_t id = 0;
+        FrameReader reader;
+        std::vector<uint8_t> outbox;
+        size_t outboxOff = 0;
+        bool handshaken = false;
+        bool wantWrite = false;
+        bool closeAfterFlush = false;
+    };
+
+    /** One admitted query waiting for a tile-server slot. */
+    struct Pending
+    {
+        uint64_t connId = 0;
+        uint64_t requestId = 0;
+        ground::TileQuery query;
+        uint64_t admitNs = 0;
+    };
+
+    Poller poller;
+    std::unordered_map<uint64_t, Connection> conns; // by conn id
+    std::unordered_map<int, uint64_t> fdToId;
+    std::deque<Pending> pending;
+    size_t inflight = 0;
+    uint64_t nextConnId = 1;
+
+    explicit LoopState(bool usePoll) : poller(usePoll) {}
+};
+
+Server::Server(ground::TileServer &tiles, ServerOptions options)
+    : tiles_(tiles), options_(std::move(options))
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start()
+{
+    if (running_.load(std::memory_order_acquire))
+        return false;
+    stop_.store(false, std::memory_order_release);
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return false;
+    int one = 1;
+    setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (inet_pton(AF_INET, options_.bindAddress.c_str(),
+                  &addr.sin_addr) != 1 ||
+        ::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, options_.listenBacklog) != 0 ||
+        !setNonBlocking(listenFd_)) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                    &blen) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    port_ = ntohs(bound.sin_port);
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0 || !setNonBlocking(pipeFds[0]) ||
+        !setNonBlocking(pipeFds[1])) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    wakeRead_ = pipeFds[0];
+    wakeWrite_ = pipeFds[1];
+
+    maxInflight_ = options_.maxInflight
+                       ? options_.maxInflight
+                       : static_cast<size_t>(
+                             util::ThreadPool::global().threadCount());
+
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void
+Server::stop()
+{
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    stop_.store(true, std::memory_order_release);
+    wake();
+    if (thread_.joinable())
+        thread_.join();
+    {
+        // Serves dispatched before shutdown may still be finishing on
+        // pool threads; their completions touch this object, so wait
+        // them out before tearing anything down.
+        std::unique_lock<std::mutex> lock(completedMutex_);
+        completedCv_.wait(lock, [this] { return outstanding_ == 0; });
+        completed_.clear();
+    }
+    ::close(listenFd_);
+    ::close(wakeRead_);
+    ::close(wakeWrite_);
+    listenFd_ = wakeRead_ = wakeWrite_ = -1;
+    running_.store(false, std::memory_order_release);
+}
+
+void
+Server::wake()
+{
+    uint8_t b = 1;
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &b, 1);
+}
+
+void
+Server::loop()
+{
+    NetMetrics &m = netMetrics();
+    LoopState st(options_.usePoll);
+    st.poller.add(listenFd_, false);
+    st.poller.add(wakeRead_, false);
+
+    auto closeConn = [&](uint64_t id) {
+        auto it = st.conns.find(id);
+        if (it == st.conns.end())
+            return;
+        st.poller.del(it->second.fd);
+        ::close(it->second.fd);
+        st.fdToId.erase(it->second.fd);
+        st.conns.erase(it);
+        m.active.add(-1);
+    };
+
+    // Try to push a connection's buffered bytes out; arms/clears
+    // write interest around partial writes. False when the
+    // connection was torn down.
+    auto flushConn = [&](LoopState::Connection &conn) -> bool {
+        while (conn.outboxOff < conn.outbox.size()) {
+            ssize_t n = ::send(conn.fd, conn.outbox.data() + conn.outboxOff,
+                               conn.outbox.size() - conn.outboxOff,
+                               MSG_NOSIGNAL);
+            if (n > 0) {
+                conn.outboxOff += static_cast<size_t>(n);
+                m.bytesTx.add(static_cast<uint64_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            closeConn(conn.id);
+            return false;
+        }
+        if (conn.outboxOff == conn.outbox.size()) {
+            conn.outbox.clear();
+            conn.outboxOff = 0;
+            if (conn.wantWrite) {
+                conn.wantWrite = false;
+                st.poller.mod(conn.fd, false);
+            }
+            if (conn.closeAfterFlush) {
+                closeConn(conn.id);
+                return false;
+            }
+        } else {
+            if (conn.outboxOff > (1u << 20)) {
+                conn.outbox.erase(
+                    conn.outbox.begin(),
+                    conn.outbox.begin() +
+                        static_cast<ptrdiff_t>(conn.outboxOff));
+                conn.outboxOff = 0;
+            }
+            if (!conn.wantWrite) {
+                conn.wantWrite = true;
+                st.poller.mod(conn.fd, true);
+            }
+        }
+        return true;
+    };
+
+    // Queue one frame on a connection, honouring the write-buffer
+    // cap. False when the connection was torn down.
+    auto sendFrame = [&](LoopState::Connection &conn,
+                         std::vector<uint8_t> frame) -> bool {
+        if (conn.outbox.size() - conn.outboxOff + frame.size() >
+            options_.maxWriteBufferBytes) {
+            // The peer has stopped reading; shedding the connection
+            // bounds server memory.
+            closeConn(conn.id);
+            return false;
+        }
+        conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+        m.framesTx.add();
+        return flushConn(conn);
+    };
+
+    // Handle one reassembled frame. False when the connection was
+    // torn down (or scheduled to close) and parsing must stop.
+    auto handleFrame = [&](LoopState::Connection &conn,
+                           const Frame &frame) -> bool {
+        telemetry::TraceSpan span("net.frame", "net");
+        m.framesRx.add();
+        if (frame.magic == kHelloMagic) {
+            if (conn.handshaken || !frame.body.empty()) {
+                m.protocolErrors.add();
+                closeConn(conn.id);
+                return false;
+            }
+            // Always answer with our version so the peer can report
+            // the mismatch; an incompatible peer is then dropped.
+            bool compatible = frame.version == kProtocolVersion;
+            conn.handshaken = compatible;
+            conn.closeAfterFlush = !compatible;
+            return sendFrame(conn, encodeHello(kProtocolVersion)) &&
+                   compatible;
+        }
+        if (!conn.handshaken || frame.magic != kQueryMagic) {
+            m.protocolErrors.add();
+            closeConn(conn.id);
+            return false;
+        }
+        uint64_t requestId = 0;
+        ground::TileQuery query;
+        if (!decodeQuery(frame, requestId, query)) {
+            m.protocolErrors.add();
+            closeConn(conn.id);
+            return false;
+        }
+        m.queries.add();
+        if (st.pending.size() >= options_.maxPending) {
+            // Admission control: a full queue answers *now* with a
+            // retry hint instead of queueing unboundedly.
+            m.shed.add();
+            return sendFrame(
+                conn,
+                encodeResult(requestId,
+                             shedResult(options_.retryAfterMs)));
+        }
+        st.pending.push_back(LoopState::Pending{
+            conn.id, requestId, query, telemetry::nowNanos()});
+        m.queueDepth.record(st.pending.size());
+        return true;
+    };
+
+    auto handleRead = [&](uint64_t id) {
+        auto it = st.conns.find(id);
+        if (it == st.conns.end())
+            return;
+        LoopState::Connection &conn = it->second;
+        uint8_t buf[64 * 1024];
+        for (;;) {
+            ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+                m.bytesRx.add(static_cast<uint64_t>(n));
+                conn.reader.feed(buf, static_cast<size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            closeConn(id); // EOF or transport error
+            return;
+        }
+        Frame frame;
+        while (!conn.closeAfterFlush && conn.reader.next(frame))
+            if (!handleFrame(conn, frame))
+                return; // conn may be gone; touch nothing
+        if (conn.reader.error() != FrameError::None) {
+            m.protocolErrors.add();
+            closeConn(id);
+        }
+    };
+
+    auto acceptAll = [&] {
+        for (;;) {
+            int fd = ::accept(listenFd_, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                return; // EAGAIN or transient accept failure
+            }
+            if (st.conns.size() >= options_.maxConnections ||
+                !setNonBlocking(fd)) {
+                m.rejected.add();
+                ::close(fd);
+                continue;
+            }
+            int one = 1;
+            setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            uint64_t id = st.nextConnId++;
+            LoopState::Connection conn;
+            conn.fd = fd;
+            conn.id = id;
+            st.conns.emplace(id, std::move(conn));
+            st.fdToId[fd] = id;
+            st.poller.add(fd, false);
+            m.accepted.add();
+            m.active.add(1);
+        }
+    };
+
+    // Move queries from the admission queue into the tile server,
+    // bounded by maxInflight_. Completions are posted off the pool
+    // into completed_; on a single-lane pool the serve (and its
+    // completion) runs inline right here, which drainCompleted picks
+    // up immediately after.
+    auto dispatchPending = [&]() -> size_t {
+        size_t dispatched = 0;
+        while (st.inflight < maxInflight_ && !st.pending.empty()) {
+            LoopState::Pending p = std::move(st.pending.front());
+            st.pending.pop_front();
+            if (!st.conns.count(p.connId))
+                continue; // requester hung up; drop silently
+            m.queueWaitNs.record(telemetry::nowNanos() - p.admitNs);
+            ++st.inflight;
+            ++dispatched;
+            uint64_t connId = p.connId;
+            uint64_t requestId = p.requestId;
+            {
+                std::lock_guard<std::mutex> lock(completedMutex_);
+                ++outstanding_;
+            }
+            tiles_.serveAsync(
+                p.query,
+                [this, connId,
+                 requestId](const ground::TileResult &result) {
+                    Completed done;
+                    done.connId = connId;
+                    done.frame = encodeResult(requestId, result);
+                    {
+                        std::lock_guard<std::mutex> lock(
+                            completedMutex_);
+                        completed_.push_back(std::move(done));
+                    }
+                    // Wake strictly before the outstanding_ drop:
+                    // once stop() sees zero it closes the pipe, so
+                    // the write must already be behind us. The notify
+                    // happens *under* the mutex: stop()'s wait can
+                    // then only observe zero after this thread has
+                    // fully left notify_all, so the cv is never
+                    // destroyed mid-broadcast.
+                    wake();
+                    {
+                        std::lock_guard<std::mutex> lock(
+                            completedMutex_);
+                        --outstanding_;
+                        completedCv_.notify_all();
+                    }
+                });
+        }
+        return dispatched;
+    };
+
+    auto drainCompleted = [&]() -> size_t {
+        std::deque<Completed> batch;
+        {
+            std::lock_guard<std::mutex> lock(completedMutex_);
+            batch.swap(completed_);
+        }
+        for (Completed &done : batch) {
+            EP_ASSERT(st.inflight > 0,
+                      "completion without a dispatched query");
+            --st.inflight;
+            auto it = st.conns.find(done.connId);
+            if (it == st.conns.end())
+                continue; // requester hung up mid-serve
+            sendFrame(it->second, std::move(done.frame));
+        }
+        return batch.size();
+    };
+
+    std::vector<std::pair<int, unsigned>> ready;
+    while (!stop_.load(std::memory_order_acquire)) {
+        st.poller.wait(ready);
+        for (const auto &[fd, bits] : ready) {
+            if (fd == wakeRead_) {
+                uint8_t sink[256];
+                while (::read(wakeRead_, sink, sizeof(sink)) > 0) {
+                }
+                continue;
+            }
+            if (fd == listenFd_) {
+                acceptAll();
+                continue;
+            }
+            auto idIt = st.fdToId.find(fd);
+            if (idIt == st.fdToId.end())
+                continue; // closed earlier in this batch
+            uint64_t id = idIt->second;
+            if (bits & kBroken) {
+                closeConn(id);
+                continue;
+            }
+            if (bits & kWritable) {
+                auto it = st.conns.find(id);
+                if (it != st.conns.end() && !flushConn(it->second))
+                    continue;
+            }
+            if (bits & kReadable)
+                handleRead(id);
+        }
+        // Inline-serving pools complete dispatches synchronously, so
+        // keep cycling until neither side makes progress.
+        for (;;) {
+            size_t dispatched = dispatchPending();
+            size_t drained = drainCompleted();
+            if (dispatched == 0 && drained == 0)
+                break;
+        }
+    }
+
+    for (auto &[id, conn] : st.conns)
+        ::close(conn.fd);
+    st.conns.clear();
+    st.fdToId.clear();
+}
+
+} // namespace earthplus::net

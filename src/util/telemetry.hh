@@ -26,8 +26,8 @@
  *     octave, <= ~6.3% relative bucket width) but count and sum are
  *     exact.
  *  3. **Monotonic.** Registry objects only accumulate. Callers that
- *     need a window (the tile server's ServerStats since resetStats)
- *     subtract a baseline HistogramSnapshot instead of clearing.
+ *     need a window (the tile server's StatsView since resetStats)
+ *     subtract a baseline snapshot instead of clearing.
  *
  * Environment: EARTHPLUS_METRICS=0 starts with metrics disabled,
  * EARTHPLUS_TRACE=1 starts with tracing enabled (both default to

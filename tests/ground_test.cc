@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <limits>
 #include <set>
 #include <string>
 #include <thread>
@@ -755,7 +757,9 @@ TEST(TileServer, ServesFullDownloadRect)
     q.width = 128;
     q.height = 128;
     TileResult r = server.serve(q);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.error, ServeError::None);
+    EXPECT_GT(r.serveNs, 0u);
     EXPECT_DOUBLE_EQ(r.servedDay, 1.0);
     EXPECT_EQ(r.tilesDecoded, 4);
 
@@ -782,7 +786,7 @@ TEST(TileServer, DeltaChainNewestTileWins)
     q.width = 128;
     q.height = 128;
     TileResult r = server.serve(q);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.ok());
     EXPECT_DOUBLE_EQ(r.servedDay, 2.0);
 
     // Tile 0 must come from the delta, the other tiles from the full
@@ -807,14 +811,14 @@ TEST(TileServer, QueriesBeforeFirstRecordAreNotFound)
     q.day = 0.5;
     q.width = 10;
     q.height = 10;
-    EXPECT_FALSE(server.serve(q).found);
+    EXPECT_EQ(server.serve(q).error, ServeError::NotFound);
     TileQuery other = q;
     other.day = 1.5;
     other.locationId = 9;
-    EXPECT_FALSE(server.serve(other).found);
+    EXPECT_EQ(server.serve(other).error, ServeError::NotFound);
 }
 
-TEST(TileServer, EdgeRectsClampAndZeroAreaIsNotFound)
+TEST(TileServer, EdgeRectsTruncateAndBadRectsAreBadQuery)
 {
     Archive archive("");
     raster::Plane base = testPlane(128, 128, 48);
@@ -826,17 +830,18 @@ TEST(TileServer, EdgeRectsClampAndZeroAreaIsNotFound)
     q.day = 1.5;
     q.band = 0;
 
-    // Zero-area rectangles never serve pixels.
+    // Zero-area rectangles are malformed queries.
     q.x0 = 10;
     q.y0 = 10;
     q.width = 0;
     q.height = 5;
-    EXPECT_FALSE(server.serve(q).found);
+    EXPECT_EQ(server.serve(q).error, ServeError::BadQuery);
     q.width = 5;
     q.height = 0;
-    EXPECT_FALSE(server.serve(q).found);
+    EXPECT_EQ(server.serve(q).error, ServeError::BadQuery);
 
-    // Fully outside the image (either side) is also empty.
+    // Fully outside the image (either side): no pixels can possibly
+    // be served, so the request itself is bad.
     q = TileQuery{};
     q.locationId = 1;
     q.day = 1.5;
@@ -844,20 +849,23 @@ TEST(TileServer, EdgeRectsClampAndZeroAreaIsNotFound)
     q.y0 = 0;
     q.width = 10;
     q.height = 10;
-    EXPECT_FALSE(server.serve(q).found);
+    EXPECT_EQ(server.serve(q).error, ServeError::BadQuery);
+    EXPECT_FALSE(server.serve(q).ok());
     q.x0 = -20;
     q.y0 = -20;
     q.width = 10;
     q.height = 10;
-    EXPECT_FALSE(server.serve(q).found);
+    EXPECT_EQ(server.serve(q).error, ServeError::BadQuery);
 
-    // Overhanging rectangles clamp to the image on every edge.
+    // Overhanging rectangles clamp to the image on every edge and
+    // report the clipping as Truncated — a partial answer, still ok().
     q.x0 = -16;
     q.y0 = 100;
     q.width = 300;
     q.height = 300;
     TileResult r = server.serve(q);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.error, ServeError::Truncated);
     EXPECT_EQ(r.pixels.width(), 128);
     EXPECT_EQ(r.pixels.height(), 28);
 
@@ -870,22 +878,151 @@ TEST(TileServer, EdgeRectsClampAndZeroAreaIsNotFound)
     q.width = 1;
     q.height = 1;
     r = server.serve(q);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.error, ServeError::None);
     EXPECT_EQ(r.pixels.width(), 1);
     EXPECT_EQ(r.pixels.height(), 1);
 
-    // Full-image rectangle equals the full decode of the download.
+    // Full-image rectangle equals the full decode of the download —
+    // exact fit, so no truncation is reported.
     q = TileQuery{};
     q.locationId = 1;
     q.day = 1.5;
     q.width = 128;
     q.height = 128;
     r = server.serve(q);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.error, ServeError::None);
     codec::EncodeParams ep;
     ep.bitsPerPixel = 4.0;
     raster::Plane expect = codec::decode(codec::encode(base, ep));
     EXPECT_EQ(r.pixels.data(), expect.data());
+}
+
+TEST(TileServer, QueryValidationIsCentralized)
+{
+    // TileQuery::validate + clipTo are the single authority both the
+    // in-process pipeline and the network parser consult.
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 1.5;
+    q.width = 10;
+    q.height = 10;
+    EXPECT_EQ(q.validate(), ServeError::None);
+
+    TileQuery bad = q;
+    bad.width = -3;
+    EXPECT_EQ(bad.validate(), ServeError::BadQuery);
+    bad = q;
+    bad.locationId = -1;
+    EXPECT_EQ(bad.validate(), ServeError::BadQuery);
+    bad = q;
+    bad.band = -2;
+    EXPECT_EQ(bad.validate(), ServeError::BadQuery);
+    bad = q;
+    bad.day = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(bad.validate(), ServeError::BadQuery);
+    bad = q;
+    bad.maxLayers = -2;
+    EXPECT_EQ(bad.validate(), ServeError::BadQuery);
+
+    // clipTo: exact fit, overhang, and disjoint rectangles.
+    q.x0 = 0;
+    q.y0 = 0;
+    q.width = 128;
+    q.height = 128;
+    ClippedRect exact = q.clipTo(128, 128);
+    EXPECT_FALSE(exact.truncated);
+    EXPECT_FALSE(exact.empty());
+    EXPECT_EQ(exact.x1, 128);
+    q.x0 = -16;
+    ClippedRect clipped = q.clipTo(128, 128);
+    EXPECT_TRUE(clipped.truncated);
+    EXPECT_EQ(clipped.x0, 0);
+    EXPECT_EQ(clipped.x1, 112);
+    q.x0 = 500;
+    EXPECT_TRUE(q.clipTo(128, 128).empty());
+}
+
+TEST(TileServer, ServeAsyncMatchesServeAndRunsCompletion)
+{
+    Archive archive("");
+    raster::Plane base = testPlane(128, 128, 49);
+    buildChain(archive, base, base, 64);
+    TileServer server(archive);
+
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 2.5;
+    q.width = 128;
+    q.height = 128;
+    TileResult sync = server.serve(q);
+    ASSERT_TRUE(sync.ok());
+
+    std::atomic<int> completions{0};
+    ServeError seenError = ServeError::NotFound;
+    std::shared_future<TileResult> fut =
+        server.serveAsync(q, [&](const TileResult &r) {
+            seenError = r.error;
+            completions.fetch_add(1);
+        });
+    TileResult async = fut.get();
+    // The completion runs before the future becomes ready.
+    EXPECT_EQ(completions.load(), 1);
+    EXPECT_EQ(seenError, ServeError::None);
+    ASSERT_TRUE(async.ok());
+    EXPECT_EQ(async.pixels.data(), sync.pixels.data());
+    EXPECT_DOUBLE_EQ(async.servedDay, sync.servedDay);
+
+    // Async errors surface through the result, same as serve().
+    TileQuery bad = q;
+    bad.width = 0;
+    EXPECT_EQ(server.serveAsync(bad).get().error, ServeError::BadQuery);
+
+    // And the async path fans out: a multi-lane pool completes the
+    // future off the calling thread too (same result either way).
+    int dflt = util::ThreadPool::defaultThreadCount();
+    util::ThreadPool::setGlobalThreads(4);
+    {
+        TileResult pooled = server.serveAsync(q).get();
+        ASSERT_TRUE(pooled.ok());
+        EXPECT_EQ(pooled.pixels.data(), sync.pixels.data());
+    }
+    util::ThreadPool::setGlobalThreads(dflt);
+}
+
+TEST(TileServer, StatsViewWindowsTheRegistry)
+{
+    Archive archive("");
+    raster::Plane base = testPlane(128, 128, 50);
+    buildChain(archive, base, base, 64);
+
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 2.5;
+    q.width = 128;
+    q.height = 128;
+    {
+        TileServer warmup(archive);
+        warmup.serve(q);
+        warmup.serve(q);
+    }
+    // A fresh server's window must exclude the earlier server's
+    // queries even though both share the process-wide registry.
+    TileServer server(archive);
+    EXPECT_EQ(server.statsView().queries, 0u);
+    server.serve(q);
+    server.serve(q);
+    StatsView stats = server.statsView();
+    EXPECT_EQ(stats.queries, 2u);
+    EXPECT_GT(stats.tilesDecoded, 0u);
+    EXPECT_GT(stats.tilesCacheHit, 0u);
+    EXPECT_GE(stats.coalesceClaims, stats.tilesDecoded);
+    // stats() stays as a deprecated alias of statsView().
+    EXPECT_EQ(server.stats().queries, 2u);
+    server.resetStats();
+    EXPECT_EQ(server.statsView().queries, 0u);
+    EXPECT_EQ(server.statsView().tilesDecoded, 0u);
 }
 
 TEST(TileServer, CacheHitsOnRepeatAndBatchMatchesSerial)
@@ -923,7 +1060,7 @@ TEST(TileServer, CacheHitsOnRepeatAndBatchMatchesSerial)
                           results[i].pixels.at(x, y));
     }
     EXPECT_EQ(warmDecodes, 0);
-    EXPECT_GT(server.stats().hitRate(), 0.4);
+    EXPECT_GT(server.statsView().hitRate(), 0.4);
 }
 
 TEST(TileServer, CacheEvictsUnderTightBudget)
@@ -943,7 +1080,7 @@ TEST(TileServer, CacheEvictsUnderTightBudget)
     q.height = 256;
     server.serve(q);
     server.serve(q);
-    EXPECT_GT(server.stats().cacheEvictions, 0u);
+    EXPECT_GT(server.statsView().cacheEvictions, 0u);
 }
 
 TEST(TileServer, ConcurrentIdenticalQueriesDecodeEachTileOnce)
@@ -971,12 +1108,12 @@ TEST(TileServer, ConcurrentIdenticalQueriesDecodeEachTileOnce)
                 for (int x = 0; x < results[0].pixels.width(); ++x)
                     ASSERT_EQ(results[i].pixels.at(x, y),
                               results[0].pixels.at(x, y));
-        ServerStats stats = server.stats();
+        StatsView stats = server.statsView();
         // 4x4 tiles decoded exactly once each, no matter how the 16
         // queries interleaved; every other tile came from the cache
         // or joined an in-flight decode.
         EXPECT_EQ(stats.tilesDecoded, 16u);
-        EXPECT_EQ(stats.tilesDecoded + stats.tilesFromCache +
+        EXPECT_EQ(stats.tilesDecoded + stats.tilesCacheHit +
                       stats.tilesCoalesced,
                   16u * 16u);
     }
@@ -1025,13 +1162,13 @@ TEST(TileServer, SequentialDayAccessPrefetchesNextChainStep)
     q.day = 2.5;
     server.serve(q);
     server.waitForPrefetchIdle();
-    ServerStats afterPrefetch = server.stats();
+    StatsView afterPrefetch = server.statsView();
     EXPECT_GE(afterPrefetch.prefetchTasks, 1u);
 
     // The day-3 query now runs entirely warm.
     q.day = 3.5;
     TileResult r = server.serve(q);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.ok());
     EXPECT_DOUBLE_EQ(r.servedDay, 3.0);
     EXPECT_EQ(r.tilesDecoded, 0);
 }
@@ -1049,13 +1186,13 @@ TEST(TileServer, LatencyPercentilesTrackQueries)
     q.height = 128;
     for (int i = 0; i < 10; ++i)
         server.serve(q);
-    ServerStats stats = server.stats();
+    StatsView stats = server.statsView();
     EXPECT_EQ(stats.queries, 10u);
     EXPECT_GT(stats.latencyP50Ms, 0.0);
     EXPECT_GE(stats.latencyP99Ms, stats.latencyP50Ms);
     server.resetStats();
-    EXPECT_EQ(server.stats().queries, 0u);
-    EXPECT_EQ(server.stats().latencyP99Ms, 0.0);
+    EXPECT_EQ(server.statsView().queries, 0u);
+    EXPECT_EQ(server.statsView().latencyP99Ms, 0.0);
 }
 
 TEST(TileServer, LatencyPercentilesMatchSortedReference)
@@ -1108,7 +1245,7 @@ TEST(TileServer, LatencyPercentilesMatchSortedReference)
         double refP50 = rank(0.50);
         double refP99 = rank(0.99);
 
-        ServerStats stats = server.stats();
+        StatsView stats = server.statsView();
         ASSERT_EQ(stats.queries, static_cast<uint64_t>(kQueries));
         ASSERT_LE(stats.latencyP50Ms, stats.latencyP99Ms);
         bool matched =
@@ -1142,7 +1279,7 @@ TEST(TileServer, ServeBatchTraceExportsCompleteEvents)
     auto results = server.serveBatch(batch);
     telemetry::setTracing(false);
     for (const auto &r : results)
-        EXPECT_TRUE(r.found);
+        EXPECT_TRUE(r.ok());
 
     TempPath trace("serve_batch_trace.json");
     ASSERT_TRUE(telemetry::writeTrace(trace.str()));
@@ -1236,7 +1373,7 @@ TEST(ArchiveConcurrency, ServeBatchWhileAppending)
                 batch.push_back(q);
             }
             for (const TileResult &r : server.serveBatch(batch))
-                ASSERT_TRUE(r.found);
+                ASSERT_TRUE(r.ok());
             ++rounds;
         }
         appender.join();
@@ -1387,6 +1524,6 @@ TEST(GroundSegmentE2E, SimulationDeliversEverythingUnderLoss)
     q.width = 128;
     q.height = 128;
     TileResult r = server.serve(q);
-    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(r.ok());
     EXPECT_GT(r.tilesDecoded, 0);
 }

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Tests for the EPT wire protocol and the event-loop serving front:
+ * codec round trips, framing torture (fragmentation, bad magic,
+ * corrupt CRC, oversized length prefixes), loopback client/server
+ * round trips against the in-process serve path, the version
+ * handshake, and admission-control shedding under overload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "codec/codec.hh"
+#include "ground/archive.hh"
+#include "ground/tile_server.hh"
+#include "net/client.hh"
+#include "net/protocol.hh"
+#include "net/server.hh"
+#include "raster/tile.hh"
+#include "util/rng.hh"
+
+using namespace earthplus;
+using namespace earthplus::ground;
+using namespace earthplus::net;
+
+namespace {
+
+/** Natural-image-like test content. */
+raster::Plane
+testPlane(int w, int h, uint64_t seed)
+{
+    raster::Plane p(w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = 0.5f +
+                         0.3f * std::sin(x * 0.05f) * std::cos(y * 0.07f) +
+                         static_cast<float>(rng.normal(0.0, 0.01));
+    p.clampTo(0.0f, 1.0f);
+    return p;
+}
+
+/** Append a full download + one delta for location 1 to `archive`. */
+void
+buildChain(Archive &archive, const raster::Plane &base, int tileSize)
+{
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    ep.tileSize = tileSize;
+    RecordMeta meta;
+    meta.locationId = 1;
+    meta.band = 0;
+    meta.captureDay = 1.0;
+    meta.fullDownload = true;
+    archive.append(meta, codec::encode(base, ep).serialize());
+
+    raster::TileGrid grid(base.width(), base.height(), tileSize);
+    raster::TileMask roi(grid);
+    roi.set(0, true);
+    ep.roi = &roi;
+    meta.captureDay = 2.0;
+    meta.fullDownload = false;
+    meta.referenceDay = 1.0;
+    archive.append(meta, codec::encode(base, ep).serialize());
+}
+
+/** A query the test archive can serve in full. */
+TileQuery
+fullQuery()
+{
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 2.5;
+    q.x0 = 0;
+    q.y0 = 0;
+    q.width = 128;
+    q.height = 128;
+    return q;
+}
+
+/** Feed a byte range into a reader. */
+void
+feedRange(FrameReader &reader, const std::vector<uint8_t> &bytes,
+          size_t begin, size_t end)
+{
+    reader.feed(bytes.data() + begin, end - begin);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------------
+// Protocol codec round trips.
+
+TEST(NetProtocol, QueryRoundTrip)
+{
+    TileQuery q;
+    q.locationId = 42;
+    q.band = 3;
+    q.day = 17.25;
+    q.x0 = -5;
+    q.y0 = 11;
+    q.width = 300;
+    q.height = 200;
+    q.maxLayers = 2;
+
+    std::vector<uint8_t> bytes = encodeQuery(0xDEADBEEFCAFEull, q);
+    EXPECT_EQ(bytes.size(), kFrameHeaderBytes + kQueryBodyBytes);
+
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    EXPECT_EQ(frame.magic, kQueryMagic);
+    EXPECT_EQ(frame.version, kProtocolVersion);
+
+    uint64_t id = 0;
+    TileQuery back;
+    ASSERT_TRUE(decodeQuery(frame, id, back));
+    EXPECT_EQ(id, 0xDEADBEEFCAFEull);
+    EXPECT_EQ(back.locationId, q.locationId);
+    EXPECT_EQ(back.band, q.band);
+    EXPECT_DOUBLE_EQ(back.day, q.day);
+    EXPECT_EQ(back.x0, q.x0);
+    EXPECT_EQ(back.y0, q.y0);
+    EXPECT_EQ(back.width, q.width);
+    EXPECT_EQ(back.height, q.height);
+    EXPECT_EQ(back.maxLayers, q.maxLayers);
+}
+
+TEST(NetProtocol, ResultRoundTripWithPixels)
+{
+    TileResult r;
+    r.error = ServeError::Truncated;
+    r.pixels = testPlane(48, 32, 7);
+    r.servedDay = 2.0;
+    r.serveNs = 123456;
+    r.tilesDecoded = 4;
+    r.tilesFromCache = 2;
+    r.tilesCoalesced = 1;
+
+    std::vector<uint8_t> bytes = encodeResult(99, r);
+    EXPECT_EQ(bytes.size(), kFrameHeaderBytes + kResultFixedBodyBytes +
+                                48 * 32 * sizeof(float));
+
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    EXPECT_EQ(frame.magic, kResultMagic);
+
+    uint64_t id = 0;
+    TileResult back;
+    ASSERT_TRUE(decodeResult(frame, id, back));
+    EXPECT_EQ(id, 99u);
+    EXPECT_EQ(back.error, ServeError::Truncated);
+    EXPECT_TRUE(back.ok());
+    EXPECT_DOUBLE_EQ(back.servedDay, 2.0);
+    EXPECT_EQ(back.serveNs, 123456u);
+    EXPECT_EQ(back.tilesDecoded, 4);
+    EXPECT_EQ(back.tilesFromCache, 2);
+    EXPECT_EQ(back.tilesCoalesced, 1);
+    ASSERT_EQ(back.pixels.width(), 48);
+    ASSERT_EQ(back.pixels.height(), 32);
+    EXPECT_EQ(back.pixels.data(), r.pixels.data()); // bit-exact
+}
+
+TEST(NetProtocol, ErrorResultsCarryNoPixels)
+{
+    TileResult shed = shedResult(75);
+    EXPECT_EQ(shed.error, ServeError::Shed);
+    EXPECT_EQ(shed.retryAfterMs, 75u);
+
+    std::vector<uint8_t> bytes = encodeResult(7, shed);
+    EXPECT_EQ(bytes.size(), kFrameHeaderBytes + kResultFixedBodyBytes);
+
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    uint64_t id = 0;
+    TileResult back;
+    ASSERT_TRUE(decodeResult(frame, id, back));
+    EXPECT_EQ(back.error, ServeError::Shed);
+    EXPECT_EQ(back.retryAfterMs, 75u);
+    EXPECT_TRUE(back.pixels.empty());
+    EXPECT_FALSE(back.ok());
+}
+
+TEST(NetProtocol, HelloCarriesVersionInHeader)
+{
+    std::vector<uint8_t> bytes = encodeHello(kProtocolVersion + 3);
+    EXPECT_EQ(bytes.size(), kFrameHeaderBytes);
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    EXPECT_EQ(frame.magic, kHelloMagic);
+    EXPECT_EQ(frame.version, kProtocolVersion + 3);
+    EXPECT_TRUE(frame.body.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Framing torture.
+
+TEST(NetProtocol, FrameSurvivesSplitAtEveryByteBoundary)
+{
+    TileQuery q = fullQuery();
+    std::vector<uint8_t> bytes = encodeQuery(5, q);
+    for (size_t split = 1; split < bytes.size(); ++split) {
+        FrameReader reader;
+        Frame frame;
+        feedRange(reader, bytes, 0, split);
+        EXPECT_FALSE(reader.next(frame)) << "split=" << split;
+        EXPECT_EQ(reader.error(), FrameError::None);
+        feedRange(reader, bytes, split, bytes.size());
+        ASSERT_TRUE(reader.next(frame)) << "split=" << split;
+        EXPECT_EQ(frame.magic, kQueryMagic);
+        EXPECT_EQ(reader.buffered(), 0u);
+    }
+}
+
+TEST(NetProtocol, ByteByByteFeedReassemblesBackToBackFrames)
+{
+    std::vector<uint8_t> stream = encodeHello(kProtocolVersion);
+    std::vector<uint8_t> query = encodeQuery(11, fullQuery());
+    TileResult nf;
+    nf.error = ServeError::NotFound;
+    std::vector<uint8_t> result = encodeResult(11, nf);
+    stream.insert(stream.end(), query.begin(), query.end());
+    stream.insert(stream.end(), result.begin(), result.end());
+
+    FrameReader reader;
+    std::vector<uint32_t> magics;
+    Frame frame;
+    for (uint8_t b : stream) {
+        reader.feed(&b, 1);
+        while (reader.next(frame))
+            magics.push_back(frame.magic);
+    }
+    EXPECT_EQ(reader.error(), FrameError::None);
+    ASSERT_EQ(magics.size(), 3u);
+    EXPECT_EQ(magics[0], kHelloMagic);
+    EXPECT_EQ(magics[1], kQueryMagic);
+    EXPECT_EQ(magics[2], kResultMagic);
+}
+
+TEST(NetProtocol, BadMagicPoisonsTheReader)
+{
+    std::vector<uint8_t> bytes = encodeQuery(1, fullQuery());
+    bytes[0] ^= 0xFF;
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_EQ(reader.error(), FrameError::BadMagic);
+    // Poisoned: further bytes are ignored, no resynchronization.
+    std::vector<uint8_t> good = encodeHello(kProtocolVersion);
+    reader.feed(good.data(), good.size());
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_EQ(reader.error(), FrameError::BadMagic);
+}
+
+TEST(NetProtocol, CorruptCrcIsRejected)
+{
+    std::vector<uint8_t> bytes = encodeQuery(1, fullQuery());
+    bytes.back() ^= 0x01; // flip one body bit
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_EQ(reader.error(), FrameError::BadCrc);
+}
+
+TEST(NetProtocol, OversizedLengthPrefixRejectedFromHeaderAlone)
+{
+    // A hostile length prefix must be rejected on sight — from the
+    // 16 header bytes only, before the reader ever waits for (or
+    // allocates) the declared body.
+    std::vector<uint8_t> header = encodeHello(kProtocolVersion);
+    uint32_t huge = static_cast<uint32_t>(kMaxBodyBytes) + 1;
+    std::memcpy(header.data() + 8, &huge, sizeof(huge));
+    FrameReader reader;
+    reader.feed(header.data(), kFrameHeaderBytes);
+    Frame frame;
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_EQ(reader.error(), FrameError::BadLength);
+}
+
+TEST(NetProtocol, TruncatedFrameIsNotAnErrorUntilMoreBytesArrive)
+{
+    std::vector<uint8_t> bytes = encodeQuery(1, fullQuery());
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size() - 1);
+    Frame frame;
+    EXPECT_FALSE(reader.next(frame));
+    EXPECT_EQ(reader.error(), FrameError::None);
+    EXPECT_EQ(reader.buffered(), bytes.size() - 1);
+    reader.feed(bytes.data() + bytes.size() - 1, 1);
+    EXPECT_TRUE(reader.next(frame));
+}
+
+TEST(NetProtocol, DecodersRejectWrongSizesAndStatuses)
+{
+    Frame frame;
+    frame.magic = kQueryMagic;
+    frame.version = kProtocolVersion;
+    frame.body.assign(kQueryBodyBytes - 1, 0);
+    uint64_t id;
+    TileQuery q;
+    EXPECT_FALSE(decodeQuery(frame, id, q));
+
+    TileResult nf;
+    nf.error = ServeError::NotFound;
+    std::vector<uint8_t> bytes = encodeResult(3, nf);
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame rframe;
+    ASSERT_TRUE(reader.next(rframe));
+    rframe.body[8] = 200; // not a ServeError value
+    TileResult r;
+    EXPECT_FALSE(decodeResult(rframe, id, r));
+}
+
+// ---------------------------------------------------------------------------
+// Loopback server round trips.
+
+namespace {
+
+/** Archive + server fixture on an ephemeral loopback port. */
+class LoopbackServer
+{
+  public:
+    explicit LoopbackServer(ServerOptions options = {})
+        : archive_(""), tiles_((buildChain(archive_, testPlane(128, 128, 9),
+                                           64),
+                                archive_))
+    {
+        server_ = std::make_unique<Server>(tiles_, options);
+        EXPECT_TRUE(server_->start());
+    }
+
+    TileServer &tiles() { return tiles_; }
+    uint16_t port() const { return server_->port(); }
+    void stopServer() { server_->stop(); }
+
+  private:
+    Archive archive_;
+    TileServer tiles_;
+    std::unique_ptr<Server> server_;
+};
+
+} // anonymous namespace
+
+TEST(NetServer, LoopbackRoundTripMatchesInProcessServe)
+{
+    LoopbackServer fx;
+    TileClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", fx.port()));
+    EXPECT_EQ(client.serverVersion(), kProtocolVersion);
+
+    TileQuery q = fullQuery();
+    TileResult local = fx.tiles().serve(q);
+    ASSERT_TRUE(local.ok());
+
+    TileResult remote;
+    ASSERT_TRUE(client.query(q, remote));
+    EXPECT_EQ(remote.error, ServeError::None);
+    EXPECT_DOUBLE_EQ(remote.servedDay, local.servedDay);
+    EXPECT_EQ(remote.pixels.data(), local.pixels.data()); // bit-exact
+
+    // Status parity with the in-process path for every error class.
+    TileQuery miss = q;
+    miss.locationId = 999;
+    ASSERT_TRUE(client.query(miss, remote));
+    EXPECT_EQ(remote.error, fx.tiles().serve(miss).error);
+    EXPECT_EQ(remote.error, ServeError::NotFound);
+
+    TileQuery bad = q;
+    bad.width = 0;
+    ASSERT_TRUE(client.query(bad, remote));
+    EXPECT_EQ(remote.error, fx.tiles().serve(bad).error);
+    EXPECT_EQ(remote.error, ServeError::BadQuery);
+
+    TileQuery over = q;
+    over.x0 = -16;
+    over.width = 300;
+    TileResult localOver = fx.tiles().serve(over);
+    ASSERT_TRUE(client.query(over, remote));
+    EXPECT_EQ(remote.error, ServeError::Truncated);
+    EXPECT_EQ(remote.pixels.data(), localOver.pixels.data());
+}
+
+TEST(NetServer, PollBackendServesRoundTrips)
+{
+    ServerOptions options;
+    options.usePoll = true;
+    LoopbackServer fx(options);
+    TileClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", fx.port()));
+    TileResult remote;
+    ASSERT_TRUE(client.query(fullQuery(), remote));
+    EXPECT_EQ(remote.error, ServeError::None);
+    EXPECT_EQ(remote.pixels.data(), fx.tiles().serve(fullQuery()).pixels.data());
+}
+
+TEST(NetServer, VersionMismatchIsRefusedAfterReportingOurs)
+{
+    LoopbackServer fx;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    std::vector<uint8_t> hello = encodeHello(kProtocolVersion + 9);
+    ASSERT_EQ(::send(fd, hello.data(), hello.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(hello.size()));
+
+    // The server answers with its own version, then closes.
+    FrameReader reader;
+    Frame frame;
+    bool sawHello = false, sawEof = false;
+    for (;;) {
+        if (reader.next(frame)) {
+            EXPECT_EQ(frame.magic, kHelloMagic);
+            EXPECT_EQ(frame.version, kProtocolVersion);
+            sawHello = true;
+            continue;
+        }
+        uint8_t buf[4096];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            reader.feed(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        sawEof = true;
+        break;
+    }
+    EXPECT_TRUE(sawHello);
+    EXPECT_TRUE(sawEof);
+    ::close(fd);
+
+    // The well-versed client still works.
+    TileClient client;
+    EXPECT_TRUE(client.connect("127.0.0.1", fx.port()));
+}
+
+TEST(NetServer, QueriesBeforeHandshakeDropTheConnection)
+{
+    LoopbackServer fx;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    std::vector<uint8_t> query = encodeQuery(1, fullQuery());
+    ASSERT_EQ(::send(fd, query.data(), query.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(query.size()));
+    uint8_t buf[64];
+    ssize_t n;
+    do {
+        n = ::recv(fd, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
+    EXPECT_EQ(n, 0) << "server must close, not answer";
+    ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+
+TEST(NetServer, ZeroPendingQueueShedsEverythingWithRetryHint)
+{
+    ServerOptions options;
+    options.maxPending = 0;
+    options.retryAfterMs = 120;
+    LoopbackServer fx(options);
+    TileClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", fx.port()));
+    for (int i = 0; i < 5; ++i) {
+        TileResult r;
+        ASSERT_TRUE(client.query(fullQuery(), r));
+        EXPECT_EQ(r.error, ServeError::Shed);
+        EXPECT_EQ(r.retryAfterMs, 120u);
+        EXPECT_TRUE(r.pixels.empty());
+    }
+}
+
+TEST(NetServer, PipelinedBurstNeverHangsEveryQueryAnswered)
+{
+    ServerOptions options;
+    options.maxPending = 2;
+    LoopbackServer fx(options);
+    TileClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", fx.port()));
+
+    constexpr int kBurst = 64;
+    for (int i = 0; i < kBurst; ++i)
+        ASSERT_TRUE(client.send(fullQuery(), 1000 + i));
+
+    std::set<uint64_t> answered;
+    int served = 0, shed = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        TileResult r;
+        uint64_t id = 0;
+        ASSERT_TRUE(client.receive(r, &id));
+        ASSERT_TRUE(answered.insert(id).second) << "duplicate id " << id;
+        ASSERT_GE(id, 1000u);
+        ASSERT_LT(id, 1000u + kBurst);
+        if (r.error == ServeError::Shed) {
+            EXPECT_GT(r.retryAfterMs, 0u);
+            ++shed;
+        } else {
+            EXPECT_EQ(r.error, ServeError::None);
+            ++served;
+        }
+    }
+    EXPECT_EQ(served + shed, kBurst);
+    EXPECT_GT(served, 0);
+}
+
+TEST(NetServer, StopWithOpenConnectionsIsClean)
+{
+    auto fx = std::make_unique<LoopbackServer>();
+    TileClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", fx->port()));
+    TileResult r;
+    ASSERT_TRUE(client.query(fullQuery(), r));
+    fx->stopServer();
+    // The connection is gone; the client notices on its next use.
+    EXPECT_FALSE(client.query(fullQuery(), r));
+    fx.reset();
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * earthplus_tile_serverd — the standalone EPT serving daemon.
+ *
+ * Opens (or synthesizes) an archive, wraps it in a ground::TileServer,
+ * and fronts it with a net::Server speaking the EPTQ/EPTR protocol
+ * (docs/ARCHITECTURE.md). Runs until SIGINT/SIGTERM, then drains and
+ * exits cleanly.
+ *
+ * `--selftest` replaces the serve loop with a loopback round trip
+ * against an in-memory synthetic archive — the CI smoke test that the
+ * daemon can bind, handshake, serve pixels over the wire, and shut
+ * down without leaks.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "codec/codec.hh"
+#include "ground/archive.hh"
+#include "ground/tile_server.hh"
+#include "net/client.hh"
+#include "net/protocol.hh"
+#include "net/server.hh"
+#include "util/rng.hh"
+
+using namespace earthplus;
+
+namespace {
+
+std::atomic<bool> gStop{false};
+
+void
+onSignal(int)
+{
+    gStop.store(true);
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --archive DIR        sharded archive to serve (default: "
+        "in-memory synthetic)\n"
+        "  --port N             TCP port (default 7455; 0 = ephemeral)\n"
+        "  --cache-mb N         decoded-tile cache budget (default 64)\n"
+        "  --max-connections N  concurrent connections (default 256)\n"
+        "  --max-pending N      admission queue depth (default 128)\n"
+        "  --retry-after-ms N   shed retry hint (default 50)\n"
+        "  --poll               force the poll() backend over epoll\n"
+        "  --selftest           loopback round trip, then exit\n",
+        argv0);
+}
+
+/** Synthetic archive content when no --archive is given. */
+void
+buildSynthetic(ground::Archive &archive)
+{
+    raster::Plane base(256, 256);
+    Rng rng(1234);
+    for (int y = 0; y < base.height(); ++y)
+        for (int x = 0; x < base.width(); ++x)
+            base.at(x, y) =
+                0.5f + 0.3f * std::sin(x * 0.04f) * std::cos(y * 0.06f) +
+                static_cast<float>(rng.normal(0.0, 0.01));
+    base.clampTo(0.0f, 1.0f);
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    ep.tileSize = 64;
+    ground::RecordMeta meta;
+    meta.locationId = 1;
+    meta.band = 0;
+    meta.captureDay = 1.0;
+    meta.fullDownload = true;
+    archive.append(meta, codec::encode(base, ep).serialize());
+}
+
+/** The --selftest loopback round trip. 0 on success. */
+int
+selftest(ground::TileServer &tiles, net::Server &server)
+{
+    net::TileClient client;
+    if (!client.connect("127.0.0.1", server.port())) {
+        std::fprintf(stderr, "selftest: connect failed\n");
+        return 1;
+    }
+    ground::TileQuery q;
+    q.locationId = 1;
+    q.day = 1.5;
+    q.width = 256;
+    q.height = 256;
+    ground::TileResult remote;
+    if (!client.query(q, remote) || !remote.ok()) {
+        std::fprintf(stderr, "selftest: query failed (%s)\n",
+                     ground::serveErrorName(remote.error));
+        return 1;
+    }
+    ground::TileResult local = tiles.serve(q);
+    if (remote.pixels.data() != local.pixels.data()) {
+        std::fprintf(stderr, "selftest: wire pixels != local pixels\n");
+        return 1;
+    }
+    std::printf("selftest ok: %dx%d px over loopback port %u\n",
+                remote.pixels.width(), remote.pixels.height(),
+                static_cast<unsigned>(server.port()));
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string archivePath;
+    net::ServerOptions options;
+    options.port = 7455;
+    size_t cacheMb = 64;
+    bool runSelftest = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intArg = [&](long &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = std::strtol(argv[++i], nullptr, 10);
+            return true;
+        };
+        long v = 0;
+        if (arg == "--archive" && i + 1 < argc) {
+            archivePath = argv[++i];
+        } else if (arg == "--port" && intArg(v)) {
+            options.port = static_cast<uint16_t>(v);
+        } else if (arg == "--cache-mb" && intArg(v)) {
+            cacheMb = static_cast<size_t>(v);
+        } else if (arg == "--max-connections" && intArg(v)) {
+            options.maxConnections = static_cast<size_t>(v);
+        } else if (arg == "--max-pending" && intArg(v)) {
+            options.maxPending = static_cast<size_t>(v);
+        } else if (arg == "--retry-after-ms" && intArg(v)) {
+            options.retryAfterMs = static_cast<uint32_t>(v);
+        } else if (arg == "--poll") {
+            options.usePoll = true;
+        } else if (arg == "--selftest") {
+            runSelftest = true;
+            options.port = 0; // never collide with a running daemon
+        } else {
+            usage(argv[0]);
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+
+    ground::Archive archive(archivePath);
+    if (archivePath.empty())
+        buildSynthetic(archive);
+    else if (archive.recordCount() == 0)
+        std::fprintf(stderr, "warning: archive '%s' is empty\n",
+                     archivePath.c_str());
+
+    ground::TileServer tiles(archive, cacheMb << 20);
+    net::Server server(tiles, options);
+    if (!server.start()) {
+        std::fprintf(stderr, "failed to bind %s:%u\n",
+                     options.bindAddress.c_str(),
+                     static_cast<unsigned>(options.port));
+        return 1;
+    }
+
+    if (runSelftest) {
+        int rc = selftest(tiles, server);
+        server.stop();
+        return rc;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::printf("earthplus_tile_serverd: serving %s on %s:%u "
+                "(%zu records)\n",
+                archivePath.empty() ? "<synthetic>" : archivePath.c_str(),
+                options.bindAddress.c_str(),
+                static_cast<unsigned>(server.port()),
+                archive.recordCount());
+    while (!gStop.load() && server.running())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.stop();
+    std::printf("earthplus_tile_serverd: stopped\n");
+    return 0;
+}
