@@ -15,7 +15,11 @@ Two checks, both asserting structure rather than numbers:
 Usage:
     python3 ci/trace_check.py --metrics <metrics.json> --trace <trace.json>
 
-Either flag may be given alone. Exits non-zero with a diagnostic when a
+Either flag may be given alone. The repeatable --require-counter NAME
+flag additionally asserts that the metrics snapshot contains counter
+NAME with a value > 0 — the chaos job uses it to prove the recovery
+counters (archive.tail_truncated, archive.fsync_failures) actually
+moved during the fault run. Exits non-zero with a diagnostic when a
 file is missing, unparsable, or structurally wrong.
 """
 
@@ -43,7 +47,7 @@ def load(path, what):
         fail(f"{what} {path} is not valid JSON: {e}")
 
 
-def check_metrics(path):
+def check_metrics(path, required_counters=()):
     snap = load(path, "metrics snapshot")
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(snap.get(section), dict):
@@ -53,9 +57,19 @@ def check_metrics(path):
             if not isinstance(hist.get(field), (int, float)):
                 fail(f"{path}: histogram '{name}' lacks numeric "
                      f"'{field}'")
+    for name in required_counters:
+        value = snap["counters"].get(name)
+        if not isinstance(value, (int, float)):
+            fail(f"{path}: required counter '{name}' is absent "
+                 f"(have: {', '.join(sorted(snap['counters'])) or 'none'})")
+        if value <= 0:
+            fail(f"{path}: required counter '{name}' never moved "
+                 f"(value {value})")
     print(f"trace_check: {path}: {len(snap['counters'])} counters, "
           f"{len(snap['gauges'])} gauges, "
-          f"{len(snap['histograms'])} histograms")
+          f"{len(snap['histograms'])} histograms"
+          + (f"; required counters OK: {', '.join(required_counters)}"
+             if required_counters else ""))
 
 
 def check_trace(path):
@@ -84,11 +98,17 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", help="snapshotJson() output to check")
     parser.add_argument("--trace", help="writeTrace() output to check")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="assert the metrics snapshot has counter "
+                             "NAME with value > 0 (repeatable)")
     args = parser.parse_args()
     if not args.metrics and not args.trace:
         fail("nothing to check: pass --metrics and/or --trace")
+    if args.require_counter and not args.metrics:
+        fail("--require-counter needs --metrics")
     if args.metrics:
-        check_metrics(args.metrics)
+        check_metrics(args.metrics, args.require_counter)
     if args.trace:
         check_trace(args.trace)
     print("trace_check: OK")

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <limits>
 
+#include "ground/archive_io.hh"
 #include "ground/crc32.hh"
 #include "util/bytes.hh"
 #include "util/logging.hh"
@@ -74,6 +75,11 @@ struct ArchiveMetrics
         telemetry::counter("archive.bytes_mapped");
     telemetry::Histogram &shardLockWaitNs =
         telemetry::histogram("archive.shard_lock_wait_ns");
+    telemetry::Counter &tailTruncated =
+        telemetry::counter("archive.tail_truncated");
+    telemetry::Counter &fsyncFailures =
+        telemetry::counter("archive.fsync_failures");
+    telemetry::Counter &syncs = telemetry::counter("archive.syncs");
 };
 
 ArchiveMetrics &
@@ -169,48 +175,94 @@ parseRecordHeader(const uint8_t *buf, RecordEntry &entry)
 }
 
 /** Create an empty container file holding just the file header. */
-void
+bool
 writeContainerHeader(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("cannot create archive shard '%s'", path.c_str());
     std::vector<uint8_t> header;
     appendPod(header, kFileMagic);
     appendPod(header, kVersion);
-    if (std::fwrite(header.data(), 1, header.size(), f) != header.size())
-        fatal("cannot write shard header to '%s'", path.c_str());
-    std::fclose(f);
+    return archive_io::createFile(path, header.data(), header.size());
 }
+
+/** Outcome of scanning one container file. */
+struct ScanResult
+{
+    ScanReport report;
+    /** OpenErrorKind::None when the scan is usable. */
+    OpenErrorKind error = OpenErrorKind::None;
+    /** Human-readable detail for a non-None error. */
+    std::string detail;
+};
 
 /**
  * Scan one container file (a shard, or a legacy single-file archive),
- * recovering the valid record prefix. A truncated or corrupt tail
- * stops the scan; when `rewriteTail` is set the garbage is cut off so
- * the next append starts on a clean tail.
+ * recovering the valid record prefix. A *torn-write* tail — one that
+ * begins with our own record magic, or is too short to judge — stops
+ * the scan; when `rewriteTail` is set that garbage is cut off so the
+ * next append starts on a clean tail. A tail that provably was never
+ * ours (>= 4 readable bytes with the wrong record magic: a foreign
+ * writer grew the shard) is a fail-closed error instead — nothing is
+ * truncated, the bytes are preserved for forensics.
  */
-ScanReport
+ScanResult
 scanContainerFile(const std::string &path, std::vector<RecordEntry> &out,
                   bool rewriteTail)
 {
-    ScanReport report;
+    ScanResult result;
+    ScanReport &report = result.report;
     std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("cannot open archive container '%s'", path.c_str());
+    if (!f) {
+        // Ghost mode: the file this open "created" was never
+        // persisted because the simulated process already died.
+        // Present it as the empty container the creator thinks it is.
+        if (archive_io::crashed()) {
+            report.validBytes = kFileHeaderBytes;
+            return result;
+        }
+        result.error = OpenErrorKind::BadShard;
+        result.detail = strfmt("cannot open archive container '%s'",
+                               path.c_str());
+        return result;
+    }
 
     uint8_t fileHeader[kFileHeaderBytes];
-    if (std::fread(fileHeader, 1, kFileHeaderBytes, f) !=
-            kFileHeaderBytes ||
-        readPodAt<uint32_t>(fileHeader, 0) != kFileMagic)
-        fatal("'%s' is not an Earth+ archive container", path.c_str());
+    size_t gotHeader = std::fread(fileHeader, 1, kFileHeaderBytes, f);
+    if (gotHeader != kFileHeaderBytes ||
+        readPodAt<uint32_t>(fileHeader, 0) != kFileMagic) {
+        std::fclose(f);
+        // Ghost mode: a container header torn by the simulated crash
+        // reads as the empty container its (dead) creator believes it
+        // wrote; the discarded ghost instance must not fail the scan.
+        if (archive_io::crashed()) {
+            report.validBytes = kFileHeaderBytes;
+            return result;
+        }
+        result.error = OpenErrorKind::BadShard;
+        result.detail = strfmt(
+            "'%s' is not an Earth+ archive container (%s)",
+            path.c_str(),
+            gotHeader == 0 ? "zero-byte file"
+                           : "bad or truncated file header");
+        return result;
+    }
     uint32_t version = readPodAt<uint32_t>(fileHeader, 4);
-    if (version != kVersion)
-        fatal("archive container '%s' has unsupported version %u",
-              path.c_str(), version);
+    if (version != kVersion) {
+        std::fclose(f);
+        if (archive_io::crashed()) {
+            report.validBytes = kFileHeaderBytes;
+            return result;
+        }
+        result.error = OpenErrorKind::BadShard;
+        result.detail =
+            strfmt("archive container '%s' has unsupported version %u",
+                   path.c_str(), version);
+        return result;
+    }
 
     // Scan records until the end of the file or the first corrupt /
     // truncated record; everything before it stays usable.
     uint64_t pos = kFileHeaderBytes;
+    bool foreignTail = false;
     for (;;) {
         uint8_t buf[kRecordHeaderBytes];
         if (!seekTo(f, pos))
@@ -220,11 +272,17 @@ scanContainerFile(const std::string &path, std::vector<RecordEntry> &out,
             break; // clean end of file
         if (got < kRecordHeaderBytes) {
             report.truncatedTail = true;
+            foreignTail = got >= 4 &&
+                readPodAt<uint32_t>(buf, 0) != kRecordMagic;
             break;
         }
         RecordEntry entry;
         if (!parseRecordHeader(buf, entry)) {
             report.truncatedTail = true;
+            // Our own torn header always starts with the record magic
+            // (headers are written front-first); anything else is a
+            // tail some other writer appended.
+            foreignTail = readPodAt<uint32_t>(buf, 0) != kRecordMagic;
             break;
         }
         entry.payloadOffset = pos + kRecordHeaderBytes;
@@ -246,41 +304,51 @@ scanContainerFile(const std::string &path, std::vector<RecordEntry> &out,
 
     report.recordCount = out.size();
     report.validBytes = pos;
+    if (foreignTail) {
+        result.error = OpenErrorKind::ForeignData;
+        result.detail = strfmt(
+            "archive container '%s': tail at byte %llu was not "
+            "written by this archive (foreign writer?) — refusing to "
+            "truncate it", path.c_str(),
+            static_cast<unsigned long long>(pos));
+        return result;
+    }
     if (report.truncatedTail && rewriteTail) {
         // Drop the garbage so the next append starts on a clean tail.
-        // resize_file is one metadata operation: the valid prefix is
+        // The truncate is one metadata operation: the valid prefix is
         // never rewritten, so a crash here cannot lose it.
         warn("archive container '%s': discarding corrupt tail after "
              "%llu bytes (%zu records recovered)", path.c_str(),
              static_cast<unsigned long long>(pos), out.size());
-        std::error_code ec;
-        fs::resize_file(path, pos, ec);
-        if (ec)
-            fatal("cannot truncate archive container '%s': %s",
-                  path.c_str(), ec.message().c_str());
+        archiveMetrics().tailTruncated.add();
+        if (!archive_io::truncateFile(path, pos)) {
+            result.error = OpenErrorKind::Unwritable;
+            result.detail =
+                strfmt("cannot truncate archive container '%s'",
+                       path.c_str());
+            return result;
+        }
     }
-    return report;
+    return result;
 }
 
-/** Append one record's header + payload at `offset` in `path`. */
-void
+/**
+ * Append one record's header + payload at `offset` in `path`. Header
+ * and payload are separate write boundaries, so injected crashes can
+ * land between them. False when either write fails.
+ */
+bool
 appendRecordToFile(const std::string &path, uint64_t offset,
                    const RecordMeta &meta, uint32_t payloadCrc,
                    const std::vector<uint8_t> &payload)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb+");
-    if (!f)
-        fatal("cannot open archive shard '%s' for append", path.c_str());
     std::vector<uint8_t> header = recordHeaderBytes(meta, payloadCrc);
-    bool ok =
-        seekTo(f, offset) &&
-        std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
-        (payload.empty() ||
-         std::fwrite(payload.data(), 1, payload.size(), f) ==
-             payload.size());
-    std::fclose(f);
-    if (!ok)
-        fatal("append to archive shard '%s' failed", path.c_str());
+    if (!archive_io::writeAt(path, offset, header.data(),
+                             header.size()))
+        return false;
+    return payload.empty() ||
+           archive_io::writeAt(path, offset + header.size(),
+                               payload.data(), payload.size());
 }
 
 /** Read `size` bytes at `offset` from `path` (stdio fallback path). */
@@ -303,6 +371,14 @@ readFileRange(const std::string &path, uint64_t offset, size_t size)
               path.c_str(), static_cast<unsigned long long>(offset),
               size);
     return bytes;
+}
+
+/** Directory holding `path` ("." when the path has no parent). */
+std::string
+parentDirOf(const std::string &path)
+{
+    fs::path parent = fs::path(path).parent_path();
+    return parent.empty() ? std::string(".") : parent.string();
 }
 
 /** Shard container file name for shard `idx`. */
@@ -334,22 +410,103 @@ isLegacyArchiveFile(const std::string &path)
 } // anonymous namespace
 
 Archive::Archive(const std::string &path, int shardCount)
-    : path_(path)
+    : Archive(path,
+              [&] {
+                  ArchiveOptions o;
+                  o.shardCount = shardCount;
+                  return o;
+              }(),
+              nullptr)
 {
-    int shards = shardCount > 0 ? shardCount : kDefaultShardCount;
+}
+
+Archive::Archive(const std::string &path, const ArchiveOptions &options)
+    : Archive(path, options, nullptr)
+{
+}
+
+Archive::Archive(const std::string &path, const ArchiveOptions &options,
+                 ArchiveOpenError *error)
+    : path_(path), options_(options), err_(error)
+{
+    int shards = options_.shardCount > 0 ? options_.shardCount
+                                         : kDefaultShardCount;
     // The reopen path rejects absurd manifest counts; enforce the
     // same bound at creation time, where the caller can still fix it.
-    if (shards > 4096)
-        fatal("archive '%s': shard count %d exceeds the 4096 cap",
-              path_.c_str(), shards);
+    if (shards > 4096) {
+        openFail(OpenErrorKind::BadManifest,
+                 strfmt("archive '%s': shard count %d exceeds the "
+                        "4096 cap", path_.c_str(), shards));
+        err_ = nullptr;
+        return;
+    }
     if (!path_.empty()) {
-        recoverInterruptedMigration();
+        if (!recoverInterruptedMigration()) {
+            err_ = nullptr;
+            return;
+        }
+        if (archive_io::crashed()) {
+            makeGhostShards(shards);
+            err_ = nullptr;
+            return;
+        }
         if (isLegacyArchiveFile(path_)) {
             migrateLegacyFile(shards);
+            // A simulated crash mid-migration leaves no usable shard
+            // set; degrade to a discardable ghost instance.
+            if (shards_.empty() && archive_io::crashed())
+                makeGhostShards(shards);
+            err_ = nullptr;
             return;
         }
     }
     openShards(shards);
+    err_ = nullptr;
+}
+
+std::unique_ptr<Archive>
+Archive::open(const std::string &path, const ArchiveOptions &options,
+              ArchiveOpenError *error)
+{
+    ArchiveOpenError scratch;
+    ArchiveOpenError *slot = error ? error : &scratch;
+    slot->kind = OpenErrorKind::None;
+    slot->detail.clear();
+    std::unique_ptr<Archive> archive(new Archive(path, options, slot));
+    if (slot->kind != OpenErrorKind::None)
+        return nullptr;
+    return archive;
+}
+
+bool
+Archive::openFail(OpenErrorKind kind, std::string detail)
+{
+    if (!err_)
+        fatal("%s", detail.c_str());
+    // First error wins: later cascading failures of the same open
+    // would only obscure the root cause.
+    if (err_->kind == OpenErrorKind::None) {
+        err_->kind = kind;
+        err_->detail = std::move(detail);
+    }
+    return false;
+}
+
+void
+Archive::makeGhostShards(int shardCount)
+{
+    // Empty-path shards behave like the memory-backed mode: every
+    // later append lands in memory only, which is exactly what a
+    // dead process's writes amount to.
+    shards_.clear();
+    globalRecords_.clear();
+    scanReport_ = ScanReport{};
+    for (int s = 0; s < shardCount; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->appendOffset = kFileHeaderBytes;
+        shard->scan.validBytes = shard->appendOffset;
+        shards_.push_back(std::move(shard));
+    }
 }
 
 Archive::~Archive()
@@ -379,7 +536,7 @@ Archive::shardForLocation(int locationId) const
     return static_cast<int>(h % shards_.size());
 }
 
-void
+bool
 Archive::openShards(int shardCount)
 {
     bool manifestExisted = false;
@@ -387,8 +544,10 @@ Archive::openShards(int shardCount)
         std::error_code ec;
         fs::create_directories(path_, ec);
         if (ec)
-            fatal("cannot create archive directory '%s': %s",
-                  path_.c_str(), ec.message().c_str());
+            return openFail(
+                OpenErrorKind::Unwritable,
+                strfmt("cannot create archive directory '%s': %s",
+                       path_.c_str(), ec.message().c_str()));
 
         // The manifest pins the shard count: the location -> shard
         // mapping is modular, so reopening with a different count
@@ -396,36 +555,80 @@ Archive::openShards(int shardCount)
         std::string manifestPath =
             (fs::path(path_) / kManifestName).string();
         if (!fs::exists(manifestPath)) {
-            // Shard files without their manifest: the shard count (and
-            // with it the location -> shard mapping) is unknown, and
-            // guessing would silently split every chain. Refuse if ANY
-            // shard file is present.
+            // Shard files without their manifest: if any shard can
+            // hold records, the shard count (and with it the
+            // location -> shard mapping) is unknown and guessing
+            // would silently split every chain — refuse. Header-sized
+            // or smaller files are debris from a creation that
+            // crashed before its manifest landed (shard containers
+            // are written first, appends only start once the manifest
+            // exists): recordless by construction, so remove them and
+            // re-initialize.
+            std::vector<std::string> creationDebris;
+            for (const auto &entry : fs::directory_iterator(path_)) {
+                std::string name = entry.path().filename().string();
+                if (name.rfind("shard-", 0) != 0 ||
+                    name.size() <= 5 ||
+                    name.substr(name.size() - 5) != ".epar")
+                    continue;
+                std::error_code sec;
+                uint64_t size = fs::file_size(entry.path(), sec);
+                if (!sec && size <= kFileHeaderBytes) {
+                    creationDebris.push_back(entry.path().string());
+                    continue;
+                }
+                return openFail(
+                    OpenErrorKind::MissingManifest,
+                    strfmt("archive '%s' has shard files but no "
+                           "manifest — restore '%s' or rebuild "
+                           "the archive", path_.c_str(),
+                           manifestPath.c_str()));
+            }
+            for (const std::string &p : creationDebris)
+                archive_io::removeFile(p);
+        } else {
+            // An interrupted compact() can leave staged shard
+            // rewrites behind; they were never renamed into place, so
+            // they are dead weight, never data.
             for (const auto &entry : fs::directory_iterator(path_)) {
                 std::string name = entry.path().filename().string();
                 if (name.rfind("shard-", 0) == 0 &&
-                    name.size() > 5 &&
-                    name.substr(name.size() - 5) == ".epar")
-                    fatal("archive '%s' has shard files but no "
-                          "manifest — restore '%s' or rebuild the "
-                          "archive", path_.c_str(),
-                          manifestPath.c_str());
+                    name.size() > 9 &&
+                    name.substr(name.size() - 9) == ".epar.tmp")
+                    archive_io::removeFile(entry.path().string());
             }
         }
         if (fs::exists(manifestPath)) {
             manifestExisted = true;
-            std::vector<uint8_t> m =
-                readFileRange(manifestPath, 0, kManifestBytes);
+            std::vector<uint8_t> m(kManifestBytes);
+            std::FILE *mf = std::fopen(manifestPath.c_str(), "rb");
+            bool readOk = mf &&
+                std::fread(m.data(), 1, m.size(), mf) == m.size();
+            if (mf)
+                std::fclose(mf);
+            if (!readOk)
+                return openFail(
+                    OpenErrorKind::BadManifest,
+                    strfmt("archive manifest '%s' is unreadable or "
+                           "truncated", manifestPath.c_str()));
             if (readPodAt<uint32_t>(m.data(), 0) != kManifestMagic)
-                fatal("'%s' is not an Earth+ archive manifest",
-                      manifestPath.c_str());
+                return openFail(
+                    OpenErrorKind::BadManifest,
+                    strfmt("'%s' is not an Earth+ archive manifest",
+                           manifestPath.c_str()));
             uint32_t version = readPodAt<uint32_t>(m.data(), 4);
             if (version != kVersion)
-                fatal("archive manifest '%s' has unsupported version %u",
-                      manifestPath.c_str(), version);
+                return openFail(
+                    OpenErrorKind::BadManifest,
+                    strfmt("archive manifest '%s' has unsupported "
+                           "version %u", manifestPath.c_str(),
+                           version));
             uint32_t count = readPodAt<uint32_t>(m.data(), 8);
             if (count == 0 || count > 4096)
-                fatal("archive manifest '%s' has absurd shard count %u",
-                      manifestPath.c_str(), count);
+                return openFail(
+                    OpenErrorKind::BadManifest,
+                    strfmt("archive manifest '%s' has absurd shard "
+                           "count %u", manifestPath.c_str(), count));
             shardCount = static_cast<int>(count);
         } else {
             // Create the shard containers BEFORE the manifest lands:
@@ -436,27 +639,43 @@ Archive::openShards(int shardCount)
             // would read as data loss.
             for (int s = 0; s < shardCount; ++s) {
                 std::string shardPath = shardFileName(path_, s);
-                if (!fs::exists(shardPath))
-                    writeContainerHeader(shardPath);
+                if (!fs::exists(shardPath) &&
+                    !writeContainerHeader(shardPath))
+                    return openFail(
+                        OpenErrorKind::Unwritable,
+                        strfmt("cannot create archive shard '%s'",
+                               shardPath.c_str()));
             }
-            // Write-temp-then-rename: a crash mid-write must not
-            // leave a partial manifest that wedges every later open.
+            // Write-temp, fsync, rename, fsync-dir: a crash anywhere
+            // in the sequence leaves either no manifest (the archive
+            // re-initializes on the next open) or a durable complete
+            // one — never a partial manifest that wedges every later
+            // open.
             std::vector<uint8_t> m;
             appendPod(m, kManifestMagic);
             appendPod(m, kVersion);
             appendPod(m, static_cast<uint32_t>(shardCount));
             std::string tmpPath = manifestPath + ".tmp";
-            std::FILE *f = std::fopen(tmpPath.c_str(), "wb");
-            if (!f || std::fwrite(m.data(), 1, m.size(), f) != m.size())
-                fatal("cannot write archive manifest '%s'",
-                      tmpPath.c_str());
-            std::fclose(f);
-            std::error_code ec;
-            fs::rename(tmpPath, manifestPath, ec);
-            if (ec)
-                fatal("cannot move archive manifest into place at "
-                      "'%s': %s", manifestPath.c_str(),
-                      ec.message().c_str());
+            if (!archive_io::createFile(tmpPath, m.data(), m.size()))
+                return openFail(
+                    OpenErrorKind::Unwritable,
+                    strfmt("cannot write archive manifest '%s'",
+                           tmpPath.c_str()));
+            if (!archive_io::syncFile(tmpPath)) {
+                archiveMetrics().fsyncFailures.add();
+                warn("archive '%s': cannot fsync manifest before "
+                     "rename", path_.c_str());
+            }
+            if (!archive_io::renameFile(tmpPath, manifestPath))
+                return openFail(
+                    OpenErrorKind::Unwritable,
+                    strfmt("cannot move archive manifest into place "
+                           "at '%s'", manifestPath.c_str()));
+            if (!archive_io::syncDir(path_)) {
+                archiveMetrics().fsyncFailures.add();
+                warn("archive '%s': cannot fsync directory after "
+                     "manifest rename", path_.c_str());
+            }
         }
     }
 
@@ -467,15 +686,24 @@ Archive::openShards(int shardCount)
         if (!path_.empty()) {
             shard->path = shardFileName(path_, s);
             if (!fs::exists(shard->path)) {
-                // In a pre-existing archive a missing shard file is
-                // always data loss (its chains are gone), never a
-                // fresh start — recreate it so the archive stays
-                // usable, but say so.
-                if (manifestExisted)
-                    warn("archive '%s': shard file '%s' is missing — "
-                         "chains stored in it are lost; recreating "
-                         "empty", path_.c_str(), shard->path.c_str());
-                writeContainerHeader(shard->path);
+                // A manifest referencing a missing shard file is data
+                // loss (every chain stored in it is gone). Silently
+                // recreating it empty would bless that loss, so the
+                // open fails closed; a fresh-creation race (no
+                // manifest yet) recreates freely above.
+                if (manifestExisted && !archive_io::crashed())
+                    return openFail(
+                        OpenErrorKind::MissingShard,
+                        strfmt("archive '%s': manifest references "
+                               "missing shard file '%s' — its chains "
+                               "are lost; restore the file or rebuild "
+                               "the archive", path_.c_str(),
+                               shard->path.c_str()));
+                if (!writeContainerHeader(shard->path))
+                    return openFail(
+                        OpenErrorKind::Unwritable,
+                        strfmt("cannot create archive shard '%s'",
+                               shard->path.c_str()));
             }
         }
         shard->appendOffset = kFileHeaderBytes;
@@ -486,7 +714,7 @@ Archive::openShards(int shardCount)
     if (path_.empty()) {
         scanReport_.validBytes =
             kFileHeaderBytes * static_cast<uint64_t>(shardCount);
-        return;
+        return true;
     }
 
     // Scan every shard, then interleave the per-shard records into one
@@ -499,7 +727,10 @@ Archive::openShards(int shardCount)
     for (size_t s = 0; s < shards_.size(); ++s) {
         Shard &shard = *shards_[s];
         std::vector<RecordEntry> entries;
-        shard.scan = scanContainerFile(shard.path, entries, true);
+        ScanResult scan = scanContainerFile(shard.path, entries, true);
+        if (scan.error != OpenErrorKind::None)
+            return openFail(scan.error, std::move(scan.detail));
+        shard.scan = scan.report;
         shard.appendOffset = shard.scan.validBytes;
         for (const RecordEntry &entry : entries) {
             uint32_t local = static_cast<uint32_t>(shard.records.size());
@@ -513,9 +744,10 @@ Archive::openShards(int shardCount)
         scanReport_.validBytes += shard.scan.validBytes;
         scanReport_.truncatedTail |= shard.scan.truncatedTail;
     }
+    return true;
 }
 
-void
+bool
 Archive::recoverInterruptedMigration()
 {
     // Finish (or clean up after) a legacy migration that crashed
@@ -532,42 +764,54 @@ Archive::recoverInterruptedMigration()
     std::error_code ec;
     if (!fs::exists(path_, ec) && fs::exists(asidePath, ec)) {
         if (!fs::exists(stagingPath, ec))
-            fatal("archive '%s': interrupted migration left only '%s' "
-                  "— recover it manually", path_.c_str(),
-                  asidePath.c_str());
+            return openFail(
+                OpenErrorKind::BadMigration,
+                strfmt("archive '%s': interrupted migration left only "
+                       "'%s' — recover it manually", path_.c_str(),
+                       asidePath.c_str()));
         warn("archive '%s': completing interrupted legacy migration",
              path_.c_str());
-        fs::rename(stagingPath, path_, ec);
-        if (ec)
-            fatal("cannot finish migration of archive '%s': %s",
-                  path_.c_str(), ec.message().c_str());
+        if (!archive_io::renameFile(stagingPath, path_))
+            return openFail(
+                OpenErrorKind::BadMigration,
+                strfmt("cannot finish migration of archive '%s'",
+                       path_.c_str()));
+        archive_io::syncDir(parentDirOf(path_));
     }
     if (fs::exists(path_, ec) && fs::exists(asidePath, ec)) {
-        fs::remove(asidePath, ec);
-        if (ec)
-            warn("cannot remove migrated legacy archive '%s': %s",
-                 asidePath.c_str(), ec.message().c_str());
+        if (!archive_io::removeFile(asidePath))
+            warn("cannot remove migrated legacy archive '%s'",
+                 asidePath.c_str());
     }
+    return true;
 }
 
-void
+bool
 Archive::migrateLegacyFile(int shardCount)
 {
     // One-time migration of a pre-sharding single-file archive. The
     // legacy file stays authoritative at path_ until a complete
     // sharded replica exists: records are replayed into a staging
     // directory first, then swapped into place with two renames (see
-    // recoverInterruptedMigration() for the crash story).
+    // recoverInterruptedMigration() for the crash story). Each rename
+    // is followed by a directory fsync so the swap is durable before
+    // the legacy bytes are removed.
     std::string stagingPath = path_ + ".migrating";
     std::string asidePath = path_ + ".legacy-done";
-    std::error_code ec;
-    fs::remove_all(stagingPath, ec); // stale partial replay, if any
+    archive_io::removeAll(stagingPath); // stale partial replay, if any
 
     std::vector<RecordEntry> entries;
-    ScanReport legacyScan = scanContainerFile(path_, entries, false);
+    ScanResult legacyScan = scanContainerFile(path_, entries, false);
+    if (legacyScan.error != OpenErrorKind::None)
+        return openFail(legacyScan.error,
+                        std::move(legacyScan.detail));
     {
-        Archive staging(stagingPath, shardCount);
+        ArchiveOptions stagingOptions = options_;
+        stagingOptions.shardCount = shardCount;
+        Archive staging(stagingPath, stagingOptions);
         for (const RecordEntry &entry : entries) {
+            if (archive_io::crashed())
+                break;
             std::vector<uint8_t> payload = readFileRange(
                 path_, entry.payloadOffset,
                 static_cast<size_t>(entry.meta.payloadBytes));
@@ -577,42 +821,83 @@ Archive::migrateLegacyFile(int shardCount)
                       "during migration", path_.c_str());
             staging.append(entry.meta, payload);
         }
+        // The replica must be on disk before the swap makes it
+        // authoritative.
+        staging.sync();
     }
 
-    fs::rename(path_, asidePath, ec);
-    if (ec)
-        fatal("cannot move legacy archive '%s' aside: %s",
-              path_.c_str(), ec.message().c_str());
-    fs::rename(stagingPath, path_, ec);
-    if (ec)
-        fatal("cannot move migrated archive into place at '%s': %s",
-              path_.c_str(), ec.message().c_str());
-    fs::remove(asidePath, ec);
-    if (ec)
-        warn("cannot remove migrated legacy archive '%s': %s",
-             asidePath.c_str(), ec.message().c_str());
+    if (!archive_io::renameFile(path_, asidePath))
+        return openFail(
+            OpenErrorKind::BadMigration,
+            strfmt("cannot move legacy archive '%s' aside",
+                   path_.c_str()));
+    if (!archive_io::renameFile(stagingPath, path_))
+        return openFail(
+            OpenErrorKind::BadMigration,
+            strfmt("cannot move migrated archive into place at '%s'",
+                   path_.c_str()));
+    archive_io::syncDir(parentDirOf(path_));
+    if (!archive_io::removeFile(asidePath))
+        warn("cannot remove migrated legacy archive '%s'",
+             asidePath.c_str());
 
-    openShards(shardCount);
+    // A simulated crash anywhere above leaves the on-disk swap
+    // incomplete; the caller degrades this instance to a ghost and
+    // the next (real) open finishes or redoes the migration.
+    if (archive_io::crashed())
+        return true;
+
+    if (!openShards(shardCount))
+        return false;
     scanReport_.migratedLegacy = true;
-    scanReport_.truncatedTail |= legacyScan.truncatedTail;
+    scanReport_.truncatedTail |= legacyScan.report.truncatedTail;
     inform("archive '%s': migrated %zu legacy records into %d shards",
            path_.c_str(), globalRecords_.size(), shardCount);
+    return true;
 }
 
 RecordEntry
 Archive::writeRecordLocked(Shard &shard, const RecordMeta &meta,
-                           const std::vector<uint8_t> &payload)
+                           const std::vector<uint8_t> &payload,
+                           bool persist)
 {
     RecordEntry entry;
     entry.meta = meta;
     entry.meta.payloadBytes = payload.size();
     entry.payloadCrc = crc32(payload.data(), payload.size());
     entry.payloadOffset = shard.appendOffset + kRecordHeaderBytes;
-    if (shard.path.empty())
+    if (shard.path.empty()) {
         shard.memPayloads.push_back(payload);
-    else
-        appendRecordToFile(shard.path, shard.appendOffset, entry.meta,
-                           entry.payloadCrc, payload);
+    } else if (persist) {
+        if (!appendRecordToFile(shard.path, shard.appendOffset,
+                                entry.meta, entry.payloadCrc, payload))
+            fatal("append to archive shard '%s' failed (disk full, "
+                  "I/O error, or injected fault)", shard.path.c_str());
+        shard.bytesSinceSync += kRecordHeaderBytes + payload.size();
+        // The durability contract: Always fdatasyncs before the
+        // append acknowledges (fsync failure here is fail-stop — a
+        // success return would promise durability we do not have);
+        // Interval amortizes the fsync over syncIntervalBytes.
+        bool wantSync =
+            options_.syncPolicy == SyncPolicy::Always ||
+            (options_.syncPolicy == SyncPolicy::Interval &&
+             shard.bytesSinceSync >= options_.syncIntervalBytes);
+        if (wantSync) {
+            if (archive_io::syncFile(shard.path)) {
+                archiveMetrics().syncs.add();
+                shard.bytesSinceSync = 0;
+            } else {
+                archiveMetrics().fsyncFailures.add();
+                if (options_.syncPolicy == SyncPolicy::Always)
+                    fatal("archive shard '%s': fdatasync failed under "
+                          "SyncPolicy::Always — cannot acknowledge "
+                          "the append", shard.path.c_str());
+                warn("archive shard '%s': fdatasync failed; retrying "
+                     "at the next interval", shard.path.c_str());
+                shard.bytesSinceSync = 0;
+            }
+        }
+    }
     shard.appendOffset += kRecordHeaderBytes + payload.size();
     shard.records.push_back(entry);
     return entry;
@@ -910,6 +1195,58 @@ Archive::compact()
         survivors.emplace_back(entry.meta, std::move(payload));
     }
 
+    // Crash-safe rewrite: each shard's survivors go to a staged
+    // 'shard-NNN.epar.tmp' first, the staged file is fsynced, then
+    // renamed over the live shard. A crash anywhere leaves every
+    // shard either fully old or fully new — both valid containers —
+    // and per-shard independence makes a partially renamed compact a
+    // legal archive state (chains never span shards). Stray .tmp
+    // files are swept on the next open.
+    if (!path_.empty()) {
+        std::vector<uint64_t> tmpOffsets(shards_.size(),
+                                         kFileHeaderBytes);
+        auto tmpPathOf = [](const Shard &shard) {
+            return shard.path + ".tmp";
+        };
+        for (auto &shardPtr : shards_) {
+            if (!writeContainerHeader(tmpPathOf(*shardPtr)))
+                fatal("compact: cannot stage rewrite of shard '%s'",
+                      shardPtr->path.c_str());
+        }
+        for (const auto &[meta, payload] : survivors) {
+            size_t shardIdx =
+                static_cast<size_t>(shardForLocation(meta.locationId));
+            Shard &shard = *shards_[shardIdx];
+            RecordMeta stamped = meta;
+            stamped.payloadBytes = payload.size();
+            if (!appendRecordToFile(tmpPathOf(shard),
+                                    tmpOffsets[shardIdx], stamped,
+                                    crc32(payload.data(),
+                                          payload.size()),
+                                    payload))
+                fatal("compact: staged write to '%s' failed",
+                      tmpPathOf(shard).c_str());
+            tmpOffsets[shardIdx] +=
+                kRecordHeaderBytes + payload.size();
+        }
+        for (auto &shardPtr : shards_) {
+            std::string tmp = tmpPathOf(*shardPtr);
+            if (!archive_io::syncFile(tmp)) {
+                archiveMetrics().fsyncFailures.add();
+                warn("compact: cannot fsync staged shard '%s'",
+                     tmp.c_str());
+            } else {
+                archiveMetrics().syncs.add();
+            }
+            if (!archive_io::renameFile(tmp, shardPtr->path))
+                fatal("compact: cannot move staged shard over '%s' — "
+                      "already-renamed shards are compacted, the rest "
+                      "are untouched (every shard is still a valid "
+                      "container)", shardPtr->path.c_str());
+        }
+        archive_io::syncDir(path_);
+    }
+
     // Reset every shard. Rewriting a file invalidates the *content*
     // behind its mapping, so the mapping is retired along with any
     // outstanding views (the API contract: compact() invalidates
@@ -922,25 +1259,24 @@ Archive::compact()
         shard.index.clear();
         shard.memPayloads.clear();
         shard.appendOffset = kFileHeaderBytes;
+        shard.bytesSinceSync = 0;
         if (shard.mapAddr) {
             shard.retired.emplace_back(shard.mapAddr, shard.mapLen);
             shard.mapAddr = nullptr;
             shard.mapLen = 0;
             shard.mapValidBytes = 0;
         }
-        if (!shard.path.empty())
-            writeContainerHeader(shard.path);
     }
 
-    // Replay the survivors in their original global order. Locks are
-    // already held, so this writes through the shared append core
-    // without re-locking.
+    // Replay the survivors in their original global order to rebuild
+    // the in-memory records and indexes. The bytes are already on
+    // disk (staged + renamed above), so the replay is memory-only.
     for (auto &[meta, payload] : survivors) {
         size_t shardIdx =
             static_cast<size_t>(shardForLocation(meta.locationId));
         Shard &shard = *shards_[shardIdx];
         uint32_t local = static_cast<uint32_t>(shard.records.size());
-        writeRecordLocked(shard, meta, payload);
+        writeRecordLocked(shard, meta, payload, false);
         indexRecordLocked(shardIdx, local, meta);
     }
 
@@ -955,6 +1291,25 @@ Archive::compact()
         scanReport_.validBytes += shardPtr->appendOffset;
     }
     return before - after;
+}
+
+bool
+Archive::sync()
+{
+    bool ok = true;
+    for (auto &shardPtr : shards_) {
+        std::lock_guard<std::mutex> lock(shardPtr->mutex);
+        if (shardPtr->path.empty())
+            continue;
+        if (archive_io::syncFile(shardPtr->path)) {
+            archiveMetrics().syncs.add();
+            shardPtr->bytesSinceSync = 0;
+        } else {
+            archiveMetrics().fsyncFailures.add();
+            ok = false;
+        }
+    }
+    return ok;
 }
 
 uint64_t

@@ -64,6 +64,67 @@
 
 namespace earthplus::ground {
 
+/**
+ * When appended records are forced to stable storage
+ * (docs/RELIABILITY.md spells out the full durability contract).
+ */
+enum class SyncPolicy
+{
+    /**
+     * Never fdatasync on the append path: an acknowledged append can
+     * be lost to power failure (never to a process crash — the write
+     * itself completes before the acknowledgement). Metadata
+     * operations (manifest creation, migration and compaction
+     * renames) still get the full temp-fsync-rename-dirsync
+     * choreography under every policy.
+     */
+    None,
+    /** fdatasync a shard once every syncIntervalBytes appended to it:
+     *  bounded loss window, amortized fsync cost. */
+    Interval,
+    /** fdatasync the shard before every append acknowledges: an
+     *  acknowledged append survives power failure. Append-path fsync
+     *  failure is fail-stop (fatal) — the acknowledgement would
+     *  otherwise be a lie. */
+    Always,
+};
+
+/** Construction-time knobs for Archive (beyond the path). */
+struct ArchiveOptions
+{
+    /** Shards to create (<= 0 picks Archive::kDefaultShardCount); an
+     *  existing directory's manifest wins. */
+    int shardCount = 0;
+    /** Append durability (see SyncPolicy). */
+    SyncPolicy syncPolicy = SyncPolicy::None;
+    /** SyncPolicy::Interval: fdatasync a shard after this many bytes
+     *  appended to it since its last sync. */
+    uint64_t syncIntervalBytes = 4u << 20;
+};
+
+/** Why Archive::open() refused an archive (fail-closed open). */
+enum class OpenErrorKind
+{
+    None,           ///< No error.
+    BadShard,       ///< Shard unreadable / zero-byte / bad header.
+    MissingShard,   ///< Manifest references a shard file that is gone.
+    MissingManifest,///< Shard files present but no manifest.
+    BadManifest,    ///< Manifest unreadable or malformed.
+    Unwritable,     ///< Cannot create the directory/manifest/shards.
+    ForeignData,    ///< A shard grew a tail we provably never wrote.
+    BadMigration,   ///< Interrupted legacy migration beyond recovery.
+};
+
+/**
+ * Typed outcome of a failed Archive::open(): the kind plus a
+ * human-readable detail naming the offending path.
+ */
+struct ArchiveOpenError
+{
+    OpenErrorKind kind = OpenErrorKind::None; ///< What went wrong.
+    std::string detail; ///< Message naming the offending file.
+};
+
 /** Metadata of one archived download (one band of one capture). */
 struct RecordMeta
 {
@@ -184,6 +245,24 @@ class Archive
      */
     explicit Archive(const std::string &path, int shardCount = 0);
 
+    /**
+     * Open with explicit options (durability policy included). Any
+     * open failure is fatal(); use open() for a typed error instead.
+     */
+    Archive(const std::string &path, const ArchiveOptions &options);
+
+    /**
+     * Fail-closed open: returns the archive, or nullptr with `error`
+     * (when non-null) describing why — a zero-byte or header-corrupt
+     * shard, a manifest referencing a missing shard, an unwritable
+     * directory, a shard grown by a foreign writer, and the other
+     * OpenErrorKind cases — instead of terminating the process the
+     * way the constructors do. On success `error` is left untouched.
+     */
+    static std::unique_ptr<Archive> open(const std::string &path,
+                                         const ArchiveOptions &options,
+                                         ArchiveOpenError *error);
+
     /** Unmaps every shard (including retired mappings). */
     ~Archive();
 
@@ -273,6 +352,19 @@ class Archive
     /** Total bytes across shard files (headers + payloads). */
     uint64_t fileBytes() const;
 
+    /**
+     * Force every shard's appended bytes to stable storage now,
+     * regardless of the configured SyncPolicy. Returns false (after
+     * trying every shard, and counting archive.fsync_failures) when
+     * any fdatasync failed; a false return means the durability of
+     * recent acknowledgements is unknown. No-op true when
+     * memory-backed.
+     */
+    bool sync();
+
+    /** The options this archive was opened with. */
+    const ArchiveOptions &options() const { return options_; }
+
     /** Path backing this archive (empty = memory-backed). */
     const std::string &path() const { return path_; }
 
@@ -301,6 +393,8 @@ class Archive
         std::vector<std::pair<const uint8_t *, size_t>> retired;
         /** Scan outcome for this shard. */
         ScanReport scan;
+        /** Bytes appended since the last fdatasync (Interval policy). */
+        uint64_t bytesSinceSync = 0;
     };
 
     /** Record id -> owning shard and shard-local index. */
@@ -310,16 +404,33 @@ class Archive
         uint32_t local = 0;
     };
 
-    void openShards(int shardCount);
-    void recoverInterruptedMigration();
-    void migrateLegacyFile(int shardCount);
+    Archive(const std::string &path, const ArchiveOptions &options,
+            ArchiveOpenError *error);
+    bool openShards(int shardCount);
+    bool recoverInterruptedMigration();
+    bool migrateLegacyFile(int shardCount);
+    /**
+     * Record an open failure: stores into the caller-provided error
+     * slot when one exists (open() path), fatal()s otherwise
+     * (constructor path). Returns false for tail-calling.
+     */
+    bool openFail(OpenErrorKind kind, std::string detail);
+    /**
+     * Degrade to an empty memory-backed shard set after the simulated
+     * crash latch trips mid-open: the instance stays safe to destroy
+     * and query but persists nothing (the harness discards it).
+     */
+    void makeGhostShards(int shardCount);
     /**
      * Write one record into `shard` (file or memory) and push it onto
      * the shard's record list. Requires shard.mutex held; follow with
-     * indexRecordLocked() to assign its global id.
+     * indexRecordLocked() to assign its global id. `persist` false
+     * records in memory only (compact() replay after the shard file
+     * was already rewritten via temp + rename).
      */
     RecordEntry writeRecordLocked(Shard &shard, const RecordMeta &meta,
-                                  const std::vector<uint8_t> &payload);
+                                  const std::vector<uint8_t> &payload,
+                                  bool persist = true);
     /**
      * Assign the next global id to (shardIdx, local) and add it to
      * the shard's (location, band) index. Requires shard.mutex and a
@@ -331,6 +442,9 @@ class Archive
     bool ensureMapped(Shard &shard, uint64_t end) const;
 
     std::string path_;
+    ArchiveOptions options_;
+    /** Error slot active during construction (null = fatal on error). */
+    ArchiveOpenError *err_ = nullptr;
     std::vector<std::unique_ptr<Shard>> shards_;
     /** Global record table; guards ordering of ids across shards. */
     mutable std::shared_mutex globalMutex_;

@@ -1,6 +1,8 @@
 #include "net/server.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 #include <unordered_map>
 
@@ -17,6 +19,7 @@
 #endif
 
 #include "net/protocol.hh"
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/telemetry.hh"
@@ -49,6 +52,8 @@ struct NetMetrics
         telemetry::histogram("net.queue.wait_ns");
     telemetry::Histogram &queueDepth =
         telemetry::histogram("net.queue.depth");
+    telemetry::Counter &timeouts =
+        telemetry::counter("net.server.timeouts");
 };
 
 NetMetrics &
@@ -56,6 +61,31 @@ netMetrics()
 {
     static NetMetrics m;
     return m;
+}
+
+/**
+ * Server-side injection sites. recv.partial caps one recv(2) to `arg`
+ * bytes (default 1) to force frame reassembly across reads;
+ * send.partial caps one send(2) the same way to force partial-write
+ * handling; drop_response discards a completed serve's EPTR frame
+ * instead of sending it, so clients exercise their read deadline and
+ * retry paths.
+ */
+struct ServerSites
+{
+    failpoint::Failpoint &recvPartial =
+        failpoint::site("net.server.recv.partial");
+    failpoint::Failpoint &sendPartial =
+        failpoint::site("net.server.send.partial");
+    failpoint::Failpoint &dropResponse =
+        failpoint::site("net.server.drop_response");
+};
+
+ServerSites &
+serverSites()
+{
+    static ServerSites s;
+    return s;
 }
 
 bool
@@ -100,29 +130,25 @@ class Poller
     void
     add(int fd, bool wantWrite)
     {
-        interest_[fd] = wantWrite;
-#ifdef __linux__
-        if (epfd_ >= 0) {
-            epoll_event ev{};
-            ev.events = EPOLLIN | (wantWrite ? EPOLLOUT : 0u);
-            ev.data.fd = fd;
-            epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
-        }
-#endif
+        ctl(fd, true, wantWrite, true);
     }
 
     void
     mod(int fd, bool wantWrite)
     {
-        interest_[fd] = wantWrite;
-#ifdef __linux__
-        if (epfd_ >= 0) {
-            epoll_event ev{};
-            ev.events = EPOLLIN | (wantWrite ? EPOLLOUT : 0u);
-            ev.data.fd = fd;
-            epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
-        }
-#endif
+        ctl(fd, true, wantWrite, false);
+    }
+
+    /**
+     * Full interest-mask update. Dropping read interest is how the
+     * drain phase ignores new peer bytes without busy-spinning on
+     * level-triggered readiness; error/hangup readiness is always
+     * reported regardless of the mask, in both backends.
+     */
+    void
+    modMask(int fd, bool wantRead, bool wantWrite)
+    {
+        ctl(fd, wantRead, wantWrite, false);
     }
 
     void
@@ -135,15 +161,19 @@ class Poller
 #endif
     }
 
-    /** Block until something is ready; fills (fd, readiness) pairs. */
+    /**
+     * Wait until something is ready or `timeoutMs` elapses (-1 waits
+     * forever); fills (fd, readiness) pairs. A timeout simply returns
+     * an empty set — the caller's deadline sweep does the rest.
+     */
     void
-    wait(std::vector<std::pair<int, unsigned>> &out)
+    wait(std::vector<std::pair<int, unsigned>> &out, int timeoutMs)
     {
         out.clear();
 #ifdef __linux__
         if (epfd_ >= 0) {
             epoll_event evs[64];
-            int n = epoll_wait(epfd_, evs, 64, -1);
+            int n = epoll_wait(epfd_, evs, 64, timeoutMs);
             for (int i = 0; i < n; ++i) {
                 unsigned bits = 0;
                 if (evs[i].events & (EPOLLIN | EPOLLPRI))
@@ -160,15 +190,16 @@ class Poller
 #endif
         std::vector<pollfd> fds;
         fds.reserve(interest_.size());
-        for (const auto &[fd, wantWrite] : interest_) {
+        for (const auto &[fd, mask] : interest_) {
             pollfd p{};
             p.fd = fd;
-            p.events =
-                static_cast<short>(POLLIN | (wantWrite ? POLLOUT : 0));
+            p.events = static_cast<short>(
+                ((mask & kReadable) ? POLLIN : 0) |
+                ((mask & kWritable) ? POLLOUT : 0));
             fds.push_back(p);
         }
         int n = ::poll(fds.data(),
-                       static_cast<nfds_t>(fds.size()), -1);
+                       static_cast<nfds_t>(fds.size()), timeoutMs);
         if (n <= 0)
             return;
         for (const pollfd &p : fds) {
@@ -186,10 +217,29 @@ class Poller
     }
 
   private:
+    void
+    ctl(int fd, bool wantRead, bool wantWrite, bool isAdd)
+    {
+        interest_[fd] = (wantRead ? kReadable : 0u) |
+                        (wantWrite ? kWritable : 0u);
+#ifdef __linux__
+        if (epfd_ >= 0) {
+            epoll_event ev{};
+            ev.events = (wantRead ? EPOLLIN : 0u) |
+                        (wantWrite ? EPOLLOUT : 0u);
+            ev.data.fd = fd;
+            epoll_ctl(epfd_, isAdd ? EPOLL_CTL_ADD : EPOLL_CTL_MOD,
+                      fd, &ev);
+        }
+#else
+        (void)isAdd;
+#endif
+    }
+
 #ifdef __linux__
     int epfd_ = -1;
 #endif
-    std::unordered_map<int, bool> interest_; // fd -> write interest
+    std::unordered_map<int, unsigned> interest_; // fd -> kReadable|kWritable
 };
 
 } // anonymous namespace
@@ -207,6 +257,17 @@ struct Server::LoopState
         bool handshaken = false;
         bool wantWrite = false;
         bool closeAfterFlush = false;
+        /** Last socket progress in either direction (idle deadline). */
+        uint64_t idleSinceNs = 0;
+        /** First byte of the current partial frame, 0 when none (read
+         *  deadline; deliberately not refreshed by trickled bytes). */
+        uint64_t frameStartNs = 0;
+        /** When the outbox last became non-empty, 0 when flushed
+         *  (write-stall deadline). */
+        uint64_t outboxSinceNs = 0;
+        /** Queries admitted on this connection still awaiting their
+         *  response frame (an in-flight serve is not "idle"). */
+        size_t opsInFlight = 0;
     };
 
     /** One admitted query waiting for a tile-server slot. */
@@ -332,6 +393,9 @@ Server::loop()
     LoopState st(options_.usePoll);
     st.poller.add(listenFd_, false);
     st.poller.add(wakeRead_, false);
+    // Set during the post-stop grace period: connection sockets keep
+    // only write/error interest so nothing new is read or admitted.
+    bool draining = false;
 
     auto closeConn = [&](uint64_t id) {
         auto it = st.conns.find(id);
@@ -349,11 +413,17 @@ Server::loop()
     // connection was torn down.
     auto flushConn = [&](LoopState::Connection &conn) -> bool {
         while (conn.outboxOff < conn.outbox.size()) {
+            size_t chunk = conn.outbox.size() - conn.outboxOff;
+            if (serverSites().sendPartial.fire()) {
+                auto cap = static_cast<size_t>(std::max<int64_t>(
+                    1, serverSites().sendPartial.arg()));
+                chunk = std::min(chunk, cap);
+            }
             ssize_t n = ::send(conn.fd, conn.outbox.data() + conn.outboxOff,
-                               conn.outbox.size() - conn.outboxOff,
-                               MSG_NOSIGNAL);
+                               chunk, MSG_NOSIGNAL);
             if (n > 0) {
                 conn.outboxOff += static_cast<size_t>(n);
+                conn.idleSinceNs = telemetry::nowNanos();
                 m.bytesTx.add(static_cast<uint64_t>(n));
                 continue;
             }
@@ -367,9 +437,10 @@ Server::loop()
         if (conn.outboxOff == conn.outbox.size()) {
             conn.outbox.clear();
             conn.outboxOff = 0;
+            conn.outboxSinceNs = 0;
             if (conn.wantWrite) {
                 conn.wantWrite = false;
-                st.poller.mod(conn.fd, false);
+                st.poller.modMask(conn.fd, !draining, false);
             }
             if (conn.closeAfterFlush) {
                 closeConn(conn.id);
@@ -385,7 +456,7 @@ Server::loop()
             }
             if (!conn.wantWrite) {
                 conn.wantWrite = true;
-                st.poller.mod(conn.fd, true);
+                st.poller.modMask(conn.fd, !draining, true);
             }
         }
         return true;
@@ -402,6 +473,8 @@ Server::loop()
             closeConn(conn.id);
             return false;
         }
+        if (conn.outboxOff == conn.outbox.size())
+            conn.outboxSinceNs = telemetry::nowNanos();
         conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
         m.framesTx.add();
         return flushConn(conn);
@@ -449,6 +522,7 @@ Server::loop()
                 encodeResult(requestId,
                              shedResult(options_.retryAfterMs)));
         }
+        ++conn.opsInFlight;
         st.pending.push_back(LoopState::Pending{
             conn.id, requestId, query, telemetry::nowNanos()});
         m.queueDepth.record(st.pending.size());
@@ -462,9 +536,16 @@ Server::loop()
         LoopState::Connection &conn = it->second;
         uint8_t buf[64 * 1024];
         for (;;) {
-            ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            size_t want = sizeof(buf);
+            if (serverSites().recvPartial.fire()) {
+                auto cap = static_cast<size_t>(std::max<int64_t>(
+                    1, serverSites().recvPartial.arg()));
+                want = std::min(want, cap);
+            }
+            ssize_t n = ::recv(conn.fd, buf, want, 0);
             if (n > 0) {
                 m.bytesRx.add(static_cast<uint64_t>(n));
+                conn.idleSinceNs = telemetry::nowNanos();
                 conn.reader.feed(buf, static_cast<size_t>(n));
                 continue;
             }
@@ -482,7 +563,15 @@ Server::loop()
         if (conn.reader.error() != FrameError::None) {
             m.protocolErrors.add();
             closeConn(id);
+            return;
         }
+        // Track the age of an unfinished frame from its *first* byte:
+        // a peer trickling one byte per read deadline never completes
+        // a frame but never resets this clock either.
+        if (conn.reader.buffered() == 0)
+            conn.frameStartNs = 0;
+        else if (conn.frameStartNs == 0)
+            conn.frameStartNs = telemetry::nowNanos();
     };
 
     auto acceptAll = [&] {
@@ -505,6 +594,7 @@ Server::loop()
             LoopState::Connection conn;
             conn.fd = fd;
             conn.id = id;
+            conn.idleSinceNs = telemetry::nowNanos();
             st.conns.emplace(id, std::move(conn));
             st.fdToId[fd] = id;
             st.poller.add(fd, false);
@@ -578,14 +668,64 @@ Server::loop()
             auto it = st.conns.find(done.connId);
             if (it == st.conns.end())
                 continue; // requester hung up mid-serve
+            if (it->second.opsInFlight > 0)
+                --it->second.opsInFlight;
+            if (serverSites().dropResponse.fire())
+                continue; // injected loss: the client's deadline fires
             sendFrame(it->second, std::move(done.frame));
         }
         return batch.size();
     };
 
     std::vector<std::pair<int, unsigned>> ready;
-    while (!stop_.load(std::memory_order_acquire)) {
-        st.poller.wait(ready);
+
+    // Close connections past their read/idle deadlines and return the
+    // poll timeout (ms) until the nearest surviving deadline, or -1
+    // when no deadline is armed.
+    auto sweepDeadlines = [&]() -> int {
+        if (options_.readTimeoutMs == 0 && options_.idleTimeoutMs == 0)
+            return -1;
+        uint64_t now = telemetry::nowNanos();
+        uint64_t readNs =
+            static_cast<uint64_t>(options_.readTimeoutMs) * 1000000u;
+        uint64_t idleNs =
+            static_cast<uint64_t>(options_.idleTimeoutMs) * 1000000u;
+        uint64_t nextNs = UINT64_MAX;
+        std::vector<uint64_t> expired;
+        for (auto &[id, conn] : st.conns) {
+            uint64_t deadline = UINT64_MAX;
+            bool writing = conn.outboxOff < conn.outbox.size();
+            if (options_.readTimeoutMs != 0) {
+                if (conn.frameStartNs != 0)
+                    deadline = std::min(deadline,
+                                        conn.frameStartNs + readNs);
+                if (writing && conn.outboxSinceNs != 0)
+                    deadline = std::min(deadline,
+                                        conn.outboxSinceNs + readNs);
+            }
+            if (options_.idleTimeoutMs != 0 &&
+                conn.frameStartNs == 0 && !writing &&
+                conn.opsInFlight == 0)
+                deadline =
+                    std::min(deadline, conn.idleSinceNs + idleNs);
+            if (deadline == UINT64_MAX)
+                continue;
+            if (deadline <= now)
+                expired.push_back(id);
+            else
+                nextNs = std::min(nextNs, deadline);
+        }
+        for (uint64_t id : expired) {
+            m.timeouts.add();
+            closeConn(id);
+        }
+        if (nextNs == UINT64_MAX)
+            return -1;
+        return static_cast<int>(std::min<uint64_t>(
+            (nextNs - now) / 1000000u + 1, INT_MAX));
+    };
+
+    auto handleEvents = [&](bool admitReads) {
         for (const auto &[fd, bits] : ready) {
             if (fd == wakeRead_) {
                 uint8_t sink[256];
@@ -610,9 +750,14 @@ Server::loop()
                 if (it != st.conns.end() && !flushConn(it->second))
                     continue;
             }
-            if (bits & kReadable)
+            if ((bits & kReadable) && admitReads)
                 handleRead(id);
         }
+    };
+
+    while (!stop_.load(std::memory_order_acquire)) {
+        st.poller.wait(ready, sweepDeadlines());
+        handleEvents(true);
         // Inline-serving pools complete dispatches synchronously, so
         // keep cycling until neither side makes progress.
         for (;;) {
@@ -620,6 +765,45 @@ Server::loop()
             size_t drained = drainCompleted();
             if (dispatched == 0 && drained == 0)
                 break;
+        }
+    }
+
+    // Bounded graceful drain: stop accepting, finish what was already
+    // admitted and flush buffered responses, then force-close. New
+    // bytes from peers are left unread so nothing new is admitted.
+    if (options_.drainTimeoutMs > 0) {
+        draining = true;
+        st.poller.del(listenFd_);
+        for (const auto &[id, conn] : st.conns)
+            st.poller.modMask(conn.fd, false, conn.wantWrite);
+        uint64_t drainDeadline =
+            telemetry::nowNanos() +
+            static_cast<uint64_t>(options_.drainTimeoutMs) * 1000000u;
+        for (;;) {
+            for (;;) {
+                size_t dispatched = dispatchPending();
+                size_t drained = drainCompleted();
+                if (dispatched == 0 && drained == 0)
+                    break;
+            }
+            bool busy = st.inflight > 0 || !st.pending.empty();
+            if (!busy)
+                for (const auto &[id, conn] : st.conns)
+                    if (conn.outboxOff < conn.outbox.size()) {
+                        busy = true;
+                        break;
+                    }
+            if (!busy)
+                break;
+            int64_t leftNs = static_cast<int64_t>(drainDeadline) -
+                             static_cast<int64_t>(telemetry::nowNanos());
+            if (leftNs <= 0)
+                break;
+            st.poller.wait(
+                ready,
+                static_cast<int>(std::min<int64_t>(
+                    leftNs / 1000000 + 1, INT_MAX)));
+            handleEvents(false);
         }
     }
 

@@ -25,7 +25,11 @@
  *    invisibly inside the pool);
  *  - per-connection write buffers are bounded; a consumer that stops
  *    reading past `maxWriteBufferBytes` is disconnected rather than
- *    ballooning server memory.
+ *    ballooning server memory;
+ *  - per-connection deadlines bound how long a half-sent frame (the
+ *    slow-loris shape), an unflushable response, or a fully idle peer
+ *    may hold a socket: the event loop waits with a timeout instead
+ *    of blocking forever and sweeps expired connections each pass.
  *
  * Every stage is instrumented through the telemetry registry (the
  * net.* inventory in docs/OBSERVABILITY.md): connection and shed
@@ -72,6 +76,29 @@ struct ServerOptions
     size_t maxWriteBufferBytes = 64u << 20;
     /** Force the portable poll() backend even where epoll exists. */
     bool usePoll = false;
+    /**
+     * Read deadline, milliseconds (0 disables): a connection whose
+     * partial frame stops completing — the slow-loris shape, measured
+     * from the first byte of the unfinished frame, so trickling bytes
+     * does not reset it — or whose buffered response cannot be
+     * flushed for this long is closed (counted in
+     * net.server.timeouts).
+     */
+    uint32_t readTimeoutMs = 10000;
+    /**
+     * Idle deadline, milliseconds (0 disables): a connection with no
+     * partial frame, no buffered response, no query in flight and no
+     * traffic for this long is closed (counted in
+     * net.server.timeouts).
+     */
+    uint32_t idleTimeoutMs = 60000;
+    /**
+     * Graceful-drain bound for stop(), milliseconds. The loop stops
+     * accepting, finishes admitted queries and flushes buffered
+     * responses for at most this long, then force-closes whatever
+     * remains; 0 skips the drain and closes immediately.
+     */
+    uint32_t drainTimeoutMs = 1000;
 };
 
 /**
@@ -101,7 +128,13 @@ class Server
      */
     bool start();
 
-    /** Stop the loop thread and close every socket. Idempotent. */
+    /**
+     * Stop the loop thread and close every socket, after a graceful
+     * drain bounded by ServerOptions::drainTimeoutMs (admitted
+     * queries finish and buffered responses flush; nothing new is
+     * accepted or admitted). Always returns within the drain bound
+     * plus the slowest in-flight serve. Idempotent.
+     */
     void stop();
 
     /** Port actually bound (valid after start() returns true). */

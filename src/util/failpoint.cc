@@ -1,0 +1,319 @@
+#include "util/failpoint.hh"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/logging.hh"
+#include "util/telemetry.hh"
+
+namespace earthplus::failpoint {
+
+namespace detail {
+
+/** Registry-internal access to Failpoint private state. */
+struct Access
+{
+    /** Heap-construct a site (the registry leaks it deliberately). */
+    static Failpoint *
+    create(const std::string &name)
+    {
+        return new Failpoint(name);
+    }
+
+    /** Install `schedule` and reset the per-arming sequence. */
+    static void
+    apply(Failpoint &fp, const Schedule &schedule)
+    {
+        fp.schedule_ = schedule;
+        fp.scheduleHits_.store(0, std::memory_order_relaxed);
+        fp.rngState_.store(schedule.seed, std::memory_order_relaxed);
+        fp.armed_.store(schedule.trigger != Trigger::Off,
+                        std::memory_order_relaxed);
+    }
+
+    /** Return the site to the disabled fast path. */
+    static void
+    clear(Failpoint &fp)
+    {
+        fp.armed_.store(false, std::memory_order_relaxed);
+        fp.schedule_ = Schedule{};
+    }
+};
+
+} // namespace detail
+
+namespace {
+
+/**
+ * Registry of leaked sites, keyed by name. One process-wide mutex
+ * guards the map and every site's schedule state: arm/disarm are rare
+ * and armed hits are, by definition, inside an injected-fault
+ * experiment — never a gated hot path.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Failpoint *> sites;
+};
+
+bool armFromSpecLocked(Registry &reg, const std::string &spec);
+
+Registry &
+registry()
+{
+    static Registry *r = [] {
+        auto *reg = new Registry;
+        // Arm from the environment exactly once, before any site is
+        // handed out, so env-armed schedules never race first use.
+        if (const char *env = std::getenv("EARTHPLUS_FAULTS")) {
+            if (env[0] != '\0' && !armFromSpecLocked(*reg, env))
+                warn("EARTHPLUS_FAULTS: malformed spec \"%s\" "
+                     "(ignored)", env);
+        }
+        return reg;
+    }();
+    return *r;
+}
+
+/** Telemetry handles, resolved once per process. */
+struct FailpointMetrics
+{
+    telemetry::Counter &hits = telemetry::counter("failpoint.hits");
+    telemetry::Counter &fires = telemetry::counter("failpoint.fires");
+};
+
+FailpointMetrics &
+metrics()
+{
+    static FailpointMetrics m;
+    return m;
+}
+
+/** SplitMix64 step: the pinned per-site probability stream. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Failpoint &
+siteLocked(Registry &reg, const std::string &name)
+{
+    auto it = reg.sites.find(name);
+    if (it == reg.sites.end())
+        it = reg.sites.emplace(name, detail::Access::create(name))
+                 .first;
+    return *it->second;
+}
+
+bool
+parseTrigger(const std::string &text, Schedule &out)
+{
+    auto tail = [&](size_t prefix) {
+        return text.substr(prefix);
+    };
+    try {
+        if (text == "always") {
+            out.trigger = Trigger::Always;
+            return true;
+        }
+        if (text.rfind("hit:", 0) == 0) {
+            out.trigger = Trigger::NthHit;
+            out.n = std::stoull(tail(4));
+            return out.n >= 1;
+        }
+        if (text.rfind("every:", 0) == 0) {
+            out.trigger = Trigger::EveryKth;
+            out.n = std::stoull(tail(6));
+            return out.n >= 1;
+        }
+        if (text.rfind("p:", 0) == 0) {
+            out.trigger = Trigger::Probability;
+            std::string rest = tail(2);
+            size_t colon = rest.find(':');
+            if (colon != std::string::npos) {
+                out.seed = std::stoull(rest.substr(colon + 1));
+                rest = rest.substr(0, colon);
+            }
+            out.probability = std::stod(rest);
+            return out.probability >= 0.0 && out.probability <= 1.0;
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    return false;
+}
+
+bool
+armFromSpecLocked(Registry &reg, const std::string &spec)
+{
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(';', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+        size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return false;
+        std::string name = entry.substr(0, eq);
+        std::string rest = entry.substr(eq + 1);
+        Schedule schedule;
+        // First comma-token is the trigger; optional riders follow.
+        size_t tpos = 0;
+        bool haveTrigger = false;
+        while (tpos <= rest.size()) {
+            size_t tend = rest.find(',', tpos);
+            if (tend == std::string::npos)
+                tend = rest.size();
+            std::string token = rest.substr(tpos, tend - tpos);
+            tpos = tend + 1;
+            if (token.empty())
+                return false;
+            if (!haveTrigger) {
+                if (!parseTrigger(token, schedule))
+                    return false;
+                haveTrigger = true;
+            } else if (token.rfind("arg:", 0) == 0) {
+                try {
+                    schedule.arg = std::stoll(token.substr(4));
+                } catch (const std::exception &) {
+                    return false;
+                }
+            } else if (token.rfind("seed:", 0) == 0) {
+                try {
+                    schedule.seed = std::stoull(token.substr(5));
+                } catch (const std::exception &) {
+                    return false;
+                }
+            } else {
+                return false;
+            }
+            if (tpos > rest.size())
+                break;
+        }
+        if (!haveTrigger)
+            return false;
+        detail::Access::apply(siteLocked(reg, name), schedule);
+    }
+    return true;
+}
+
+} // namespace
+
+Failpoint::Failpoint(std::string name) : name_(std::move(name)) {}
+
+bool
+Failpoint::fireSlow()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    // Re-check under the lock: a concurrent disarm() may have landed
+    // between the relaxed fast-path load and here.
+    if (!armed_.load(std::memory_order_relaxed))
+        return false;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics().hits.add();
+    uint64_t seq =
+        scheduleHits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fired = false;
+    switch (schedule_.trigger) {
+      case Trigger::Off:
+        break;
+      case Trigger::Always:
+        fired = true;
+        break;
+      case Trigger::NthHit:
+        fired = seq == schedule_.n;
+        break;
+      case Trigger::EveryKth:
+        fired = seq % schedule_.n == 0;
+        break;
+      case Trigger::Probability: {
+        uint64_t state = rngState_.load(std::memory_order_relaxed);
+        uint64_t draw = splitmix64(state);
+        rngState_.store(state, std::memory_order_relaxed);
+        // Top 53 bits -> uniform double in [0, 1).
+        double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+        fired = u < schedule_.probability;
+        break;
+      }
+    }
+    if (fired) {
+        fires_.fetch_add(1, std::memory_order_relaxed);
+        metrics().fires.add();
+    }
+    return fired;
+}
+
+int64_t
+Failpoint::arg() const
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (!armed_.load(std::memory_order_relaxed))
+        return 0;
+    return schedule_.arg;
+}
+
+uint64_t
+Failpoint::hitCount() const
+{
+    return hits_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+Failpoint::fireCount() const
+{
+    return fires_.load(std::memory_order_relaxed);
+}
+
+Failpoint &
+site(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return siteLocked(reg, name);
+}
+
+void
+arm(const std::string &name, const Schedule &schedule)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    detail::Access::apply(siteLocked(reg, name), schedule);
+}
+
+void
+disarm(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    detail::Access::clear(siteLocked(reg, name));
+}
+
+void
+disarmAll()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto &[name, fp] : reg.sites)
+        detail::Access::clear(*fp);
+}
+
+bool
+armFromSpec(const std::string &spec)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return armFromSpecLocked(reg, spec);
+}
+
+} // namespace earthplus::failpoint

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection: named failpoints with
+ * per-site trigger schedules, armed from the environment
+ * (EARTHPLUS_FAULTS) or programmatically by tests.
+ *
+ * A failpoint is a named hook compiled permanently into a production
+ * code path (archive writes, socket sends, ...). Disabled — the
+ * default — a hit costs one relaxed atomic load and a predicted
+ * branch, the same budget the telemetry layer pays, so the hooks stay
+ * in release builds and the perf gates. Armed, each hit consults the
+ * site's schedule:
+ *
+ *   - Always        fire on every hit
+ *   - NthHit(n)     fire exactly once, on the n-th hit (1-based)
+ *   - EveryKth(k)   fire on hits k, 2k, 3k, ...
+ *   - Probability(p, seed)  fire with probability p from a pinned
+ *                   xoshiro stream — deterministic per (seed, hit
+ *                   sequence), never from global randomness
+ *
+ * Sites are process-wide and live forever, like telemetry registry
+ * objects: hot paths resolve a site once into a function-local static
+ * reference. Hit and fire totals feed the "failpoint.hits" /
+ * "failpoint.fires" telemetry counters so chaos runs are observable
+ * with the same tooling as everything else.
+ *
+ * Environment grammar (parsed once, at first registry use):
+ *
+ *   EARTHPLUS_FAULTS="<name>=<trigger>[;<name>=<trigger>...]"
+ *   trigger := always | hit:<n> | every:<k> | p:<float>[:<seed>]
+ *
+ * e.g. EARTHPLUS_FAULTS="archive.io.write.short=hit:3;net.client.recv.reset=p:0.01:42"
+ *
+ * docs/RELIABILITY.md holds the site inventory and naming scheme.
+ */
+
+#ifndef EARTHPLUS_UTIL_FAILPOINT_HH
+#define EARTHPLUS_UTIL_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace earthplus::failpoint {
+
+namespace detail {
+/** Registry-internal accessor (defined in failpoint.cc). */
+struct Access;
+} // namespace detail
+
+/** How an armed failpoint decides whether a given hit fires. */
+enum class Trigger
+{
+    Off,         ///< Not armed; fire() is one relaxed load.
+    Always,      ///< Every hit fires.
+    NthHit,      ///< Exactly one fire, on hit number `n` (1-based).
+    EveryKth,    ///< Fires on every k-th hit (k, 2k, ...).
+    Probability, ///< Each hit fires with probability p (pinned RNG).
+};
+
+/**
+ * Arming descriptor for one site: the trigger mode plus its
+ * parameters. `arg` is an opaque site-interpreted integer rider (e.g.
+ * how many bytes a short write leaves unwritten); 0 means "site
+ * default".
+ */
+struct Schedule
+{
+    Trigger trigger = Trigger::Off; ///< Firing rule.
+    uint64_t n = 1;        ///< NthHit: which hit; EveryKth: the period.
+    double probability = 0.0; ///< Probability mode: chance per hit.
+    uint64_t seed = 0x5eedULL; ///< Probability mode: RNG stream seed.
+    int64_t arg = 0;       ///< Site-specific rider (see site docs).
+};
+
+/**
+ * One named injection site. Obtain instances from site() — references
+ * stay valid for the process lifetime. All members are thread-safe;
+ * fire() is callable from any thread concurrently with arm()/disarm().
+ */
+class Failpoint
+{
+  public:
+    /**
+     * One hit: returns true when the armed schedule says this hit
+     * fires. Disabled sites return false after a single relaxed load.
+     */
+    bool
+    fire()
+    {
+        if (!armed_.load(std::memory_order_relaxed))
+            return false;
+        return fireSlow();
+    }
+
+    /** The schedule's `arg` rider (0 when unset or disarmed). */
+    int64_t arg() const;
+
+    /**
+     * Total *armed* hits since process start. Disarmed hits are
+     * deliberately not counted — the disabled path stays one load —
+     * so tests enumerate a site's boundaries by arming it with an
+     * unreachable NthHit schedule and reading hitCount() after a dry
+     * run.
+     */
+    uint64_t hitCount() const;
+
+    /** Total hits that fired. */
+    uint64_t fireCount() const;
+
+    /** The site's registered name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    friend struct detail::Access;
+
+    explicit Failpoint(std::string name);
+
+    bool fireSlow();
+
+    std::string name_;
+    std::atomic<bool> armed_{false};
+    mutable std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> fires_{0};
+    // Schedule state, guarded by the registry mutex for arm/disarm and
+    // advanced atomically by fireSlow().
+    Schedule schedule_;
+    std::atomic<uint64_t> scheduleHits_{0}; ///< Hits since last arm().
+    std::atomic<uint64_t> rngState_{0};     ///< Probability-mode stream.
+};
+
+/**
+ * Registry lookup: the process-wide failpoint named `name`, created on
+ * first use (like telemetry::counter). The first registry access also
+ * parses EARTHPLUS_FAULTS and arms any sites it names.
+ */
+Failpoint &site(const std::string &name);
+
+/** Arm `name` with `schedule` (resets its per-arming hit sequence). */
+void arm(const std::string &name, const Schedule &schedule);
+
+/** Disarm `name`; its fire() returns to the one-load fast path. */
+void disarm(const std::string &name);
+
+/** Disarm every site (test teardown). */
+void disarmAll();
+
+/**
+ * Parse one EARTHPLUS_FAULTS-grammar spec string and arm the sites it
+ * names. Returns false (arming nothing further) on a malformed spec.
+ * Exposed for tests; the env var goes through this at registry init.
+ */
+bool armFromSpec(const std::string &spec);
+
+} // namespace earthplus::failpoint
+
+#endif // EARTHPLUS_UTIL_FAILPOINT_HH

@@ -30,6 +30,7 @@
 #include "ground/tile_server.hh"
 #include "raster/metrics.hh"
 #include "synth/dataset.hh"
+#include "util/failpoint.hh"
 #include "util/rng.hh"
 #include "util/telemetry.hh"
 
@@ -663,6 +664,102 @@ TEST(Archive, CompactUsesCaptureDayNotAppendOrder)
     ASSERT_EQ(archive.recordCount(), 2u);
     EXPECT_DOUBLE_EQ(archive.record(0).meta.captureDay, 3.0);
     EXPECT_DOUBLE_EQ(archive.record(1).meta.captureDay, 4.0);
+}
+
+// -------------------------------------------------- typed open failures
+
+namespace {
+
+/** Build a small archive with a couple of records on disk. */
+void
+seedArchive(const std::string &path)
+{
+    Archive archive(path);
+    RecordMeta meta;
+    meta.locationId = 3;
+    meta.captureDay = 1.0;
+    meta.fullDownload = true;
+    archive.append(meta, randomPayload(400, 41));
+    meta.captureDay = 2.0;
+    meta.fullDownload = false;
+    archive.append(meta, randomPayload(150, 42));
+}
+
+/** Expect Archive::open(path) to refuse with `kind`. */
+void
+expectOpenFails(const std::string &path, OpenErrorKind kind,
+                const std::string &label)
+{
+    ArchiveOpenError err;
+    auto archive = Archive::open(path, ArchiveOptions{}, &err);
+    EXPECT_EQ(archive, nullptr) << label;
+    EXPECT_EQ(err.kind, kind) << label << ": " << err.detail;
+    EXPECT_FALSE(err.detail.empty())
+        << label << ": detail must name the offending file";
+}
+
+} // anonymous namespace
+
+TEST(ArchiveOpen, ZeroByteShardFailsClosedAsBadShard)
+{
+    TempPath path("archive_open_zeroshard.epar");
+    seedArchive(path.str());
+    std::string shard = shardPathFor(Archive(path.str()), 3);
+    // Truncate the populated shard to zero bytes. The manifest still
+    // references it, so this is damage, not creation debris — the
+    // open must refuse rather than silently serve an empty chain.
+    std::fclose(std::fopen(shard.c_str(), "wb"));
+    expectOpenFails(path.str(), OpenErrorKind::BadShard,
+                    "zero-byte shard");
+}
+
+TEST(ArchiveOpen, ManifestReferencingMissingShardFailsClosed)
+{
+    TempPath path("archive_open_missingshard.epar");
+    seedArchive(path.str());
+    std::string shard = shardPathFor(Archive(path.str()), 3);
+    ASSERT_TRUE(std::filesystem::remove(shard));
+    expectOpenFails(path.str(), OpenErrorKind::MissingShard,
+                    "manifest references deleted shard");
+}
+
+TEST(ArchiveOpen, UnwritableDirectoryFailsClosedAsUnwritable)
+{
+    // Injected write failure: unlike chmod tricks this also works
+    // when the suite runs as root (CI containers), where permission
+    // bits do not bind.
+    TempPath path("archive_open_unwritable.epar");
+    failpoint::Schedule s;
+    s.trigger = failpoint::Trigger::Always;
+    failpoint::arm("archive.io.write.error", s);
+    expectOpenFails(path.str(), OpenErrorKind::Unwritable,
+                    "injected write failure during creation");
+    failpoint::disarmAll();
+    // With I/O healthy again the same path opens fine.
+    ArchiveOpenError err;
+    EXPECT_NE(Archive::open(path.str(), ArchiveOptions{}, &err),
+              nullptr);
+}
+
+TEST(ArchiveOpen, ForeignTailFailsClosedAndPreservesTheBytes)
+{
+    TempPath path("archive_open_foreign.epar");
+    seedArchive(path.str());
+    std::string shard = shardPathFor(Archive(path.str()), 3);
+    uintmax_t grown = 0;
+    {
+        // Another process appended bytes that are provably not ours:
+        // our record headers always start with the record magic.
+        std::ofstream f(shard, std::ios::binary | std::ios::app);
+        f << "NOT-AN-EARTHPLUS-RECORD";
+        f.close();
+        grown = std::filesystem::file_size(shard);
+    }
+    expectOpenFails(path.str(), OpenErrorKind::ForeignData,
+                    "foreign writer grew a shard");
+    // Fail-closed means exactly that: the foreign bytes are evidence,
+    // never auto-truncated like one of our own torn tails would be.
+    EXPECT_EQ(std::filesystem::file_size(shard), grown);
 }
 
 // ----------------------------------------------------- codec::decodeTiles

@@ -56,6 +56,10 @@ usage(const char *argv0)
         "  --max-connections N  concurrent connections (default 256)\n"
         "  --max-pending N      admission queue depth (default 128)\n"
         "  --retry-after-ms N   shed retry hint (default 50)\n"
+        "  --drain-ms N         graceful-drain bound on shutdown "
+        "(default 1000; 0 = immediate)\n"
+        "  --sync MODE          archive durability: none, interval, "
+        "always (default none)\n"
         "  --poll               force the poll() backend over epoll\n"
         "  --selftest           loopback round trip, then exit\n",
         argv0);
@@ -122,6 +126,7 @@ main(int argc, char **argv)
 {
     std::string archivePath;
     net::ServerOptions options;
+    ground::ArchiveOptions archiveOptions;
     options.port = 7455;
     size_t cacheMb = 64;
     bool runSelftest = false;
@@ -147,6 +152,21 @@ main(int argc, char **argv)
             options.maxPending = static_cast<size_t>(v);
         } else if (arg == "--retry-after-ms" && intArg(v)) {
             options.retryAfterMs = static_cast<uint32_t>(v);
+        } else if (arg == "--drain-ms" && intArg(v)) {
+            options.drainTimeoutMs = static_cast<uint32_t>(v);
+        } else if (arg == "--sync" && i + 1 < argc) {
+            std::string mode = argv[++i];
+            if (mode == "none") {
+                archiveOptions.syncPolicy = ground::SyncPolicy::None;
+            } else if (mode == "interval") {
+                archiveOptions.syncPolicy =
+                    ground::SyncPolicy::Interval;
+            } else if (mode == "always") {
+                archiveOptions.syncPolicy = ground::SyncPolicy::Always;
+            } else {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--poll") {
             options.usePoll = true;
         } else if (arg == "--selftest") {
@@ -158,7 +178,17 @@ main(int argc, char **argv)
         }
     }
 
-    ground::Archive archive(archivePath);
+    // Open through the typed-error factory so a bad archive is an
+    // orderly nonzero exit, not an abort.
+    ground::ArchiveOpenError openError;
+    auto archivePtr =
+        ground::Archive::open(archivePath, archiveOptions, &openError);
+    if (!archivePtr) {
+        std::fprintf(stderr, "failed to open archive '%s': %s\n",
+                     archivePath.c_str(), openError.detail.c_str());
+        return 1;
+    }
+    ground::Archive &archive = *archivePtr;
     if (archivePath.empty())
         buildSynthetic(archive);
     else if (archive.recordCount() == 0)
@@ -180,8 +210,15 @@ main(int argc, char **argv)
         return rc;
     }
 
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
+    // sigaction over std::signal: no SA_RESTART, so the sleep below
+    // wakes promptly, and the disposition is reliably process-wide
+    // even with the serving threads already running.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
     std::printf("earthplus_tile_serverd: serving %s on %s:%u "
                 "(%zu records)\n",
                 archivePath.empty() ? "<synthetic>" : archivePath.c_str(),
