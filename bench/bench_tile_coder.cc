@@ -23,7 +23,17 @@
  * p99_ms; the /thw rows are informational only, since CI machines
  * disagree on core count).
  *
- * Flags: --json <path>, --reps <n>, --edge <pixels>, --latency.
+ * With `--progressive` the binary measures the progressive (EPC4)
+ * rate-control path instead: one dense image is encoded once, cut
+ * with codec::truncateStream() at a ladder of byte budgets, and each
+ * prefix decoded — emitting the PSNR-vs-budget rate–distortion rows
+ * (progressive_rd/p{pct}: psnr_db + decode ms per budget) plus a
+ * truncate_stream throughput row (MB/s of the cut itself). The JSON
+ * bench name is "tile_coder_progressive"; all rows are informational
+ * (recorded, not gated — see docs/BENCHMARKS.md).
+ *
+ * Flags: --json <path>, --reps <n>, --edge <pixels>, --latency,
+ * --progressive.
  */
 
 #include <algorithm>
@@ -36,8 +46,10 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "codec/codec.hh"
 #include "codec/kernels.hh"
 #include "codec/tile_coder.hh"
+#include "raster/metrics.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/simd.hh"
@@ -228,6 +240,87 @@ runLatencyMode(int samplesSmall, const std::string &jsonPath)
     return 0;
 }
 
+/**
+ * Progressive rate-control mode: the rate–distortion curve of cutting
+ * one encoded stream at a ladder of byte budgets, plus the throughput
+ * of the cut itself. Everything here is informational: PSNR depends
+ * only on the codec (deterministic), and truncateStream is a memcpy-
+ * class operation no host gate would measure meaningfully.
+ */
+int
+runProgressiveMode(int reps, int edge, const std::string &jsonPath)
+{
+    // A multi-tile image so the cut reallocates across chunk and tile
+    // boundaries, not just within one tile's payload.
+    const int w = edge * 2, h = edge * 2;
+    raster::Plane img = denseTile(w, h, 500);
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 2.0;
+    ep.layers = 3;
+    ep.tileSize = edge;
+    ep.progressive = true;
+    std::vector<uint8_t> stream = codec::encode(img, ep).serialize();
+    size_t floor = codec::streamHeaderFloor(stream);
+
+    Table table("progressive (EPC4) rate-distortion: PSNR vs budget");
+    table.setHeader(
+        {"row", "budget_pct", "bytes", "psnr_db", "decode_ms"});
+    epbench::JsonReporter json("tile_coder_progressive");
+
+    const int percents[] = {5, 10, 25, 50, 75, 100};
+    for (int pct : percents) {
+        size_t budget = std::max(
+            floor, stream.size() * static_cast<size_t>(pct) / 100);
+        std::vector<uint8_t> cut = codec::truncateStream(stream, budget);
+        codec::EncodedImage parsed =
+            codec::EncodedImage::deserialize(cut.data(), cut.size());
+        double psnr = raster::psnr(img, codec::decode(parsed));
+        double decMs = medianMs(reps, [&]() {
+            codec::decode(
+                codec::EncodedImage::deserialize(cut.data(), cut.size()));
+        });
+        std::string name = "progressive_rd/p" + std::to_string(pct);
+        table.addRow({name, std::to_string(pct),
+                      std::to_string(cut.size()), Table::num(psnr, 2),
+                      Table::num(decMs, 3)});
+        json.add(name,
+                 {{"edge", std::to_string(edge)},
+                  {"layers", std::to_string(ep.layers)},
+                  {"budget_pct", std::to_string(pct)}},
+                 decMs, 0.0,
+                 {{"psnr_db", psnr},
+                  {"bytes", static_cast<double>(cut.size())}});
+    }
+
+    // truncateStream throughput: bytes of input scanned per second
+    // across the whole budget ladder (informational, no gate).
+    double cutMs = medianMs(reps, [&]() {
+        for (int pct : percents)
+            codec::truncateStream(
+                stream,
+                std::max(floor, stream.size() *
+                                    static_cast<size_t>(pct) / 100));
+    });
+    double cutMbps = static_cast<double>(stream.size()) *
+                     (sizeof(percents) / sizeof(percents[0])) /
+                     (cutMs * 1e-3) / 1e6;
+    table.addRow({"truncate_stream", "-", std::to_string(stream.size()),
+                  "-", Table::num(cutMs, 3)});
+    json.add("truncate_stream",
+             {{"edge", std::to_string(edge)},
+              {"layers", std::to_string(ep.layers)},
+              {"cuts", std::to_string(sizeof(percents) /
+                                      sizeof(percents[0]))}},
+             cutMs, cutMbps);
+
+    table.print(std::cout);
+    if (!jsonPath.empty() && !json.write(jsonPath)) {
+        std::cerr << "failed to write " << jsonPath << "\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -236,6 +329,7 @@ main(int argc, char **argv)
     int reps = 11;
     int edge = 128;
     bool latency = false;
+    bool progressive = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
             reps = std::max(1, std::atoi(argv[i + 1]));
@@ -243,8 +337,15 @@ main(int argc, char **argv)
             edge = std::max(16, std::atoi(argv[i + 1]));
         if (std::strcmp(argv[i], "--latency") == 0)
             latency = true;
+        if (std::strcmp(argv[i], "--progressive") == 0)
+            progressive = true;
     }
     std::string jsonPath = epbench::JsonReporter::pathFromArgs(argc, argv);
+    if (progressive) {
+        int rc = runProgressiveMode(reps, edge, jsonPath);
+        epbench::writeMetricsSnapshot(argc, argv);
+        return rc;
+    }
     if (latency) {
         int rc = runLatencyMode(std::max(reps * 2, 20), jsonPath);
         epbench::writeMetricsSnapshot(argc, argv);

@@ -9,9 +9,14 @@
 #   asan    ASan+UBSan build of the byte-level parser suites
 #   tsan    TSan build of the concurrent archive/serving/codec suites
 #   chaos   fault-injection sweep: failpoint + crash-consistency +
-#           net-fault suites across several EARTHPLUS_CHAOS_SEED values,
-#           plus the chaos probe with its recovery-counter gate — and
-#           the same suites again under ASan
+#           net-fault suites plus the progressive-stream truncation
+#           fuzz across several EARTHPLUS_CHAOS_SEED values, plus the
+#           chaos probe with its recovery-counter gate — and the same
+#           suites again under ASan
+#   coverage instrumented (--coverage) build + full ctest, gcov line
+#           coverage emitted as a JSON artifact, and a gate failing
+#           when src/codec line coverage drops below the recorded
+#           baseline (ci/coverage_gate.py)
 #   docs    API-doc check (Doxygen when installed + doc-comment lint)
 #   all     everything above, in that order (default)
 #
@@ -76,6 +81,14 @@ run_benches() {
     # one just records the trajectory from the default build type.
     "$BUILD_DIR/bench_tile_coder" --reps 3 \
         --json "$ARTIFACTS_DIR/BENCH_tile_coder.json"
+
+    # Smoke the progressive rate-control mode: the PSNR-vs-budget
+    # rate-distortion rows plus the truncateStream throughput row.
+    # Informational (recorded, not gated): PSNR is deterministic and
+    # the cut is memcpy-class; ci/BENCH_tile_coder_progressive.json
+    # records the reference curve.
+    "$BUILD_DIR/bench_tile_coder" --progressive --reps 3 \
+        --json "$ARTIFACTS_DIR/BENCH_tile_coder_progressive.json"
 
     # Smoke the single-tile chunked-latency mode (p50/p99 per pool
     # size); the gated run lives in perf mode. The metrics snapshot
@@ -206,10 +219,10 @@ run_tsan() {
           -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
     cmake --build "$tsan_dir" -j \
           --target ground_test parallel_test codec_test telemetry_test \
-                   net_test
+                   net_test progressive_test
     EARTHPLUS_THREADS=4 ctest --test-dir "$tsan_dir" \
           --output-on-failure \
-          -R 'ground_test|parallel_test|codec_test|telemetry_test|net_test'
+          -R 'ground_test|parallel_test|codec_test|telemetry_test|net_test|progressive_test'
 }
 
 run_chaos() {
@@ -218,15 +231,18 @@ run_chaos() {
     # no acknowledged record is lost; EARTHPLUS_CHAOS_SEED varies the
     # payload contents across runs without changing the boundary
     # structure, so a few seeds buy coverage cheaply.
+    # The progressive-stream truncation fuzz rides along: each seed
+    # cuts EPC4 streams at a different set of unrecorded offsets and
+    # asserts every one fails with a typed error instead of a crash.
     configure_and_build
     cmake --build "$BUILD_DIR" -j \
           --target failpoint_test crash_consistency_test net_test \
-                   earthplus_chaos_probe
+                   progressive_test earthplus_chaos_probe
     for seed in 1 7 1234; do
         echo "chaos: seed $seed"
         EARTHPLUS_CHAOS_SEED=$seed ctest --test-dir "$BUILD_DIR" \
             --output-on-failure \
-            -R 'failpoint_test|crash_consistency_test|net_test'
+            -R 'failpoint_test|crash_consistency_test|net_test|progressive_test'
     done
 
     # The chaos probe drives the archive's recovery paths (torn tail,
@@ -247,9 +263,30 @@ run_chaos() {
           -DCMAKE_BUILD_TYPE=Debug \
           -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
     cmake --build "$SAN_BUILD_DIR" -j \
-          --target failpoint_test crash_consistency_test
+          --target failpoint_test crash_consistency_test progressive_test
     ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure \
-          -R 'failpoint_test|crash_consistency_test'
+          -R 'failpoint_test|crash_consistency_test|progressive_test'
+}
+
+run_coverage() {
+    # Line-coverage build: gcc's --coverage (gcov) on a Debug tree,
+    # full ctest so every suite contributes counts, then the gate:
+    # src/codec line coverage must not drop below the recorded
+    # baseline (ci/COVERAGE_codec.baseline.json — regenerate with
+    # ci/coverage_gate.py --rebaseline after intentional changes).
+    local cov_dir="${COVERAGE_BUILD_DIR:-${BUILD_DIR}-coverage}"
+    # shellcheck disable=SC2086
+    cmake -B "$cov_dir" -S . ${CMAKE_ARGS:-} \
+          -DCMAKE_BUILD_TYPE=Debug \
+          -DCMAKE_CXX_FLAGS="--coverage" \
+          -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+    cmake --build "$cov_dir" -j
+    ctest --test-dir "$cov_dir" --output-on-failure -j
+    mkdir -p "$ARTIFACTS_DIR"
+    python3 ci/coverage_gate.py \
+        --build-dir "$cov_dir" \
+        --baseline ci/COVERAGE_codec.baseline.json \
+        --report "$ARTIFACTS_DIR/coverage_codec.json"
 }
 
 run_docs() {
@@ -269,9 +306,9 @@ run_asan() {
           -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
     cmake --build "$SAN_BUILD_DIR" -j \
           --target ground_test uplink_planner_test codec_test simd_test \
-                   golden_stream_test net_test
+                   golden_stream_test net_test progressive_test
     ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure \
-          -R 'ground_test|uplink_planner_test|codec_test|simd_test|golden_stream_test|net_test'
+          -R 'ground_test|uplink_planner_test|codec_test|simd_test|golden_stream_test|net_test|progressive_test'
 }
 
 case "$MODE" in
@@ -295,6 +332,9 @@ tsan)
 chaos)
     run_chaos
     ;;
+coverage)
+    run_coverage
+    ;;
 docs)
     run_docs
     ;;
@@ -306,10 +346,11 @@ all)
     run_asan
     run_tsan
     run_chaos
+    run_coverage
     run_docs
     ;;
 *)
-    echo "usage: ci/check.sh [build|bench|perf|asan|tsan|chaos|docs|all]" >&2
+    echo "usage: ci/check.sh [build|bench|perf|asan|tsan|chaos|coverage|docs|all]" >&2
     exit 2
     ;;
 esac

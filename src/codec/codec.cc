@@ -5,6 +5,8 @@
 #include <chrono>
 #include <climits>
 #include <cmath>
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -54,8 +56,17 @@ constexpr uint32_t kMagicV1 = 0x32435045;
 
 // "EPC3": adds the chunkRows header field and frames each tile's
 // per-layer sub-chunk into length-prefixed row-slab entropy chunks
-// (the sub-tile parallelism format). Emitted whenever chunkRows > 0.
+// (the sub-tile parallelism format). Emitted when chunkRows > 0 and
+// progressive framing is off.
 constexpr uint32_t kMagicV2 = 0x33435045;
+
+// "EPC4": same header layout as EPC3, but each chunk-layer payload is
+// a sequence of independently flushed per-plane segments (plus a raw
+// maxPlane byte in layer 0) whose inline framing records truncation
+// points — the stream decodes best-effort from any prefix cut at a
+// recorded point. Emitted when chunkRows > 0 and progressive framing
+// is on.
+constexpr uint32_t kMagicV3 = 0x34435045;
 
 /** Fixed serialized header size in bytes (v2 adds 4 for chunkRows). */
 constexpr size_t kFixedHeader =
@@ -66,16 +77,90 @@ constexpr size_t kFixedHeader =
 
 using util::appendPod;
 
-/** Bounds-checked cursor read: fatal() on truncation, advances pos. */
+/** Bounds-checked cursor read: false on truncation, advances pos. */
 template <typename T>
-T
-readPod(const uint8_t *in, size_t len, size_t &pos)
+bool
+tryReadPod(const uint8_t *in, size_t len, size_t &pos, T &out)
 {
     if (pos + sizeof(T) > len)
-        fatal("encoded image stream truncated");
-    T v = util::readPodAt<T>(in, pos);
+        return false;
+    out = util::readPodAt<T>(in, pos);
     pos += sizeof(T);
-    return v;
+    return true;
+}
+
+/** printf-style diagnostic for the non-fatal parse path. */
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+formatError(const char *fmt, ...)
+{
+    char buf[192];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+/**
+ * Segment-level check of a possibly partial EPC4 chunk payload: the
+ * cut must land between segments (or right after the layer-0 header
+ * byte), never inside a segment word or body.
+ */
+bool
+validChunkPayloadPrefix(const uint8_t *data, size_t size, bool layer0)
+{
+    if (layer0) {
+        if (size == 0)
+            return true;
+        ++data;
+        --size;
+    }
+    return forEachSegment(data, size, [](const SegmentView &) {});
+}
+
+/** Chunk-frame walk of the partial tile sub-chunk that ends a cut. */
+bool
+validTilePrefix(const uint8_t *data, size_t size, bool layer0)
+{
+    size_t pos = 0;
+    while (pos != size) {
+        if (size - pos < 4)
+            return false;
+        uint32_t ecLen = util::readPodAt<uint32_t>(data, pos);
+        pos += 4;
+        if (ecLen > size - pos)
+            return validChunkPayloadPrefix(data + pos, size - pos,
+                                           layer0);
+        pos += ecLen;
+    }
+    return true;
+}
+
+/**
+ * True iff `size` bytes are a valid prefix of an EPC4 layer payload
+ * over `nCodedTiles` sub-chunks — i.e. the cut that shortened the
+ * enclosing stream landed on a recorded truncation point.
+ */
+bool
+validLayerPrefix(const uint8_t *data, size_t size, size_t nCodedTiles,
+                 bool layer0)
+{
+    size_t pos = 0;
+    for (size_t t = 0; t < nCodedTiles; ++t) {
+        if (pos == size)
+            return true;
+        if (size - pos < 4)
+            return false;
+        uint32_t subLen = util::readPodAt<uint32_t>(data, pos);
+        pos += 4;
+        if (subLen > size - pos)
+            return validTilePrefix(data + pos, size - pos, layer0);
+        pos += subLen;
+    }
+    return pos == size;
 }
 
 } // anonymous namespace
@@ -134,8 +219,10 @@ std::vector<uint8_t>
 EncodedImage::serialize() const
 {
     std::vector<uint8_t> out;
+    EP_ASSERT(!truncated, "cannot re-serialize a truncated stream");
     out.reserve(totalBytes());
-    appendPod(out, chunkRows > 0 ? kMagicV2 : kMagicV1);
+    appendPod(out, chunkRows > 0 ? (progressive ? kMagicV3 : kMagicV2)
+                                 : kMagicV1);
     appendPod(out, static_cast<uint32_t>(width));
     appendPod(out, static_cast<uint32_t>(height));
     appendPod(out, static_cast<uint32_t>(tileSize));
@@ -169,91 +256,376 @@ EncodedImage::deserialize(const std::vector<uint8_t> &bytes)
     return deserialize(bytes.data(), bytes.size());
 }
 
-EncodedImage
-EncodedImage::deserialize(const uint8_t *data, size_t len)
+namespace {
+
+/**
+ * The shared parse behind deserialize()/tryDeserialize(). Every field
+ * is validated before use: a truncated or corrupt stream must produce
+ * a typed error (with the diagnostic deserialize() dies with in
+ * `msg`) instead of out-of-bounds reads or absurd allocations. A
+ * progressive stream cut at a recorded truncation point parses
+ * successfully with `e.truncated` set.
+ */
+StreamError
+parseStream(const uint8_t *data, size_t len, EncodedImage &e,
+            std::string &msg)
 {
-    // Every field is validated before use: a truncated or corrupt
-    // stream must produce a clear fatal() instead of out-of-bounds
-    // reads or absurd allocations.
     constexpr uint32_t kMaxDim = 1u << 20;      // 1M pixels per edge
     constexpr uint64_t kMaxPixels = 1ull << 28; // ~1 GB decoded plane
     constexpr uint32_t kMaxLayers = 1u << 16;
 
+    auto cut = [&msg] {
+        msg = "encoded image stream truncated";
+        return StreamError::Truncated;
+    };
+
     size_t pos = 0;
-    uint32_t magic = readPod<uint32_t>(data, len, pos);
-    if (magic != kMagicV1 && magic != kMagicV2)
-        fatal("bad encoded-image magic");
+    uint32_t magic = 0;
+    if (!tryReadPod(data, len, pos, magic))
+        return cut();
+    if (magic != kMagicV1 && magic != kMagicV2 && magic != kMagicV3) {
+        msg = "bad encoded-image magic";
+        return StreamError::Corrupt;
+    }
     // Version-gated decode: the magic alone selects the stream layout,
     // and v1 (EPC2) streams stay decodable forever — chunkRows == 0
     // routes them through the original unframed tile-chunk path.
-    const bool v2 = magic == kMagicV2;
-    EncodedImage e;
-    uint32_t width = readPod<uint32_t>(data, len, pos);
-    uint32_t height = readPod<uint32_t>(data, len, pos);
-    uint32_t tileSize = readPod<uint32_t>(data, len, pos);
-    uint32_t dwtLevels = readPod<uint32_t>(data, len, pos);
-    uint32_t layers = readPod<uint32_t>(data, len, pos);
-    if (width == 0 || width > kMaxDim || height == 0 || height > kMaxDim)
-        fatal("encoded image has invalid dimensions %ux%u", width, height);
-    if (static_cast<uint64_t>(width) * height > kMaxPixels)
-        fatal("encoded image dimensions %ux%u exceed the %llu-pixel cap",
-              width, height, static_cast<unsigned long long>(kMaxPixels));
-    if (tileSize == 0 || tileSize > kMaxDim)
-        fatal("encoded image has invalid tile size %u", tileSize);
-    if (dwtLevels > 30)
-        fatal("encoded image has invalid DWT level count %u", dwtLevels);
-    if (layers == 0 || layers > kMaxLayers)
-        fatal("encoded image has invalid layer count %u", layers);
+    const bool framed = magic != kMagicV1;
+    e.progressive = magic == kMagicV3;
+    uint32_t width = 0;
+    uint32_t height = 0;
+    uint32_t tileSize = 0;
+    uint32_t dwtLevels = 0;
+    uint32_t layers = 0;
+    if (!tryReadPod(data, len, pos, width) ||
+        !tryReadPod(data, len, pos, height) ||
+        !tryReadPod(data, len, pos, tileSize) ||
+        !tryReadPod(data, len, pos, dwtLevels) ||
+        !tryReadPod(data, len, pos, layers))
+        return cut();
+    if (width == 0 || width > kMaxDim || height == 0 ||
+        height > kMaxDim) {
+        msg = formatError("encoded image has invalid dimensions %ux%u",
+                          width, height);
+        return StreamError::Corrupt;
+    }
+    if (static_cast<uint64_t>(width) * height > kMaxPixels) {
+        msg = formatError(
+            "encoded image dimensions %ux%u exceed the %llu-pixel cap",
+            width, height, static_cast<unsigned long long>(kMaxPixels));
+        return StreamError::Corrupt;
+    }
+    if (tileSize == 0 || tileSize > kMaxDim) {
+        msg = formatError("encoded image has invalid tile size %u",
+                          tileSize);
+        return StreamError::Corrupt;
+    }
+    if (dwtLevels > 30) {
+        msg = formatError(
+            "encoded image has invalid DWT level count %u", dwtLevels);
+        return StreamError::Corrupt;
+    }
+    if (layers == 0 || layers > kMaxLayers) {
+        msg = formatError("encoded image has invalid layer count %u",
+                          layers);
+        return StreamError::Corrupt;
+    }
     e.width = static_cast<int>(width);
     e.height = static_cast<int>(height);
     e.tileSize = static_cast<int>(tileSize);
     e.dwtLevels = static_cast<int>(dwtLevels);
     e.layers = static_cast<int>(layers);
-    uint32_t flags = readPod<uint32_t>(data, len, pos);
+    uint32_t flags = 0;
+    if (!tryReadPod(data, len, pos, flags))
+        return cut();
     e.wavelet = (flags & 1u) ? Wavelet::LeGall53 : Wavelet::CDF97;
     e.lossless = (flags & 2u) != 0;
     e.losslessDepth = static_cast<int>((flags >> 8) & 0xFFu);
     if (e.lossless &&
         (e.losslessDepth < 1 || e.losslessDepth > 16 ||
-         e.wavelet != Wavelet::LeGall53))
-        fatal("encoded image has invalid lossless flags 0x%x", flags);
-    e.quantStep = readPod<double>(data, len, pos);
-    if (!std::isfinite(e.quantStep) || e.quantStep <= 0.0)
-        fatal("encoded image has invalid quantizer step");
-    if (v2) {
-        uint32_t chunkRows = readPod<uint32_t>(data, len, pos);
-        if (chunkRows == 0 || chunkRows > kMaxDim)
-            fatal("encoded image has invalid chunk height %u",
-                  chunkRows);
+         e.wavelet != Wavelet::LeGall53)) {
+        msg = formatError(
+            "encoded image has invalid lossless flags 0x%x", flags);
+        return StreamError::Corrupt;
+    }
+    if (!tryReadPod(data, len, pos, e.quantStep))
+        return cut();
+    if (!std::isfinite(e.quantStep) || e.quantStep <= 0.0) {
+        msg = "encoded image has invalid quantizer step";
+        return StreamError::Corrupt;
+    }
+    if (framed) {
+        uint32_t chunkRows = 0;
+        if (!tryReadPod(data, len, pos, chunkRows))
+            return cut();
+        if (chunkRows == 0 || chunkRows > kMaxDim) {
+            msg = formatError(
+                "encoded image has invalid chunk height %u", chunkRows);
+            return StreamError::Corrupt;
+        }
         e.chunkRows = static_cast<int>(chunkRows);
     }
-    uint32_t tiles = readPod<uint32_t>(data, len, pos);
+    uint32_t tiles = 0;
+    if (!tryReadPod(data, len, pos, tiles))
+        return cut();
     uint64_t tilesX = (width + tileSize - 1) / tileSize;
     uint64_t tilesY = (height + tileSize - 1) / tileSize;
-    if (tiles != tilesX * tilesY)
-        fatal("encoded image tile count %u does not match its "
-              "%ux%u/%u grid (%llu tiles)", tiles, width, height,
-              tileSize,
-              static_cast<unsigned long long>(tilesX * tilesY));
+    if (tiles != tilesX * tilesY) {
+        msg = formatError(
+            "encoded image tile count %u does not match its "
+            "%ux%u/%u grid (%llu tiles)",
+            tiles, width, height, tileSize,
+            static_cast<unsigned long long>(tilesX * tilesY));
+        return StreamError::Corrupt;
+    }
     // Bounds-check the packed bitmap BEFORE sizing tileCoded, so a
     // corrupt tile count cannot drive a huge allocation.
     size_t packed = (static_cast<size_t>(tiles) + 7) / 8;
-    if (packed > len - pos)
-        fatal("encoded image stream truncated in tile bitmap");
+    if (packed > len - pos) {
+        msg = "encoded image stream truncated in tile bitmap";
+        return StreamError::Truncated;
+    }
     e.tileCoded.resize(tiles);
-    for (size_t i = 0; i < tiles; ++i)
+    size_t nCoded = 0;
+    for (size_t i = 0; i < tiles; ++i) {
         e.tileCoded[i] = (data[pos + i / 8] >> (i % 8)) & 1u;
+        nCoded += e.tileCoded[i];
+    }
     pos += packed;
     for (int l = 0; l < e.layers; ++l) {
-        uint32_t size = readPod<uint32_t>(data, len, pos);
-        if (size > len - pos)
-            fatal("encoded image stream truncated in layer %d: chunk "
-                  "of %u bytes but only %zu remain", l, size,
-                  len - pos);
+        if (e.progressive && pos == len) {
+            // Clean cut at a layer boundary: the remaining layers
+            // never arrived; decode degrades to the layers present.
+            e.truncated = true;
+            return StreamError::None;
+        }
+        uint32_t size = 0;
+        if (!tryReadPod(data, len, pos, size))
+            return cut();
+        if (size > len - pos) {
+            if (e.progressive &&
+                validLayerPrefix(data + pos, len - pos, nCoded,
+                                 l == 0)) {
+                // Recorded mid-layer truncation point: keep the
+                // partial layer; its segments decode best-effort.
+                e.layerChunks.emplace_back(data + pos, data + len);
+                e.truncated = true;
+                return StreamError::None;
+            }
+            msg = formatError(
+                "encoded image stream truncated in layer %d: chunk "
+                "of %u bytes but only %zu remain",
+                l, size, len - pos);
+            return StreamError::Truncated;
+        }
         e.layerChunks.emplace_back(data + pos, data + pos + size);
         pos += size;
     }
+    return StreamError::None;
+}
+
+} // anonymous namespace
+
+EncodedImage
+EncodedImage::deserialize(const uint8_t *data, size_t len)
+{
+    EncodedImage e;
+    std::string msg;
+    if (parseStream(data, len, e, msg) != StreamError::None)
+        fatal("%s", msg.c_str());
     return e;
+}
+
+StreamError
+EncodedImage::tryDeserialize(const uint8_t *data, size_t len,
+                             EncodedImage &out, std::string *message)
+{
+    EncodedImage e;
+    std::string msg;
+    StreamError err = parseStream(data, len, e, msg);
+    if (err == StreamError::None)
+        out = std::move(e);
+    else if (message)
+        *message = std::move(msg);
+    return err;
+}
+
+namespace {
+
+/** The header facts the truncation walkers need, parsed cheaply. */
+struct StreamShape
+{
+    uint32_t magic = 0;
+    int layers = 0;
+    size_t nCoded = 0; ///< Coded tiles (set bits in the bitmap).
+    size_t floor = 0;  ///< Offset just past the coded-tile bitmap.
+};
+
+/** Minimal header read for the walkers; fatal() on a broken header. */
+StreamShape
+readShape(const uint8_t *data, size_t len)
+{
+    StreamShape sh;
+    size_t pos = 0;
+    auto rd32 = [&]() -> uint32_t {
+        if (len - pos < 4)
+            fatal("encoded image stream truncated");
+        uint32_t v = util::readPodAt<uint32_t>(data, pos);
+        pos += 4;
+        return v;
+    };
+    sh.magic = rd32();
+    if (sh.magic != kMagicV1 && sh.magic != kMagicV2 &&
+        sh.magic != kMagicV3)
+        fatal("bad encoded-image magic");
+    rd32(); // width
+    rd32(); // height
+    rd32(); // tileSize
+    rd32(); // dwtLevels
+    sh.layers = static_cast<int>(rd32());
+    rd32(); // flags
+    if (len - pos < 8)
+        fatal("encoded image stream truncated");
+    pos += 8; // quantStep
+    if (sh.magic != kMagicV1)
+        rd32(); // chunkRows
+    uint32_t tiles = rd32();
+    size_t packed = (static_cast<size_t>(tiles) + 7) / 8;
+    if (packed > len - pos)
+        fatal("encoded image stream truncated in tile bitmap");
+    for (size_t i = 0; i < tiles; ++i)
+        sh.nCoded += (data[pos + i / 8] >> (i % 8)) & 1u;
+    pos += packed;
+    sh.floor = pos;
+    return sh;
+}
+
+/**
+ * Visit every recorded truncation point of a complete progressive
+ * stream in ascending order; `fn(offset)` returning false stops the
+ * walk. The set visited here is exactly the set of prefix lengths
+ * parseStream() accepts — tests/progressive_test.cc pins the two
+ * against each other. fatal() on non-progressive or overrunning
+ * framing (the input must be a full, valid EPC4 stream).
+ */
+template <typename Fn>
+void
+walkTruncationPoints(const uint8_t *data, size_t len, Fn &&fn)
+{
+    StreamShape sh = readShape(data, len);
+    if (sh.magic != kMagicV3)
+        fatal("stream is not progressive (EPC4): no truncation points");
+    auto need = [&](size_t pos, size_t n) {
+        if (n > len - pos)
+            fatal("corrupt progressive stream at offset %zu", pos);
+    };
+    if (!fn(sh.floor))
+        return;
+    size_t pos = sh.floor;
+    for (int l = 0; l < sh.layers && pos < len; ++l) {
+        need(pos, 4);
+        uint32_t layerLen = util::readPodAt<uint32_t>(data, pos);
+        pos += 4;
+        need(pos, layerLen);
+        if (!fn(pos))
+            return;
+        const size_t layerEnd = pos + layerLen;
+        for (size_t t = 0; t < sh.nCoded && pos < layerEnd; ++t) {
+            need(pos, 4);
+            uint32_t subLen = util::readPodAt<uint32_t>(data, pos);
+            pos += 4;
+            need(pos, subLen);
+            if (!fn(pos))
+                return;
+            const size_t subEnd = pos + subLen;
+            while (pos < subEnd) {
+                need(pos, 4);
+                uint32_t ecLen = util::readPodAt<uint32_t>(data, pos);
+                pos += 4;
+                need(pos, ecLen);
+                if (!fn(pos))
+                    return;
+                const size_t chunkEnd = pos + ecLen;
+                if (l == 0 && pos < chunkEnd) {
+                    ++pos; // raw maxPlane byte heads the chunk
+                    if (!fn(pos))
+                        return;
+                }
+                while (pos < chunkEnd) {
+                    need(pos, 4);
+                    uint32_t segWord =
+                        util::readPodAt<uint32_t>(data, pos);
+                    pos += 4;
+                    size_t segLen = segWord >> 2;
+                    need(pos, segLen);
+                    pos += segLen;
+                    if (!fn(pos))
+                        return;
+                }
+                pos = chunkEnd;
+            }
+            pos = subEnd;
+        }
+        pos = layerEnd;
+    }
+}
+
+} // anonymous namespace
+
+size_t
+streamHeaderFloor(const uint8_t *data, size_t len)
+{
+    return readShape(data, len).floor;
+}
+
+size_t
+streamHeaderFloor(const std::vector<uint8_t> &bytes)
+{
+    return streamHeaderFloor(bytes.data(), bytes.size());
+}
+
+std::vector<size_t>
+truncationPoints(const uint8_t *data, size_t len)
+{
+    std::vector<size_t> points;
+    walkTruncationPoints(data, len, [&](size_t off) {
+        points.push_back(off);
+        return true;
+    });
+    return points;
+}
+
+std::vector<size_t>
+truncationPoints(const std::vector<uint8_t> &bytes)
+{
+    return truncationPoints(bytes.data(), bytes.size());
+}
+
+std::vector<uint8_t>
+truncateStream(const uint8_t *data, size_t len, size_t budget)
+{
+    if (budget >= len) {
+        if (readShape(data, len).magic != kMagicV3)
+            fatal("stream is not progressive (EPC4): cannot truncate");
+        return std::vector<uint8_t>(data, data + len);
+    }
+    size_t best = 0;
+    bool any = false;
+    walkTruncationPoints(data, len, [&](size_t off) {
+        if (off > budget)
+            return false;
+        best = off;
+        any = true;
+        return true;
+    });
+    EP_ASSERT(any, "budget %zu below the stream header floor", budget);
+    return std::vector<uint8_t>(data, data + best);
+}
+
+std::vector<uint8_t>
+truncateStream(const std::vector<uint8_t> &bytes, size_t budget)
+{
+    return truncateStream(bytes.data(), bytes.size(), budget);
 }
 
 namespace {
@@ -380,6 +752,9 @@ encode(const raster::Plane &img, const EncodeParams &params)
     out.losslessDepth = params.losslessDepth;
     out.quantStep = params.quantStep;
     out.chunkRows = params.chunkRows;
+    // Progressive framing needs the chunked container; chunkRows == 0
+    // keeps emitting the legacy v1 format.
+    out.progressive = params.progressive && params.chunkRows > 0;
     out.tileCoded.assign(static_cast<size_t>(grid.tileCount()), 0);
 
     TileCoderParams tp;
@@ -389,6 +764,7 @@ encode(const raster::Plane &img, const EncodeParams &params)
     tp.losslessDepth = params.losslessDepth;
     tp.quantStep = params.quantStep;
     tp.chunkRows = params.chunkRows;
+    tp.progressive = out.progressive;
 
     std::vector<int> codedTiles;
     for (int t = 0; t < grid.tileCount(); ++t) {
@@ -576,6 +952,7 @@ sliceStream(const EncodedImage &e, const raster::TileGrid &grid,
     s.tp.losslessDepth = e.losslessDepth;
     s.tp.quantStep = e.quantStep;
     s.tp.chunkRows = e.chunkRows;
+    s.tp.progressive = e.progressive;
 
     s.slotOfTile.assign(static_cast<size_t>(grid.tileCount()), -1);
     for (int t = 0; t < grid.tileCount(); ++t) {
@@ -592,16 +969,31 @@ sliceStream(const EncodedImage &e, const raster::TileGrid &grid,
         const auto &chunk = e.layerChunks[static_cast<size_t>(layer)];
         size_t pos = 0;
         for (size_t slot = 0; slot < s.codedTiles.size(); ++slot) {
-            if (pos + 4 > chunk.size())
+            if (pos + 4 > chunk.size()) {
+                // A truncated progressive stream legitimately ends
+                // mid-layer: the remaining tiles keep empty spans and
+                // reconstruct from earlier layers (or as zeros).
+                if (e.truncated)
+                    break;
                 fatal("layer %d chunk truncated before tile %d",
                       layer, s.codedTiles[slot]);
+            }
             uint32_t len;
             std::memcpy(&len, chunk.data() + pos, 4);
             pos += 4;
-            if (len > chunk.size() - pos)
+            if (len > chunk.size() - pos) {
+                if (e.truncated) {
+                    // The cut landed inside this tile's sub-chunk:
+                    // hand the decoder the prefix that did arrive.
+                    s.spans[slot][static_cast<size_t>(layer)] =
+                        ChunkSpan{chunk.data() + pos,
+                                  chunk.size() - pos};
+                    break;
+                }
                 fatal("layer %d chunk truncated inside tile %d: "
                       "sub-chunk of %u bytes but only %zu remain",
                       layer, s.codedTiles[slot], len, chunk.size() - pos);
+            }
             s.spans[slot][static_cast<size_t>(layer)] =
                 ChunkSpan{chunk.data() + pos, len};
             pos += len;

@@ -13,6 +13,7 @@
 #define EARTHPLUS_CODEC_CODEC_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "codec/tile_coder.hh"
@@ -20,6 +21,21 @@
 #include "raster/tile.hh"
 
 namespace earthplus::codec {
+
+/**
+ * Outcome of a non-fatal stream parse (tryDeserialize()).
+ *
+ * `Truncated` means the bytes are a prefix of a longer stream cut at
+ * an unrecorded offset (recorded truncation points of a progressive
+ * stream parse successfully instead); `Corrupt` means a field failed
+ * validation outright.
+ */
+enum class StreamError
+{
+    None = 0,
+    Truncated,
+    Corrupt,
+};
 
 /** Encoding configuration. */
 struct EncodeParams
@@ -48,11 +64,20 @@ struct EncodeParams
     int layers = 1;
     /**
      * Rows per entropy chunk inside each tile (see
-     * TileCoderParams::chunkRows). The default emits the chunked v2
-     * stream format; 0 selects the legacy v1 format with one unframed
-     * entropy stream per tile.
+     * TileCoderParams::chunkRows). 0 selects the legacy v1 format
+     * with one unframed entropy stream per tile.
      */
     int chunkRows = kDefaultChunkRows;
+    /**
+     * Emit the progressive v3 (EPC4) stream format, whose inline
+     * segment framing records truncation points so the stream can be
+     * cut to any byte budget after encoding (truncateStream()) and
+     * still decode best-effort. Requires chunkRows > 0 (chunkRows ==
+     * 0 keeps the v1 format regardless). The default: new streams
+     * are truncatable. Set false for byte-compatible v2 (EPC3)
+     * output.
+     */
+    bool progressive = true;
 };
 
 /**
@@ -76,6 +101,18 @@ struct EncodedImage
      * framed into row-slab entropy chunks.
      */
     int chunkRows = 0;
+    /**
+     * True for v3 (EPC4) streams: chunk payloads carry the segment
+     * framing that records truncation points (see forEachSegment()).
+     */
+    bool progressive = false;
+    /**
+     * True when the parsed stream was cut at a recorded truncation
+     * point: the last layer chunk may be a partial prefix and later
+     * layers may be missing entirely; decode reconstructs best-effort.
+     * A truncated image cannot be re-serialized.
+     */
+    bool truncated = false;
     /** Per-tile coded flag, flat tile index order. */
     std::vector<uint8_t> tileCoded;
     /**
@@ -116,7 +153,59 @@ struct EncodedImage
      * their file mapping through this overload — no staging copy.
      */
     static EncodedImage deserialize(const uint8_t *data, size_t len);
+
+    /**
+     * Non-fatal parse: on success fills `out` (possibly with
+     * `out.truncated` set when a progressive stream was cut at a
+     * recorded truncation point) and returns StreamError::None; on
+     * failure returns the typed error and, when `message` is non-null,
+     * the diagnostic deserialize() would have died with. Never
+     * fatal()s — this is the entry point for untrusted or
+     * deliberately cut byte ranges.
+     */
+    static StreamError tryDeserialize(const uint8_t *data, size_t len,
+                                      EncodedImage &out,
+                                      std::string *message = nullptr);
 };
+
+/**
+ * Header floor of a serialized stream: the byte offset just past the
+ * fixed header and coded-tile bitmap — the smallest prefix any decode
+ * needs. Valid for every stream version; fatal() on a stream too
+ * corrupt to measure.
+ */
+size_t streamHeaderFloor(const uint8_t *data, size_t len);
+
+/** @copydoc streamHeaderFloor(const uint8_t*,size_t) */
+size_t streamHeaderFloor(const std::vector<uint8_t> &bytes);
+
+/**
+ * All recorded truncation points of a serialized progressive (EPC4)
+ * stream, in ascending order. The first entry is the header floor and
+ * the last is the full stream length; cutting the stream at any entry
+ * yields a prefix that tryDeserialize() accepts and decode()
+ * reconstructs best-effort, and cutting anywhere else yields
+ * StreamError::Truncated. fatal() on non-progressive streams.
+ */
+std::vector<size_t> truncationPoints(const uint8_t *data, size_t len);
+
+/** @copydoc truncationPoints(const uint8_t*,size_t) */
+std::vector<size_t> truncationPoints(const std::vector<uint8_t> &bytes);
+
+/**
+ * Cut a serialized progressive (EPC4) stream to the largest recorded
+ * truncation point that fits `budget` bytes — rate control without
+ * re-encoding. The result always satisfies `size() <= budget`;
+ * budgets at or above the stream length return the stream unchanged.
+ * fatal() when `budget` is below the header floor or the stream is
+ * not progressive.
+ */
+std::vector<uint8_t> truncateStream(const uint8_t *data, size_t len,
+                                    size_t budget);
+
+/** @copydoc truncateStream(const uint8_t*,size_t,size_t) */
+std::vector<uint8_t> truncateStream(const std::vector<uint8_t> &bytes,
+                                    size_t budget);
 
 /**
  * Encode one plane.

@@ -191,9 +191,10 @@ runSigScan(const ScanGrid &g, Coder &&coder)
 }
 
 /** Encoder-side scan actions: bits come from the plane-bit mask. */
+template <typename Encoder>
 struct EncoderScan
 {
-    RangeEncoder &enc;
+    Encoder &enc;
     const uint64_t *planeBits;
     int words;
     const uint8_t *sign;
@@ -208,6 +209,36 @@ struct EncoderScan
     }
 
     void significant(size_t i) { enc.encodeBitRaw(sign[i]); }
+};
+
+/**
+ * Progressive-encode tee: the real per-segment coder and the
+ * EPC3-accounting shadow consume the identical (probability, bit)
+ * sequence while the shared context model updates exactly once, so
+ * the shadow's byte count reproduces the EPC3 coder's rate decisions
+ * exactly and the real stream stays decodable under the same model
+ * evolution.
+ */
+struct DualEncoder
+{
+    RangeEncoder &real;
+    RangeEncoder &shadow;
+
+    void
+    encodeBit(BitModel &model, int bit)
+    {
+        uint16_t p = model.prob();
+        real.encodeBitProb(p, bit);
+        shadow.encodeBitProb(p, bit);
+        model.update(static_cast<uint32_t>(bit != 0));
+    }
+
+    void
+    encodeBitRaw(int bit)
+    {
+        real.encodeBitRaw(bit);
+        shadow.encodeBitRaw(bit);
+    }
 };
 
 /** Decoder-side scan actions: bits come from the stream. */
@@ -353,17 +384,20 @@ TileEncoder::beginPlane(int plane)
                            static_cast<size_t>(y) * wordsPerRow_);
 }
 
+template <typename Encoder>
 void
-TileEncoder::encodeSigPass(RangeEncoder &enc)
+TileEncoder::encodeSigPass(Encoder &enc)
 {
     runSigScan<false>(
         ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
                  visitedBits_.data(), dilation_.data(), orient_, &ctx_},
-        EncoderScan{enc, planeBits_.data(), wordsPerRow_, sign_});
+        EncoderScan<Encoder>{enc, planeBits_.data(), wordsPerRow_,
+                             sign_});
 }
 
+template <typename Encoder>
 void
-TileEncoder::encodeRefinePass(RangeEncoder &enc)
+TileEncoder::encodeRefinePass(Encoder &enc)
 {
     const size_t nWords = refinableBits_.size();
     for (size_t w = 0; w < nWords; ++w) {
@@ -378,17 +412,20 @@ TileEncoder::encodeRefinePass(RangeEncoder &enc)
     }
 }
 
+template <typename Encoder>
 void
-TileEncoder::encodeCleanupPass(RangeEncoder &enc)
+TileEncoder::encodeCleanupPass(Encoder &enc)
 {
     runSigScan<true>(
         ScanGrid{width_, height_, wordsPerRow_, sigBits_.data(),
                  visitedBits_.data(), dilation_.data(), orient_, &ctx_},
-        EncoderScan{enc, planeBits_.data(), wordsPerRow_, sign_});
+        EncoderScan<Encoder>{enc, planeBits_.data(), wordsPerRow_,
+                             sign_});
 }
 
+template <typename Encoder>
 void
-TileEncoder::encodePass(RangeEncoder &enc, int plane, int pass)
+TileEncoder::encodePass(Encoder &enc, int plane, int pass)
 {
     if (pass == 0) {
         beginPlane(plane);
@@ -429,6 +466,56 @@ TileEncoder::encodePlanes(RangeEncoder &enc, size_t byteLimit,
     return planesThisCall;
 }
 
+int
+TileEncoder::encodePlanesSegmented(std::vector<uint8_t> &payload,
+                                   RangeEncoder &shadow,
+                                   size_t shadowByteLimit, int maxPlanes)
+{
+    EP_ASSERT(headerDone_, "encodePlanes before encodeHeader");
+    if (done())
+        return 0;
+    int planesThisCall = 0;
+    std::vector<uint8_t> seg;
+    // The loop conditions — checked before every pass — are exactly
+    // the EPC3 encodePlanes() conditions, evaluated against the
+    // shadow coder, so a segment break never changes which passes are
+    // emitted; it only changes how the real bits are framed. Each
+    // segment holds the consecutive passes of one plane coded within
+    // this layer (the first segment of a layer may resume mid-plane).
+    while (nextPlane_ >= 0 && planesThisCall < maxPlanes &&
+           shadow.bytesWritten() < shadowByteLimit) {
+        seg.clear();
+        RangeEncoder real(seg);
+        DualEncoder dual{real, shadow};
+        const int plane = nextPlane_;
+        int passes = 0;
+        do {
+            shadow.encodeBitRaw(1); // EPC3 continue bit (rate only).
+            encodePass(dual, plane, nextPass_);
+            ++nextPass_;
+            ++passes;
+            if (nextPass_ == 3) {
+                nextPass_ = 0;
+                --nextPlane_;
+                ++planesCoded_;
+                ++planesThisCall;
+            }
+        } while (nextPlane_ == plane && planesThisCall < maxPlanes &&
+                 shadow.bytesWritten() < shadowByteLimit);
+        real.flush();
+        EP_ASSERT(seg.size() < (1u << 30) && passes <= 3,
+                  "segment overflows its framing word");
+        util::appendPod(
+            payload,
+            static_cast<uint32_t>(seg.size() << 2) |
+                static_cast<uint32_t>(passes - 1));
+        payload.insert(payload.end(), seg.begin(), seg.end());
+    }
+    if (nextPlane_ >= 0)
+        shadow.encodeBitRaw(0); // EPC3 trailing continue bit.
+    return planesThisCall;
+}
+
 TileDecoder::TileDecoder(int width, int rows,
                          const TileCoderParams &params,
                          uint32_t *magnitude, uint8_t *sign,
@@ -450,7 +537,14 @@ TileDecoder::TileDecoder(int width, int rows,
 void
 TileDecoder::decodeHeader(RangeDecoder &dec)
 {
-    uint32_t v = dec.decodeBitsRaw(5);
+    decodeHeaderRaw(dec.decodeBitsRaw(5));
+}
+
+void
+TileDecoder::decodeHeaderRaw(uint32_t maxPlanePlus1)
+{
+    uint32_t v = std::min(
+        maxPlanePlus1, static_cast<uint32_t>(kMaxPlaneLimit + 1));
     maxPlane_ = static_cast<int>(v) - 1;
     nextPlane_ = maxPlane_;
     nextPass_ = 0;
@@ -539,6 +633,22 @@ TileDecoder::decodePlanes(RangeDecoder &dec)
     }
 }
 
+void
+TileDecoder::decodePassRun(RangeDecoder &dec, int passes)
+{
+    // EPC4 segments carry their pass count in the framing word, so no
+    // in-stream continue bits exist: decode exactly what is framed.
+    for (int i = 0; i < passes && nextPlane_ >= 0; ++i) {
+        decodePass(dec, nextPlane_, nextPass_);
+        ++nextPass_;
+        if (nextPass_ == 3) {
+            nextPass_ = 0;
+            --nextPlane_;
+            ++planesCoded_;
+        }
+    }
+}
+
 raster::Plane
 reconstructTile(int width, int height, const TileCoderParams &params,
                 const uint32_t *magnitude, const uint8_t *sign,
@@ -605,6 +715,8 @@ encodeTileChunk(const TileCoefficients &coeffs,
                 size_t tileByteBudget)
 {
     EP_ASSERT(layers >= 1, "need at least one quality layer");
+    EP_ASSERT(!params.progressive || params.chunkRows > 0,
+              "progressive (EPC4) streams require chunked framing");
     EP_ASSERT(chunk >= 0 && chunk < chunkCount(params, coeffs.height),
               "chunk %d out of range", chunk);
     const int row0 = chunkRow0(params, coeffs.height, chunk);
@@ -622,11 +734,9 @@ encodeTileChunk(const TileCoefficients &coeffs,
     TileEncoder coder(coeffs, row0, rows, params);
     std::vector<std::vector<uint8_t>> out(static_cast<size_t>(layers));
     size_t spent = 0;
+    std::vector<uint8_t> shadowBuf;
     for (int layer = 0; layer < layers; ++layer) {
         std::vector<uint8_t> &stream = out[static_cast<size_t>(layer)];
-        RangeEncoder enc(stream);
-        if (layer == 0)
-            coder.encodeHeader(enc);
         // Cumulative budget through this layer grows linearly so each
         // layer carries a roughly equal share of the bits.
         size_t cumBudget = params.lossless
@@ -640,6 +750,29 @@ encodeTileChunk(const TileCoefficients &coeffs,
             int total = coder.maxPlane() + 1;
             maxPlanes = (total + layers - 1) / layers;
         }
+        if (params.progressive) {
+            // EPC4: real bits go into per-plane segments in `stream`;
+            // the shadow coder replays the EPC3 layer stream (header,
+            // continue and pass bits) purely for rate accounting, so
+            // `spent` evolves exactly as it would for EPC3 and the
+            // pass schedule is identical.
+            shadowBuf.clear();
+            RangeEncoder shadow(shadowBuf);
+            if (layer == 0) {
+                coder.encodeHeader(shadow);
+                stream.push_back(
+                    static_cast<uint8_t>(coder.maxPlane() + 1));
+            }
+            coder.encodePlanesSegmented(
+                stream, shadow, shadow.bytesWritten() + remaining,
+                maxPlanes);
+            shadow.flush();
+            spent += shadowBuf.size();
+            continue;
+        }
+        RangeEncoder enc(stream);
+        if (layer == 0)
+            coder.encodeHeader(enc);
         coder.encodePlanes(enc, enc.bytesWritten() + remaining,
                            maxPlanes);
         enc.flush();
@@ -717,16 +850,32 @@ decodeTileLayers(int width, int height, const TileCoderParams &params,
             const size_t size = layerSpans[l].size;
             size_t pos = 0;
             for (int c = 0; c < chunks; ++c) {
-                if (size - pos < 4)
+                if (size - pos < 4) {
+                    // A progressive stream may have been cut at a
+                    // recorded truncation point: the chunks that never
+                    // arrived simply keep their empty spans. For v2
+                    // framing a short sub-chunk is corruption.
+                    if (params.progressive)
+                        break;
                     fatal("tile chunk %d length prefix truncated in "
                           "layer %zu",
                           c, l);
+                }
                 uint32_t len = util::readPodAt<uint32_t>(base, pos);
                 pos += 4;
-                if (len > size - pos)
+                if (len > size - pos) {
+                    if (params.progressive) {
+                        // The cut landed inside this chunk: decode the
+                        // segments that did arrive.
+                        spans[static_cast<size_t>(c)][l] = {base + pos,
+                                                            size - pos};
+                        pos = size;
+                        break;
+                    }
                     fatal("tile chunk %d truncated in layer %zu: %u "
                           "bytes framed but only %zu remain",
                           c, l, len, size - pos);
+                }
                 spans[static_cast<size_t>(c)][l] = {base + pos, len};
                 pos += len;
             }
@@ -754,15 +903,37 @@ decodeTileLayers(int width, int height, const TileCoderParams &params,
         TileDecoder dec(width, rows, params, magnitude.data() + base,
                         sign.data() + base, lowPlane.data() + base,
                         orient.data() + base);
+        bool headerSeen = false;
         for (size_t l = 0; l < nLayers; ++l) {
-            RangeDecoder rd(spans[static_cast<size_t>(c)][l].data,
-                            spans[static_cast<size_t>(c)][l].size);
+            const ChunkSpan &s = spans[static_cast<size_t>(c)][l];
+            if (params.progressive) {
+                const uint8_t *p = s.data;
+                size_t sz = s.size;
+                if (l == 0) {
+                    // EPC4 carries maxPlane + 1 as the first payload
+                    // byte; a chunk whose header never arrived (cut
+                    // before it) reconstructs as zeros.
+                    if (sz == 0)
+                        break;
+                    dec.decodeHeaderRaw(p[0]);
+                    headerSeen = true;
+                    ++p;
+                    --sz;
+                }
+                forEachSegment(p, sz, [&](const SegmentView &seg) {
+                    RangeDecoder rd(seg.data, seg.size);
+                    dec.decodePassRun(rd, seg.passes);
+                });
+                continue;
+            }
+            headerSeen = true;
+            RangeDecoder rd(s.data, s.size);
             if (l == 0)
                 dec.decodeHeader(rd);
             dec.decodePlanes(rd);
         }
         chunkFull[static_cast<size_t>(c)] =
-            dec.fullyDecoded() ? 1 : 0;
+            headerSeen && dec.fullyDecoded() ? 1 : 0;
     };
     if (chunks == 1)
         decodeChunk(0);

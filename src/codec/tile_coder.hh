@@ -44,6 +44,7 @@
 #include "codec/dwt.hh"
 #include "codec/rangecoder.hh"
 #include "raster/plane.hh"
+#include "util/bytes.hh"
 
 namespace earthplus::codec {
 
@@ -82,6 +83,18 @@ struct TileCoderParams
      * decided by the params alone, never by the tile size.
      */
     int chunkRows = 0;
+    /**
+     * Progressive (EPC4) entropy framing. Requires chunkRows > 0.
+     * Each chunk-layer payload becomes a sequence of independently
+     * flushed per-plane segments (see forEachSegment()) so any
+     * segment boundary is a recorded truncation point; the pass
+     * schedule — which planes land in which layer — is decided by a
+     * shadow coder fed the exact EPC3 bit sequence, so the decoded
+     * pixels of a full-length EPC4 stream are bit-exact with the
+     * EPC3 decode of the same input. False keeps the v1/v2 formats
+     * byte-identical.
+     */
+    bool progressive = false;
 };
 
 /** Number of entropy chunks a `height`-row tile codes into. */
@@ -171,6 +184,28 @@ class TileEncoder
      */
     int encodePlanes(RangeEncoder &enc, size_t byteLimit, int maxPlanes);
 
+    /**
+     * Progressive (EPC4) variant of encodePlanes(): emit the same
+     * passes the EPC3 coder would, but framed into independently
+     * flushed per-plane segments appended to `payload` (see
+     * forEachSegment() for the framing). All rate decisions are made
+     * against `shadow`, which receives the exact EPC3 bit sequence —
+     * header bits, continue bits, pass bits — so the pass schedule,
+     * and therefore the fully decoded pixels, match EPC3 bit for bit.
+     * The caller owns the shadow's per-layer lifecycle (construct,
+     * encodeHeader() on layer 0, flush, account its size as spent).
+     *
+     * @param payload Destination chunk-layer payload (appended to).
+     * @param shadow EPC3-accounting coder for this layer.
+     * @param shadowByteLimit Stop when shadow.bytesWritten() reaches
+     *        this (the EPC3 byteLimit for this layer).
+     * @param maxPlanes Cap on planes completed by this call.
+     * @return Number of planes completed by this call.
+     */
+    int encodePlanesSegmented(std::vector<uint8_t> &payload,
+                              RangeEncoder &shadow,
+                              size_t shadowByteLimit, int maxPlanes);
+
     /** True once every bitplane has been emitted. */
     bool done() const;
 
@@ -202,11 +237,15 @@ class TileEncoder
     int planesCoded_;
     bool headerDone_;
 
-    void encodePass(RangeEncoder &enc, int plane, int pass);
+    /// The pass bodies are templated on the encoder so the EPC4 path
+    /// can tee bits through a real+shadow pair (see DualEncoder in
+    /// tile_coder.cc) while EPC3 keeps the plain RangeEncoder.
+    template <typename Encoder>
+    void encodePass(Encoder &enc, int plane, int pass);
     void beginPlane(int plane);
-    void encodeSigPass(RangeEncoder &enc);
-    void encodeRefinePass(RangeEncoder &enc);
-    void encodeCleanupPass(RangeEncoder &enc);
+    template <typename Encoder> void encodeSigPass(Encoder &enc);
+    template <typename Encoder> void encodeRefinePass(Encoder &enc);
+    template <typename Encoder> void encodeCleanupPass(Encoder &enc);
 };
 
 /**
@@ -239,8 +278,22 @@ class TileDecoder
     /** Read the chunk header. */
     void decodeHeader(RangeDecoder &dec);
 
+    /**
+     * Initialize from a raw EPC4 header byte (`maxPlane + 1`, carried
+     * in the framing instead of the coded stream). Values above the
+     * 5-bit header limit are clamped so a corrupt byte can never
+     * drive an out-of-range bitplane shift.
+     */
+    void decodeHeaderRaw(uint32_t maxPlanePlus1);
+
     /** Decode the next group of bitplanes (one encodePlanes() call). */
     void decodePlanes(RangeDecoder &dec);
+
+    /**
+     * Decode exactly `passes` coding passes from `dec` (one EPC4
+     * segment); stops early only when every plane is already decoded.
+     */
+    void decodePassRun(RangeDecoder &dec, int passes);
 
     /** Planes decoded so far. */
     int planesCoded() const { return planesCoded_; }
@@ -294,6 +347,44 @@ struct ChunkSpan
     const uint8_t *data = nullptr;
     size_t size = 0;
 };
+
+/** One parsed segment of a progressive (EPC4) chunk-layer payload. */
+struct SegmentView
+{
+    const uint8_t *data = nullptr; ///< Flushed range-coded bytes.
+    size_t size = 0;               ///< Segment body length.
+    int passes = 0;                ///< Coding passes contained (1..3).
+};
+
+/**
+ * Walk the segments of a progressive (EPC4) chunk-layer payload (the
+ * layer-0 header byte must already be stripped by the caller). Each
+ * segment is framed as `u32 segWord | body` with
+ * `segWord = byteLen << 2 | (passCount - 1)`; this inline framing is
+ * the truncation index — every offset where the walk lands cleanly
+ * between segments is a recorded truncation point. Invokes
+ * `fn(SegmentView)` for every complete segment, in order. Returns
+ * true when the payload is a whole number of segments; false when it
+ * ends inside a segment word or segment body (leading complete
+ * segments are still visited).
+ */
+template <typename Fn>
+inline bool
+forEachSegment(const uint8_t *data, size_t size, Fn &&fn)
+{
+    size_t pos = 0;
+    while (size - pos >= 4) {
+        uint32_t word = util::readPodAt<uint32_t>(data, pos);
+        size_t len = word >> 2;
+        int passes = static_cast<int>(word & 3u) + 1;
+        pos += 4;
+        if (len > size - pos)
+            return false;
+        fn(SegmentView{data + pos, len, passes});
+        pos += len;
+    }
+    return pos == size;
+}
 
 /**
  * Entropy-code one chunk (row slab) of a transformed tile: all

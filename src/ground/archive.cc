@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <limits>
 
+#include "codec/codec.hh"
 #include "ground/archive_io.hh"
 #include "ground/crc32.hh"
 #include "util/bytes.hh"
@@ -1195,11 +1196,19 @@ Archive::compact()
         survivors.emplace_back(entry.meta, std::move(payload));
     }
 
-    // Crash-safe rewrite: each shard's survivors go to a staged
+    uint64_t after = rewriteAllShardsLocked(survivors);
+    return before - after;
+}
+
+uint64_t
+Archive::rewriteAllShardsLocked(
+    std::vector<std::pair<RecordMeta, std::vector<uint8_t>>> &records)
+{
+    // Crash-safe rewrite: each shard's records go to a staged
     // 'shard-NNN.epar.tmp' first, the staged file is fsynced, then
     // renamed over the live shard. A crash anywhere leaves every
     // shard either fully old or fully new — both valid containers —
-    // and per-shard independence makes a partially renamed compact a
+    // and per-shard independence makes a partially renamed rewrite a
     // legal archive state (chains never span shards). Stray .tmp
     // files are swept on the next open.
     if (!path_.empty()) {
@@ -1210,10 +1219,10 @@ Archive::compact()
         };
         for (auto &shardPtr : shards_) {
             if (!writeContainerHeader(tmpPathOf(*shardPtr)))
-                fatal("compact: cannot stage rewrite of shard '%s'",
+                fatal("rewrite: cannot stage rewrite of shard '%s'",
                       shardPtr->path.c_str());
         }
-        for (const auto &[meta, payload] : survivors) {
+        for (const auto &[meta, payload] : records) {
             size_t shardIdx =
                 static_cast<size_t>(shardForLocation(meta.locationId));
             Shard &shard = *shards_[shardIdx];
@@ -1224,7 +1233,7 @@ Archive::compact()
                                     crc32(payload.data(),
                                           payload.size()),
                                     payload))
-                fatal("compact: staged write to '%s' failed",
+                fatal("rewrite: staged write to '%s' failed",
                       tmpPathOf(shard).c_str());
             tmpOffsets[shardIdx] +=
                 kRecordHeaderBytes + payload.size();
@@ -1233,14 +1242,14 @@ Archive::compact()
             std::string tmp = tmpPathOf(*shardPtr);
             if (!archive_io::syncFile(tmp)) {
                 archiveMetrics().fsyncFailures.add();
-                warn("compact: cannot fsync staged shard '%s'",
+                warn("rewrite: cannot fsync staged shard '%s'",
                      tmp.c_str());
             } else {
                 archiveMetrics().syncs.add();
             }
             if (!archive_io::renameFile(tmp, shardPtr->path))
-                fatal("compact: cannot move staged shard over '%s' — "
-                      "already-renamed shards are compacted, the rest "
+                fatal("rewrite: cannot move staged shard over '%s' — "
+                      "already-renamed shards are rewritten, the rest "
                       "are untouched (every shard is still a valid "
                       "container)", shardPtr->path.c_str());
         }
@@ -1249,7 +1258,7 @@ Archive::compact()
 
     // Reset every shard. Rewriting a file invalidates the *content*
     // behind its mapping, so the mapping is retired along with any
-    // outstanding views (the API contract: compact() invalidates
+    // outstanding views (the API contract: a full rewrite invalidates
     // views and indices).
     globalRecords_.clear();
     uint64_t after = 0;
@@ -1268,10 +1277,10 @@ Archive::compact()
         }
     }
 
-    // Replay the survivors in their original global order to rebuild
+    // Replay the records in their original global order to rebuild
     // the in-memory records and indexes. The bytes are already on
     // disk (staged + renamed above), so the replay is memory-only.
-    for (auto &[meta, payload] : survivors) {
+    for (auto &[meta, payload] : records) {
         size_t shardIdx =
             static_cast<size_t>(shardForLocation(meta.locationId));
         Shard &shard = *shards_[shardIdx];
@@ -1290,7 +1299,111 @@ Archive::compact()
         after += shardPtr->appendOffset;
         scanReport_.validBytes += shardPtr->appendOffset;
     }
-    return before - after;
+    return after;
+}
+
+PressureReport
+Archive::applyStoragePressure(uint64_t targetBytes)
+{
+    // Exclusive over the whole archive, same nesting as compact():
+    // shards in index order, then the global table.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto &shard : shards_)
+        locks.emplace_back(shard->mutex);
+    std::unique_lock<std::shared_mutex> g(globalMutex_);
+
+    PressureReport report;
+    uint64_t before = 0;
+    for (const auto &shardPtr : shards_)
+        before += shardPtr->appendOffset;
+    if (before <= targetBytes)
+        return report;
+
+    // Pull every payload into memory, verifying each against its
+    // stored CRC — like compact(), the rewrite must never re-bless
+    // rotten bytes with a fresh checksum.
+    size_t n = globalRecords_.size();
+    std::vector<std::pair<RecordMeta, std::vector<uint8_t>>> records;
+    records.reserve(n);
+    for (size_t gid = 0; gid < n; ++gid) {
+        const GlobalRef &ref = globalRecords_[gid];
+        const Shard &shard = *shards_[ref.shard];
+        const RecordEntry &entry = shard.records[ref.local];
+        std::vector<uint8_t> payload = shard.path.empty()
+            ? shard.memPayloads[ref.local]
+            : readFileRange(shard.path, entry.payloadOffset,
+                            static_cast<size_t>(
+                                entry.meta.payloadBytes));
+        if (!shard.path.empty() &&
+            crc32(payload.data(), payload.size()) != entry.payloadCrc)
+            fatal("archive '%s': record %zu payload CRC mismatch "
+                  "during storage-pressure rewrite", path_.c_str(),
+                  gid);
+        records.emplace_back(entry.meta, std::move(payload));
+    }
+
+    // Each progressive (EPC4) payload can shrink from its current
+    // size down to its header floor; spread the byte deficit
+    // proportionally over those truncatable spans so quality degrades
+    // evenly across the archive instead of zeroing out whole records.
+    constexpr char kV3Magic[4] = {'E', 'P', 'C', '4'};
+    uint64_t need = before - targetBytes;
+    uint64_t cuttable = 0;
+    std::vector<size_t> floors(records.size(), 0);
+    std::vector<uint8_t> progressive(records.size(), 0);
+    for (size_t i = 0; i < records.size(); ++i) {
+        const std::vector<uint8_t> &payload = records[i].second;
+        if (payload.size() < 4 ||
+            std::memcmp(payload.data(), kV3Magic, 4) != 0) {
+            ++report.recordsSkipped;
+            continue;
+        }
+        size_t floor = codec::streamHeaderFloor(payload);
+        if (payload.size() <= floor) {
+            ++report.recordsSkipped;
+            continue;
+        }
+        progressive[i] = 1;
+        floors[i] = floor;
+        cuttable += payload.size() - floor;
+    }
+    if (cuttable == 0) {
+        // Nothing can shrink: every record is pre-progressive or
+        // already at its floor. Report the floor instead of evicting.
+        report.atFloor = true;
+        return report;
+    }
+
+    double keepFrac = need >= cuttable
+        ? 0.0
+        : 1.0 - static_cast<double>(need) /
+                    static_cast<double>(cuttable);
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (!progressive[i])
+            continue;
+        std::vector<uint8_t> &payload = records[i].second;
+        size_t span = payload.size() - floors[i];
+        size_t budget =
+            floors[i] +
+            static_cast<size_t>(static_cast<double>(span) * keepFrac);
+        std::vector<uint8_t> cut =
+            codec::truncateStream(payload, budget);
+        if (cut.size() < payload.size()) {
+            ++report.recordsTruncated;
+            payload = std::move(cut);
+            records[i].first.payloadBytes = payload.size();
+        } else {
+            ++report.recordsSkipped;
+        }
+    }
+
+    uint64_t after = rewriteAllShardsLocked(records);
+    report.bytesReclaimed = before - after;
+    // Proportional budgets always land at or below their targets, so
+    // one pass reaches targetBytes whenever the floors allow it.
+    report.atFloor = after > targetBytes;
+    return report;
 }
 
 bool

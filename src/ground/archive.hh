@@ -154,6 +154,22 @@ struct RecordEntry
     uint32_t payloadCrc = 0;
 };
 
+/** Outcome of one Archive::applyStoragePressure() pass. */
+struct PressureReport
+{
+    /** Shard-file bytes reclaimed by the rewrite. */
+    uint64_t bytesReclaimed = 0;
+    /** Records whose payloads were cut to a smaller truncation point. */
+    size_t recordsTruncated = 0;
+    /** Records that could not shrink: non-progressive (pre-EPC4)
+     *  payloads and streams already at their header floor. */
+    size_t recordsSkipped = 0;
+    /** True when the pass hit the archive's degradation floor — every
+     *  payload is non-progressive or already fully truncated — while
+     *  still above the requested target. */
+    bool atFloor = false;
+};
+
 /** Outcome of opening an archive (aggregated across shards). */
 struct ScanReport
 {
@@ -349,6 +365,29 @@ class Archive
      */
     uint64_t compact();
 
+    /**
+     * Degrade the archive in place to fit `targetBytes` of shard-file
+     * storage, truncating progressive (EPC4) payloads at recorded
+     * truncation points instead of evicting records: every record —
+     * and every acknowledged append — survives the pass, at reduced
+     * quality. The byte deficit is spread proportionally over the
+     * truncatable span of every progressive payload; non-progressive
+     * records are left byte-identical (and counted in
+     * PressureReport::recordsSkipped).
+     *
+     * Durability follows compact(): each shard's records are staged to
+     * 'shard-NNN.epar.tmp', fsynced, renamed over the live shard, and
+     * the directory is fsynced — a crash anywhere leaves every shard
+     * either fully old or fully new. Like compact(), this rewrites
+     * every shard and reassigns record indices/views, so it must not
+     * run concurrently with serving or appending.
+     *
+     * @param targetBytes Desired ceiling for fileBytes(). A pass that
+     *        cannot reach it (all payloads at their floor) reports
+     *        atFloor instead of failing.
+     */
+    PressureReport applyStoragePressure(uint64_t targetBytes);
+
     /** Total bytes across shard files (headers + payloads). */
     uint64_t fileBytes() const;
 
@@ -440,6 +479,19 @@ class Archive
                              const RecordMeta &meta);
     /** Map (or grow the mapping of) `shard` to cover `end` bytes. */
     bool ensureMapped(Shard &shard, uint64_t end) const;
+    /**
+     * Replace the archive's contents with `records` (in global-id
+     * order): stage each shard's share to 'shard-NNN.epar.tmp', fsync,
+     * rename over the live shard, fsync the directory, then rebuild
+     * the in-memory records and indexes by replay. The shared
+     * crash-consistent rewrite under compact() and
+     * applyStoragePressure(). Requires every shard mutex and a unique
+     * lock on globalMutex_ held. Returns total shard-file bytes after
+     * the rewrite.
+     */
+    uint64_t rewriteAllShardsLocked(
+        std::vector<std::pair<RecordMeta, std::vector<uint8_t>>>
+            &records);
 
     std::string path_;
     ArchiveOptions options_;

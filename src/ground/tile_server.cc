@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <exception>
 #include <functional>
 #include <limits>
@@ -40,6 +41,10 @@ struct ServeMetrics
         telemetry::counter("ground.prefetch.tasks");
     telemetry::Counter &prefetchDropped =
         telemetry::counter("ground.prefetch.dropped");
+    telemetry::Counter &refineTasks =
+        telemetry::counter("ground.refine.tasks");
+    telemetry::Counter &refineDropped =
+        telemetry::counter("ground.refine.dropped");
 };
 
 ServeMetrics &
@@ -80,6 +85,8 @@ TileQuery::validate() const
         return ServeError::BadQuery;
     if (maxLayers < -1)
         return ServeError::BadQuery;
+    if (quality < -1 || quality > 100)
+        return ServeError::BadQuery;
     return ServeError::None;
 }
 
@@ -111,9 +118,9 @@ DecodedTileCache::shardFor(const Key &key)
 
 bool
 DecodedTileCache::get(size_t recordIdx, int tile, int maxLayers,
-                      raster::Plane &out)
+                      int quality, raster::Plane &out)
 {
-    Key key{recordIdx, tile, maxLayers};
+    Key key{recordIdx, tile, maxLayers, quality};
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.map.find(key);
@@ -126,13 +133,13 @@ DecodedTileCache::get(size_t recordIdx, int tile, int maxLayers,
 
 void
 DecodedTileCache::put(size_t recordIdx, int tile, int maxLayers,
-                      const raster::Plane &pixels)
+                      int quality, const raster::Plane &pixels)
 {
     size_t bytes = static_cast<size_t>(pixels.width()) *
                    static_cast<size_t>(pixels.height()) * sizeof(float);
     if (bytes > shardCapacityBytes_)
         return; // larger than a whole shard; never cacheable
-    Key key{recordIdx, tile, maxLayers};
+    Key key{recordIdx, tile, maxLayers, quality};
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     if (shard.map.count(key))
@@ -286,7 +293,45 @@ TileServer::serveFront(const TileQuery &query)
 
     if (result.ok() && options_.prefetch)
         maybePrefetch(query, nextDay);
+    // A reduced-fidelity answer went out fast; refine in the
+    // background so the next identical query serves full quality.
+    if (result.ok() && query.quality >= 0 && query.quality < 100)
+        scheduleRefine(query);
     return result;
+}
+
+codec::EncodedImage
+TileServer::parseRecord(size_t recordIdx, int quality) const
+{
+    telemetry::TraceSpan parseSpan("ground.payload_parse", "ground");
+    PayloadView view = archive_.payloadView(recordIdx);
+    const uint8_t *data = view.data();
+    size_t size = view.size();
+    if (quality >= 0 && quality < 100 && size >= 4 &&
+        std::memcmp(data, "EPC4", 4) == 0) {
+        // Serve from a truncated prefix: the largest recorded
+        // truncation point within quality% of the payload bytes
+        // (never below the header floor). The parse borrows the
+        // archive mapping — no staging copy of the cut prefix.
+        std::vector<size_t> points =
+            codec::truncationPoints(data, size);
+        size_t budget = std::max(
+            points.front(),
+            static_cast<size_t>(static_cast<double>(size) *
+                                static_cast<double>(quality) / 100.0));
+        auto it =
+            std::upper_bound(points.begin(), points.end(), budget);
+        size_t cut = *(it - 1);
+        codec::EncodedImage e;
+        codec::StreamError err =
+            codec::EncodedImage::tryDeserialize(data, cut, e);
+        EP_ASSERT(err == codec::StreamError::None,
+                  "archive record %zu: recorded truncation point %zu "
+                  "did not parse",
+                  recordIdx, cut);
+        return e;
+    }
+    return codec::EncodedImage::deserialize(data, size);
 }
 
 TileResult
@@ -348,12 +393,10 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
         // the same record both parse, the second insert is a no-op.
         // The payload view aims into the shard's file mapping, so
         // parsing copies only the entropy chunks, never the whole
-        // serialized payload.
-        telemetry::TraceSpan parseSpan("ground.payload_parse",
-                                       "ground");
-        PayloadView view = archive_.payloadView(idx);
-        codec::EncodedImage stream =
-            codec::EncodedImage::deserialize(view.data(), view.size());
+        // serialized payload. The quality hint applies here too: a
+        // reduced-fidelity parse reads only the truncated prefix, and
+        // its geometry (all in the header) is identical.
+        codec::EncodedImage stream = parseRecord(idx, query.quality);
         infos.push_back(&rememberInfo(idx, stream));
         parsedThisQuery.emplace(idx, std::move(stream));
     }
@@ -427,12 +470,14 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
         try {
             for (int t : wanted[s]) {
                 raster::Plane cached;
-                if (cache_.get(recordIdx, t, query.maxLayers, cached)) {
+                if (cache_.get(recordIdx, t, query.maxLayers,
+                               query.quality, cached)) {
                     tiles.emplace_back(t, std::move(cached));
                     ++result.tilesFromCache;
                     continue;
                 }
-                TileKey key{recordIdx, t, query.maxLayers};
+                TileKey key{recordIdx, t, query.maxLayers,
+                            query.quality};
                 bool claimed = false;
                 {
                     std::lock_guard<std::mutex> lock(inflightMutex_);
@@ -455,7 +500,8 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
                 // done cache_.put() (put precedes the in-flight erase
                 // that made our claim possible), so this read closes
                 // the duplicate-decode window.
-                if (cache_.get(recordIdx, t, query.maxLayers, cached)) {
+                if (cache_.get(recordIdx, t, query.maxLayers,
+                               query.quality, cached)) {
                     claims.back().set_value(cached);
                     {
                         std::lock_guard<std::mutex> lock(inflightMutex_);
@@ -479,11 +525,7 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
                 if (itParsed != parsedThisQuery.end()) {
                     stream = &itParsed->second;
                 } else {
-                    telemetry::TraceSpan parseSpan(
-                        "ground.payload_parse", "ground");
-                    PayloadView view = archive_.payloadView(recordIdx);
-                    local = codec::EncodedImage::deserialize(
-                        view.data(), view.size());
+                    local = parseRecord(recordIdx, query.quality);
                     stream = &local;
                 }
                 serveMetrics().coalesceClaims.add(misses.size());
@@ -503,7 +545,7 @@ TileServer::serveImpl(const TileQuery &query, double *nextDayOut)
                                                   query.maxLayers);
                 for (size_t i = 0; i < misses.size(); ++i) {
                     cache_.put(recordIdx, misses[i], query.maxLayers,
-                               decoded[i]);
+                               query.quality, decoded[i]);
                     claims[i].set_value(decoded[i]);
                     fulfilled = i + 1;
                     {
@@ -588,6 +630,24 @@ TileServer::maybePrefetch(const TileQuery &query, double nextDay)
     });
     if (!posted)
         serveMetrics().prefetchDropped.add();
+}
+
+void
+TileServer::scheduleRefine(const TileQuery &query)
+{
+    if (!prefetchQueue_)
+        return;
+    TileQuery full = query;
+    full.quality = -1;
+    // Same BackgroundQueue as prefetching: refines stay off the
+    // serving threads' latency path and never touch the global pool.
+    bool posted = prefetchQueue_->post([this, full] {
+        telemetry::TraceSpan span("ground.refine", "ground");
+        serveImpl(full);
+        serveMetrics().refineTasks.add();
+    });
+    if (!posted)
+        serveMetrics().refineDropped.add();
 }
 
 std::vector<TileResult>

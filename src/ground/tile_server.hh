@@ -127,14 +127,26 @@ struct TileQuery
     int height = 0; ///< Requested rect: height in pixels.
     /** Decode only the first maxLayers quality layers (-1 = all). */
     int maxLayers = -1;
+    /**
+     * Byte-budget fidelity hint: -1 serves full fidelity; 0..100
+     * decodes each progressive (EPC4) record from the largest
+     * recorded truncation point within that percentage of its payload
+     * bytes (never below the header floor) — a fast low-fidelity
+     * first answer. Pre-progressive records ignore the hint. A
+     * reduced-quality serve schedules a background full-quality
+     * decode of the same records, so a repeated query refines from
+     * the cache.
+     */
+    int quality = -1;
 
     /**
      * Image-independent validity check: ServeError::None for a
      * well-formed query, ServeError::BadQuery for non-positive
-     * extents, negative location/band ids, a non-finite day, or
-     * maxLayers below -1. Both the serve pipeline and the network
-     * frame parser route queries through this single check, so a
-     * network-decoded query cannot bypass validation.
+     * extents, negative location/band ids, a non-finite day,
+     * maxLayers below -1, or quality outside [-1, 100]. Both the
+     * serve pipeline and the network frame parser route queries
+     * through this single check, so a network-decoded query cannot
+     * bypass validation.
      */
     ServeError validate() const;
 
@@ -244,10 +256,10 @@ struct StatsView
 
 /**
  * Size-bounded LRU cache of decoded tiles, keyed by
- * (record index, tile index, layer count). Thread-safe; internally
- * sharded by key hash so concurrent serving threads do not contend on
- * one mutex (each shard owns an equal slice of the byte budget and
- * its own LRU list).
+ * (record index, tile index, layer count, quality). Thread-safe;
+ * internally sharded by key hash so concurrent serving threads do not
+ * contend on one mutex (each shard owns an equal slice of the byte
+ * budget and its own LRU list).
  */
 class DecodedTileCache
 {
@@ -256,11 +268,11 @@ class DecodedTileCache
     explicit DecodedTileCache(size_t capacityBytes);
 
     /** Look up a decoded tile; true and fills `out` on a hit. */
-    bool get(size_t recordIdx, int tile, int maxLayers,
+    bool get(size_t recordIdx, int tile, int maxLayers, int quality,
              raster::Plane &out);
 
     /** Insert a decoded tile, evicting LRU entries over budget. */
-    void put(size_t recordIdx, int tile, int maxLayers,
+    void put(size_t recordIdx, int tile, int maxLayers, int quality,
              const raster::Plane &pixels);
 
     /** Bytes currently cached. */
@@ -272,7 +284,7 @@ class DecodedTileCache
   private:
     static constexpr size_t kShards = 8;
 
-    using Key = std::tuple<size_t, int, int>;
+    using Key = std::tuple<size_t, int, int, int>;
     struct Entry
     {
         Key key;
@@ -421,8 +433,8 @@ class TileServer
         uint64_t cacheEvictions = 0;
     };
 
-    /** (record index, tile, maxLayers): one decode unit. */
-    using TileKey = std::tuple<size_t, int, int>;
+    /** (record index, tile, maxLayers, quality): one decode unit. */
+    using TileKey = std::tuple<size_t, int, int, int>;
 
     /** Memoized geometry for a record, or null when not yet parsed. */
     const StreamInfo *findInfo(size_t recordIdx) const;
@@ -453,6 +465,24 @@ class TileServer
 
     /** Schedule a next-day warmup when the access looks sequential. */
     void maybePrefetch(const TileQuery &query, double nextDay);
+
+    /**
+     * After a reduced-quality serve: queue a background full-quality
+     * decode of the same rectangle on the prefetch queue, so the
+     * consumer's follow-up (or re-issued) query refines from cache
+     * instead of paying the full decode in the foreground.
+     */
+    void scheduleRefine(const TileQuery &query);
+
+    /**
+     * Parse record `recordIdx`'s payload honoring the quality hint:
+     * progressive payloads with quality in [0, 100) parse from the
+     * largest recorded truncation point within that percentage of
+     * their bytes (never below the header floor); everything else
+     * parses in full.
+     */
+    codec::EncodedImage parseRecord(size_t recordIdx,
+                                    int quality) const;
 
     const Archive &archive_;
     DecodedTileCache cache_;

@@ -107,6 +107,7 @@ encodeQuery(uint64_t requestId, const ground::TileQuery &query)
     util::appendPod(body, static_cast<int32_t>(query.width));
     util::appendPod(body, static_cast<int32_t>(query.height));
     util::appendPod(body, static_cast<int32_t>(query.maxLayers));
+    util::appendPod(body, static_cast<int32_t>(query.quality));
 
     std::vector<uint8_t> out;
     out.reserve(kFrameHeaderBytes + body.size());
@@ -161,7 +162,8 @@ decodeQuery(const Frame &frame, uint64_t &requestId,
             ground::TileQuery &query)
 {
     if (frame.magic != kQueryMagic ||
-        frame.body.size() != kQueryBodyBytes)
+        (frame.body.size() != kQueryBodyBytes &&
+         frame.body.size() != kQueryBodyBytesV1))
         return false;
     const uint8_t *p = frame.body.data();
     requestId = util::readPodAt<uint64_t>(p, 0);
@@ -173,6 +175,10 @@ decodeQuery(const Frame &frame, uint64_t &requestId,
     query.width = util::readPodAt<int32_t>(p, 32);
     query.height = util::readPodAt<int32_t>(p, 36);
     query.maxLayers = util::readPodAt<int32_t>(p, 40);
+    // Version-1 peers stop here; they always want full fidelity.
+    query.quality = frame.body.size() == kQueryBodyBytes
+        ? util::readPodAt<int32_t>(p, 44)
+        : -1;
     return true;
 }
 

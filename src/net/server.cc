@@ -494,7 +494,10 @@ Server::loop()
             }
             // Always answer with our version so the peer can report
             // the mismatch; an incompatible peer is then dropped.
-            bool compatible = frame.version == kProtocolVersion;
+            // Version-1 peers are still served: their queries simply
+            // lack the quality hint (decodeQuery defaults it to -1).
+            bool compatible = frame.version == kProtocolVersion ||
+                frame.version == 1;
             conn.handshaken = compatible;
             conn.closeAfterFlush = !compatible;
             return sendFrame(conn, encodeHello(kProtocolVersion)) &&

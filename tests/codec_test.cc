@@ -287,6 +287,10 @@ TEST(CodecDeath, DeserializeRejectsTruncatedStreams)
     EncodeParams p;
     p.bitsPerPixel = 1.0;
     p.layers = 2;
+    // Non-progressive: a progressive (EPC4) stream cut at a recorded
+    // truncation point parses successfully instead of dying
+    // (tests/progressive_test.cc covers that path).
+    p.progressive = false;
     std::vector<uint8_t> bytes = encode(img, p).serialize();
 
     // Cut inside the fixed header, the tile bitmap region, and the
@@ -602,16 +606,22 @@ TEST(Codec, V1StreamsStillDecode)
     p.chunkRows = 0;
     std::vector<uint8_t> v1 = encode(img, p).serialize();
     p.chunkRows = 48;
+    p.progressive = false;
     std::vector<uint8_t> v2 = encode(img, p).serialize();
 
-    // The magic spells out the version ("EPC2" vs "EPC3").
+    // The magic spells out the version ("EPC2" vs "EPC3"); default
+    // params (progressive) emit "EPC4".
     EXPECT_EQ(std::memcmp(v1.data(), "EPC2", 4), 0);
     EXPECT_EQ(std::memcmp(v2.data(), "EPC3", 4), 0);
+    p.progressive = true;
+    std::vector<uint8_t> v3 = encode(img, p).serialize();
+    EXPECT_EQ(std::memcmp(v3.data(), "EPC4", 4), 0);
 
-    for (int v = 0; v < 2; ++v) {
-        const std::vector<uint8_t> &bytes = v == 0 ? v1 : v2;
+    for (int v = 0; v < 3; ++v) {
+        const std::vector<uint8_t> &bytes = v == 0 ? v1 : v == 1 ? v2 : v3;
         EncodedImage back = EncodedImage::deserialize(bytes);
         EXPECT_EQ(back.chunkRows, v == 0 ? 0 : 48);
+        EXPECT_EQ(back.progressive, v == 2);
         raster::Plane dec = decode(back);
         for (size_t i = 0; i < img.data().size(); ++i)
             ASSERT_NEAR(img.data()[i], dec.data()[i], 1e-6)

@@ -29,6 +29,7 @@
 #include "codec/tile_coder.hh"
 #include "ground/crc32.hh"
 #include "raster/plane.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/simd.hh"
 
@@ -169,6 +170,36 @@ const GoldenFixture kGoldenV2[] = {
     {"sparse", 130, 70, "lossless", 3, 577u, 0x3AD72528u},
 };
 
+/**
+ * V3 (EPC4 progressive) fixtures: the same tiles coded with chunkRows
+ * = 32 and progressive segment framing, pinning the segment words,
+ * per-segment coder flushes and the shadow-coder budget accounting.
+ * Recorded deliberately when the progressive format was introduced —
+ * the EPC4 migration, see the second worked example in
+ * docs/ARCHITECTURE.md. Regenerate by running this binary with
+ * EARTHPLUS_PRINT_GOLDEN=1 and pasting the printed rows.
+ */
+const GoldenFixture kGoldenV3[] = {
+    {"textured", 64, 64, "cdf97", 1, 1241u, 0xDB3052E5u},
+    {"textured", 64, 64, "cdf97", 3, 1282u, 0x0B1E90A2u},
+    {"textured", 64, 64, "lossy53", 1, 1295u, 0x5D52D9D6u},
+    {"textured", 64, 64, "lossy53", 3, 1328u, 0xA63E8A93u},
+    {"textured", 64, 64, "lossless", 1, 3012u, 0x8A0F402Du},
+    {"textured", 64, 64, "lossless", 3, 3028u, 0xE1C3B152u},
+    {"textured", 61, 47, "cdf97", 3, 931u, 0xBDA15D8Au},
+    {"textured", 61, 47, "lossless", 3, 2220u, 0xB0CD3AB3u},
+    {"textured", 130, 70, "cdf97", 3, 2914u, 0x9493E43Du},
+    {"textured", 130, 70, "lossy53", 3, 2982u, 0x8536B78Du},
+    {"textured", 130, 70, "lossless", 3, 6642u, 0x11DD4BCEu},
+    {"sparse", 64, 64, "cdf97", 1, 632u, 0xE499A07Au},
+    {"sparse", 64, 64, "lossy53", 3, 472u, 0x111D49B0u},
+    {"sparse", 64, 64, "lossless", 3, 425u, 0xF4D7574Au},
+    {"sparse", 61, 47, "cdf97", 3, 610u, 0x25A134DAu},
+    {"sparse", 61, 47, "lossless", 1, 400u, 0x7A7DFCD0u},
+    {"sparse", 130, 70, "lossy53", 3, 742u, 0xDB5C99F0u},
+    {"sparse", 130, 70, "lossless", 3, 669u, 0xAE84D12Au},
+};
+
 /** The fixture's exact tile content and coder configuration. */
 void
 buildGolden(const GoldenFixture &f, raster::Plane &tile,
@@ -198,13 +229,15 @@ buildGolden(const GoldenFixture &f, raster::Plane &tile,
 
 /** Encode one fixture and return (total bytes, CRC32 of the chunks). */
 std::pair<size_t, uint32_t>
-encodeGolden(const GoldenFixture &f, int chunkRows = 0)
+encodeGolden(const GoldenFixture &f, int chunkRows = 0,
+             bool progressive = false)
 {
     raster::Plane tile(1, 1);
     TileCoderParams params;
     size_t budget = 0;
     buildGolden(f, tile, params, budget);
     params.chunkRows = chunkRows;
+    params.progressive = progressive;
     auto chunks = encodeTileLayers(tile, params, f.layers, budget);
     uint32_t crc = 0;
     size_t total = 0;
@@ -270,10 +303,56 @@ TEST(GoldenStream, V2ChunkedStreamsMatchRecordedFormatAtEveryLevel)
     util::simd::setActiveLevel(prev);
 }
 
-/** Shared body for the v1 and v2 round-trip checks. */
+TEST(GoldenStream, V3ProgressiveStreamsMatchRecordedFormat)
+{
+    if (std::getenv("EARTHPLUS_PRINT_GOLDEN") != nullptr) {
+        // Regeneration mode: print table rows to paste into kGoldenV3.
+        for (const GoldenFixture &f : kGoldenV3) {
+            auto [bytes, crc] =
+                encodeGolden(f, kGoldenV2ChunkRows, true);
+            std::printf("    {\"%s\", %d, %d, \"%s\", %d, %zuu, "
+                        "0x%08Xu},\n",
+                        f.content, f.w, f.h, f.mode, f.layers, bytes,
+                        crc);
+        }
+    }
+    // Progressive streams are storage/wire format too (the archive
+    // persists them, truncateStream() cuts them at recorded offsets),
+    // so the bytes are pinned across every SIMD dispatch level AND
+    // every thread-pool width: encoding must be deterministic no
+    // matter how the pass loops are vectorized or scheduled.
+    util::simd::Level prev = util::simd::activeLevel();
+    for (util::simd::Level l : kernels::availableLevels()) {
+        util::simd::setActiveLevel(l);
+        for (const GoldenFixture &f : kGoldenV3) {
+            auto [bytes, crc] =
+                encodeGolden(f, kGoldenV2ChunkRows, true);
+            EXPECT_EQ(bytes, f.bytes)
+                << fixtureName(f) << " at " << util::simd::levelName(l);
+            EXPECT_EQ(crc, f.crc)
+                << fixtureName(f) << " at " << util::simd::levelName(l);
+        }
+    }
+    util::simd::setActiveLevel(prev);
+    for (int threads : {1, 2, 7, util::ThreadPool::defaultThreadCount()}) {
+        util::ThreadPool::setGlobalThreads(threads);
+        for (const GoldenFixture &f : kGoldenV3) {
+            auto [bytes, crc] =
+                encodeGolden(f, kGoldenV2ChunkRows, true);
+            EXPECT_EQ(bytes, f.bytes)
+                << fixtureName(f) << " with " << threads << " threads";
+            EXPECT_EQ(crc, f.crc)
+                << fixtureName(f) << " with " << threads << " threads";
+        }
+    }
+    util::ThreadPool::setGlobalThreads(
+        util::ThreadPool::defaultThreadCount());
+}
+
+/** Shared body for the v1/v2/v3 round-trip checks. */
 static void
 roundTripFixtures(const GoldenFixture *fixtures, size_t count,
-                  int chunkRows)
+                  int chunkRows, bool progressive = false)
 {
     for (size_t fi = 0; fi < count; ++fi) {
         const GoldenFixture &f = fixtures[fi];
@@ -282,6 +361,7 @@ roundTripFixtures(const GoldenFixture *fixtures, size_t count,
         size_t budget = 0;
         buildGolden(f, tile, params, budget);
         params.chunkRows = chunkRows;
+        params.progressive = progressive;
         auto chunks = encodeTileLayers(tile, params, f.layers, budget);
         std::vector<ChunkSpan> spans;
         for (const auto &c : chunks)
@@ -317,4 +397,10 @@ TEST(GoldenStream, V2FixturesRoundTrip)
 {
     roundTripFixtures(kGoldenV2, std::size(kGoldenV2),
                       kGoldenV2ChunkRows);
+}
+
+TEST(GoldenStream, V3FixturesRoundTrip)
+{
+    roundTripFixtures(kGoldenV3, std::size(kGoldenV3),
+                      kGoldenV2ChunkRows, true);
 }

@@ -666,6 +666,178 @@ TEST(Archive, CompactUsesCaptureDayNotAppendOrder)
     EXPECT_DOUBLE_EQ(archive.record(1).meta.captureDay, 4.0);
 }
 
+// ---------------------------------------------------- storage pressure
+
+namespace {
+
+/** Append one progressive (EPC4) full download for `locationId`. */
+void
+appendProgressiveCapture(Archive &archive, int locationId, double day,
+                         const raster::Plane &img)
+{
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    ep.progressive = true;
+    RecordMeta meta;
+    meta.locationId = locationId;
+    meta.captureDay = day;
+    meta.fullDownload = true;
+    archive.append(meta, codec::encode(img, ep).serialize());
+}
+
+/** Expect record `idx`'s payload to parse as a valid stream prefix. */
+void
+expectRecordParses(const Archive &archive, size_t idx)
+{
+    std::vector<uint8_t> bytes = archive.loadPayload(idx);
+    codec::EncodedImage parsed;
+    std::string msg;
+    EXPECT_EQ(codec::EncodedImage::tryDeserialize(
+                  bytes.data(), bytes.size(), parsed, &msg),
+              codec::StreamError::None)
+        << "record " << idx << ": " << msg;
+}
+
+} // anonymous namespace
+
+TEST(ArchivePressure, FitsTargetAndKeepsEveryRecordDecodable)
+{
+    TempPath path("archive_pressure_fit.epar");
+    Archive archive(path.str());
+    for (int loc = 0; loc < 4; ++loc)
+        appendProgressiveCapture(archive, loc, 1.0,
+                                 testPlane(128, 96, 50 + loc));
+    std::vector<std::vector<uint8_t>> original;
+    for (size_t i = 0; i < archive.recordCount(); ++i)
+        original.push_back(archive.loadPayload(i));
+    uint64_t full = archive.fileBytes();
+    uint64_t target = full * 6 / 10;
+
+    PressureReport report = archive.applyStoragePressure(target);
+    EXPECT_LE(archive.fileBytes(), target);
+    EXPECT_FALSE(report.atFloor);
+    EXPECT_EQ(report.bytesReclaimed, full - archive.fileBytes());
+    EXPECT_EQ(report.recordsTruncated, 4u);
+    EXPECT_EQ(report.recordsSkipped, 0u);
+    ASSERT_EQ(archive.recordCount(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+        std::vector<uint8_t> cut = archive.loadPayload(i);
+        ASSERT_LE(cut.size(), original[i].size());
+        // Truncation cuts a prefix; it never rewrites bytes.
+        EXPECT_EQ(std::memcmp(cut.data(), original[i].data(), cut.size()),
+                  0);
+        expectRecordParses(archive, i);
+    }
+
+    // Already under target: a second pass is a no-op.
+    PressureReport again = archive.applyStoragePressure(target);
+    EXPECT_EQ(again.bytesReclaimed, 0u);
+    EXPECT_EQ(again.recordsTruncated, 0u);
+}
+
+TEST(ArchivePressure, SkipsNonProgressiveRecordsAndReportsFloor)
+{
+    TempPath path("archive_pressure_mixed.epar");
+    Archive archive(path.str());
+    appendProgressiveCapture(archive, 0, 1.0, testPlane(128, 96, 60));
+
+    // A pre-progressive (EPC3) record: pressure must leave it
+    // byte-identical.
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    ep.progressive = false;
+    RecordMeta meta;
+    meta.locationId = 1;
+    meta.captureDay = 1.0;
+    meta.fullDownload = true;
+    std::vector<uint8_t> legacy =
+        codec::encode(testPlane(128, 96, 61), ep).serialize();
+    archive.append(meta, legacy);
+
+    // Target far below what header floors allow: the pass degrades
+    // every progressive record to its floor and reports atFloor.
+    PressureReport report = archive.applyStoragePressure(1);
+    EXPECT_TRUE(report.atFloor);
+    EXPECT_EQ(report.recordsTruncated, 1u);
+    EXPECT_EQ(report.recordsSkipped, 1u);
+    EXPECT_GT(report.bytesReclaimed, 0u);
+    ASSERT_EQ(archive.recordCount(), 2u);
+    std::vector<uint8_t> cut = archive.loadPayload(0);
+    EXPECT_EQ(cut.size(),
+              codec::streamHeaderFloor(cut.data(), cut.size()));
+    expectRecordParses(archive, 0);
+    EXPECT_EQ(archive.loadPayload(1), legacy);
+}
+
+TEST(ArchivePressure, DegradedArchiveReopensAndServes)
+{
+    TempPath path("archive_pressure_reopen.epar");
+    raster::Plane img = testPlane(128, 128, 62);
+    {
+        Archive archive(path.str());
+        appendProgressiveCapture(archive, 1, 1.0, img);
+        PressureReport report =
+            archive.applyStoragePressure(archive.fileBytes() / 2);
+        EXPECT_GT(report.bytesReclaimed, 0u);
+    }
+
+    Archive reopened(path.str());
+    ASSERT_EQ(reopened.recordCount(), 1u);
+    EXPECT_FALSE(reopened.scanReport().truncatedTail);
+    expectRecordParses(reopened, 0);
+
+    TileServer server(reopened);
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 1.5;
+    q.width = 128;
+    q.height = 128;
+    TileResult r = server.serve(q);
+    ASSERT_TRUE(r.ok());
+    // Degraded but recognizable: early layers carry most of the
+    // signal, so even a halved record reconstructs the scene.
+    EXPECT_GT(raster::psnr(img, r.pixels), 20.0);
+}
+
+TEST(ArchivePressure, V2RecordArchivesReopenUnchanged)
+{
+    // An archive written entirely before the progressive format
+    // existed reopens and serves byte-identically; pressure never
+    // rewrites what it cannot truncate.
+    TempPath path("archive_pressure_v2.epar");
+    raster::Plane img = testPlane(128, 128, 63);
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    ep.progressive = false;
+    std::vector<uint8_t> payload = codec::encode(img, ep).serialize();
+    ASSERT_EQ(std::memcmp(payload.data(), "EPC3", 4), 0);
+    {
+        Archive archive(path.str());
+        RecordMeta meta;
+        meta.locationId = 1;
+        meta.captureDay = 1.0;
+        meta.fullDownload = true;
+        archive.append(meta, payload);
+        PressureReport report = archive.applyStoragePressure(1);
+        EXPECT_TRUE(report.atFloor);
+        EXPECT_EQ(report.recordsTruncated, 0u);
+        EXPECT_EQ(report.recordsSkipped, 1u);
+    }
+
+    Archive reopened(path.str());
+    ASSERT_EQ(reopened.recordCount(), 1u);
+    EXPECT_EQ(reopened.loadPayload(0), payload);
+    TileServer server(reopened);
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 1.5;
+    q.width = 128;
+    q.height = 128;
+    TileResult r = server.serve(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(raster::psnr(img, r.pixels), 30.0);
+}
+
 // -------------------------------------------------- typed open failures
 
 namespace {
@@ -1022,6 +1194,17 @@ TEST(TileServer, QueryValidationIsCentralized)
     bad = q;
     bad.maxLayers = -2;
     EXPECT_EQ(bad.validate(), ServeError::BadQuery);
+    bad = q;
+    bad.quality = -5;
+    EXPECT_EQ(bad.validate(), ServeError::BadQuery);
+    bad = q;
+    bad.quality = 101;
+    EXPECT_EQ(bad.validate(), ServeError::BadQuery);
+    bad = q;
+    bad.quality = 0;
+    EXPECT_EQ(bad.validate(), ServeError::None);
+    bad.quality = 100;
+    EXPECT_EQ(bad.validate(), ServeError::None);
 
     // clipTo: exact fit, overhang, and disjoint rectangles.
     q.x0 = 0;
@@ -1039,6 +1222,83 @@ TEST(TileServer, QueryValidationIsCentralized)
     EXPECT_EQ(clipped.x1, 112);
     q.x0 = 500;
     EXPECT_TRUE(q.clipTo(128, 128).empty());
+}
+
+TEST(TileServer, QualityHintServesReducedFidelityThenRefines)
+{
+    Archive archive("");
+    raster::Plane img = testPlane(128, 128, 90);
+    // buildChain's EncodeParams default to the progressive format, so
+    // both records carry truncation indices the quality path can use.
+    buildChain(archive, img, img, 64);
+
+    TileServer server(archive);
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 1.5;
+    q.width = 128;
+    q.height = 128;
+
+    TileQuery reduced = q;
+    reduced.quality = 10;
+    TileResult lo = server.serve(reduced);
+    ASSERT_TRUE(lo.ok());
+    TileResult hi = server.serve(q);
+    ASSERT_TRUE(hi.ok());
+
+    // 10% of the payload must cost fidelity relative to the full
+    // stream, but the early layers still reconstruct the scene.
+    double loPsnr = raster::psnr(img, lo.pixels);
+    double hiPsnr = raster::psnr(img, hi.pixels);
+    EXPECT_LT(loPsnr, hiPsnr);
+    EXPECT_GT(loPsnr, 15.0);
+
+    // quality == 100 is full fidelity, pixel-identical to no hint.
+    TileQuery qFull = q;
+    qFull.quality = 100;
+    TileResult viaHint = server.serve(qFull);
+    ASSERT_TRUE(viaHint.ok());
+    for (int y = 0; y < hi.pixels.height(); ++y)
+        for (int x = 0; x < hi.pixels.width(); ++x)
+            ASSERT_EQ(viaHint.pixels.at(x, y), hi.pixels.at(x, y));
+
+    // A reduced serve schedules a background full-quality refine;
+    // once it drains, a full-fidelity query is answered from cache.
+    server.waitForPrefetchIdle();
+    TileResult warm = server.serve(q);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm.tilesDecoded, 0);
+    EXPECT_EQ(warm.tilesFromCache, 4);
+}
+
+TEST(TileServer, QualityHintIgnoredOnPreProgressiveRecords)
+{
+    Archive archive("");
+    raster::Plane img = testPlane(128, 128, 91);
+    codec::EncodeParams ep;
+    ep.bitsPerPixel = 4.0;
+    ep.progressive = false;
+    RecordMeta meta;
+    meta.locationId = 1;
+    meta.captureDay = 1.0;
+    meta.fullDownload = true;
+    archive.append(meta, codec::encode(img, ep).serialize());
+
+    TileServer server(archive);
+    TileQuery q;
+    q.locationId = 1;
+    q.day = 1.5;
+    q.width = 128;
+    q.height = 128;
+    TileResult full = server.serve(q);
+    TileQuery reduced = q;
+    reduced.quality = 5;
+    TileResult hinted = server.serve(reduced);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(hinted.ok());
+    for (int y = 0; y < full.pixels.height(); ++y)
+        for (int x = 0; x < full.pixels.width(); ++x)
+            ASSERT_EQ(hinted.pixels.at(x, y), full.pixels.at(x, y));
 }
 
 TEST(TileServer, ServeAsyncMatchesServeAndRunsCompletion)

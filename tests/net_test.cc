@@ -117,6 +117,7 @@ TEST(NetProtocol, QueryRoundTrip)
     q.width = 300;
     q.height = 200;
     q.maxLayers = 2;
+    q.quality = 35;
 
     std::vector<uint8_t> bytes = encodeQuery(0xDEADBEEFCAFEull, q);
     EXPECT_EQ(bytes.size(), kFrameHeaderBytes + kQueryBodyBytes);
@@ -140,6 +141,35 @@ TEST(NetProtocol, QueryRoundTrip)
     EXPECT_EQ(back.width, q.width);
     EXPECT_EQ(back.height, q.height);
     EXPECT_EQ(back.maxLayers, q.maxLayers);
+    EXPECT_EQ(back.quality, q.quality);
+}
+
+// A version-1 peer's 44-byte query body (no quality field) still
+// decodes; the missing hint defaults to -1 (full fidelity).
+TEST(NetProtocol, V1QueryBodyDecodesWithDefaultQuality)
+{
+    TileQuery q;
+    q.locationId = 7;
+    q.band = 1;
+    q.day = 3.5;
+    q.width = 64;
+    q.height = 64;
+    q.quality = 80; // must NOT survive the v1 wire
+
+    std::vector<uint8_t> bytes = encodeQuery(123, q);
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    ASSERT_EQ(frame.body.size(), kQueryBodyBytes);
+    frame.body.resize(kQueryBodyBytesV1); // what a v1 peer sends
+
+    uint64_t id = 0;
+    TileQuery back;
+    ASSERT_TRUE(decodeQuery(frame, id, back));
+    EXPECT_EQ(id, 123u);
+    EXPECT_EQ(back.locationId, q.locationId);
+    EXPECT_EQ(back.quality, -1);
 }
 
 TEST(NetProtocol, ResultRoundTripWithPixels)

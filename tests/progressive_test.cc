@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Property tests for the progressive (EPC4) stream format: truncation
+ * points, best-effort prefix decode, budget-cut rate control and
+ * bit-exactness against the non-progressive (EPC3) coder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "codec/codec.hh"
+#include "raster/metrics.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+
+using namespace earthplus;
+using namespace earthplus::codec;
+
+namespace {
+
+/** Natural-image-like test content: smooth structure + mild noise. */
+raster::Plane
+testImage(int w, int h, uint64_t seed)
+{
+    raster::Plane p(w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            p.at(x, y) = 0.5f +
+                         0.3f * std::sin(x * 0.045f) *
+                             std::cos(y * 0.06f) +
+                         0.1f * std::sin((x + y) * 0.15f) +
+                         static_cast<float>(rng.normal(0.0, 0.01));
+    p.clampTo(0.0f, 1.0f);
+    return p;
+}
+
+/** Hard content: step edges + texture, stresses many bitplanes. */
+raster::Plane
+edgyImage(int w, int h, uint64_t seed)
+{
+    raster::Plane p(w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+            float v = ((x / 17 + y / 23) & 1) ? 0.85f : 0.15f;
+            v += 0.08f * std::sin(x * 0.9f) * std::sin(y * 0.7f);
+            v += static_cast<float>(rng.normal(0.0, 0.02));
+            p.at(x, y) = v;
+        }
+    p.clampTo(0.0f, 1.0f);
+    return p;
+}
+
+/** Decode a (possibly truncated) serialized stream; fatal on reject. */
+raster::Plane
+decodeBytes(const std::vector<uint8_t> &bytes)
+{
+    EncodedImage e;
+    StreamError err = EncodedImage::tryDeserialize(bytes.data(),
+                                                   bytes.size(), e);
+    EXPECT_EQ(err, StreamError::None);
+    return decode(e);
+}
+
+} // namespace
+
+struct ProgressiveCase
+{
+    bool lossless;
+    int layers;
+    int chunkRows;
+    bool edgy;
+};
+
+class Progressive : public ::testing::TestWithParam<ProgressiveCase>
+{
+};
+
+/**
+ * The heart of the format contract: decoding at every recorded
+ * truncation point never crashes, quality (PSNR against the source)
+ * is monotone non-decreasing in prefix length, and the full-length
+ * progressive decode is bit-exact with the EPC3 decode of the same
+ * input under the same parameters.
+ */
+TEST_P(Progressive, EveryTruncationPointDecodesMonotonically)
+{
+    const ProgressiveCase c = GetParam();
+    raster::Plane img = c.edgy ? edgyImage(150, 110, 91)
+                               : testImage(150, 110, 90);
+    if (c.lossless)
+        for (auto &v : img.data())
+            v = std::round(v * 255.0f) / 255.0f;
+
+    EncodeParams p;
+    p.tileSize = 96;
+    p.layers = c.layers;
+    p.chunkRows = c.chunkRows;
+    p.lossless = c.lossless;
+    if (c.lossless)
+        p.wavelet = Wavelet::LeGall53;
+    else
+        p.bitsPerPixel = 1.5;
+
+    std::vector<uint8_t> v4 = encode(img, p).serialize();
+    ASSERT_EQ(std::memcmp(v4.data(), "EPC4", 4), 0);
+
+    p.progressive = false;
+    raster::Plane v3dec = decode(encode(img, p));
+
+    std::vector<size_t> points = truncationPoints(v4);
+    ASSERT_GE(points.size(), 2u);
+    EXPECT_EQ(points.front(), streamHeaderFloor(v4));
+    EXPECT_EQ(points.back(), v4.size());
+    EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+    EXPECT_EQ(std::adjacent_find(points.begin(), points.end()),
+              points.end());
+
+    // Decoding at every recorded point is expensive at full density;
+    // always take the floor, the full length, and an even spread.
+    std::vector<size_t> cuts;
+    size_t step = std::max<size_t>(1, points.size() / 48);
+    for (size_t i = 0; i < points.size(); i += step)
+        cuts.push_back(points[i]);
+    if (cuts.back() != points.back())
+        cuts.push_back(points.back());
+
+    double lastPsnr = -1.0;
+    for (size_t cut : cuts) {
+        std::vector<uint8_t> prefix(v4.begin(),
+                                    v4.begin() +
+                                        static_cast<ptrdiff_t>(cut));
+        EncodedImage e;
+        ASSERT_EQ(EncodedImage::tryDeserialize(prefix.data(),
+                                               prefix.size(), e),
+                  StreamError::None)
+            << "cut at " << cut;
+        EXPECT_EQ(e.truncated, cut != v4.size());
+        raster::Plane dec = decode(e);
+        double q = raster::psnr(img, dec);
+        // Small slack: a cut mid-pass can move individual coefficients
+        // either way before the pass completes.
+        EXPECT_GE(q, lastPsnr - 0.05)
+            << "cut at " << cut << " of " << v4.size();
+        lastPsnr = std::max(lastPsnr, q);
+        if (cut == v4.size()) {
+            // Untruncated EPC4 must reconstruct bit-exactly what EPC3
+            // reconstructs: the shadow coder reproduces its rate
+            // decisions, so the decoded pixels are identical.
+            ASSERT_EQ(dec.data().size(), v3dec.data().size());
+            EXPECT_EQ(std::memcmp(dec.data().data(),
+                                  v3dec.data().data(),
+                                  dec.data().size() * sizeof(float)),
+                      0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Progressive,
+    ::testing::Values(ProgressiveCase{false, 1, 32, false},
+                      ProgressiveCase{false, 3, 32, false},
+                      ProgressiveCase{false, 3, 32, true},
+                      ProgressiveCase{false, 5, 16, false},
+                      ProgressiveCase{true, 1, 32, false},
+                      ProgressiveCase{true, 3, 48, true}));
+
+/**
+ * truncateStream() honors any byte budget from the header floor to
+ * beyond the full length, and its result always parses.
+ */
+TEST(Progressive, TruncateStreamHonorsEveryBudget)
+{
+    raster::Plane img = testImage(200, 140, 7);
+    EncodeParams p;
+    p.tileSize = 96;
+    p.layers = 3;
+    p.bitsPerPixel = 1.0;
+    std::vector<uint8_t> v4 = encode(img, p).serialize();
+
+    size_t floor = streamHeaderFloor(v4);
+    size_t step = std::max<size_t>(1, (v4.size() - floor) / 97);
+    for (size_t budget = floor; budget <= v4.size() + 64;
+         budget += step) {
+        std::vector<uint8_t> cut = truncateStream(v4, budget);
+        ASSERT_LE(cut.size(), budget) << "budget " << budget;
+        EncodedImage e;
+        ASSERT_EQ(EncodedImage::tryDeserialize(cut.data(), cut.size(),
+                                               e),
+                  StreamError::None)
+            << "budget " << budget;
+    }
+    // Budgets at or past the full length return the stream unchanged.
+    EXPECT_EQ(truncateStream(v4, v4.size()), v4);
+    EXPECT_EQ(truncateStream(v4, v4.size() * 2), v4);
+    // The largest recorded point <= budget is taken, not just any.
+    std::vector<size_t> points = truncationPoints(v4);
+    for (size_t i = 1; i + 1 < points.size(); i += points.size() / 7) {
+        std::vector<uint8_t> cut = truncateStream(v4, points[i]);
+        EXPECT_EQ(cut.size(), points[i]);
+    }
+}
+
+/**
+ * Fuzz leg: cuts at unrecorded offsets must come back as a typed
+ * Truncated error — never UB, never a crash, never acceptance. Runs
+ * under ASan/TSan in CI.
+ */
+TEST(Progressive, UnrecordedCutsAreTypedErrors)
+{
+    raster::Plane img = testImage(170, 130, 8);
+    EncodeParams p;
+    p.tileSize = 96;
+    p.layers = 2;
+    p.bitsPerPixel = 1.2;
+    std::vector<uint8_t> v4 = encode(img, p).serialize();
+
+    std::vector<size_t> pts = truncationPoints(v4);
+    std::vector<uint8_t> recorded(v4.size() + 1, 0);
+    for (size_t pt : pts)
+        recorded[pt] = 1;
+
+    size_t floor = pts.front();
+    // ci/check.sh chaos sweeps EARTHPLUS_CHAOS_SEED so each seed
+    // fuzzes a different set of unrecorded offsets.
+    const char *env = std::getenv("EARTHPLUS_CHAOS_SEED");
+    Rng rng(4242 + (env ? std::strtoull(env, nullptr, 10) : 0ULL));
+    int tested = 0;
+    for (int i = 0; i < 1000; ++i) {
+        size_t cut = static_cast<size_t>(rng.uniformInt(
+            static_cast<int64_t>(floor),
+            static_cast<int64_t>(v4.size()) - 1));
+        std::vector<uint8_t> prefix(v4.begin(),
+                                    v4.begin() +
+                                        static_cast<ptrdiff_t>(cut));
+        EncodedImage e;
+        std::string msg;
+        StreamError err = EncodedImage::tryDeserialize(
+            prefix.data(), prefix.size(), e, &msg);
+        if (recorded[cut]) {
+            EXPECT_EQ(err, StreamError::None) << "cut at " << cut;
+        } else {
+            ++tested;
+            EXPECT_EQ(err, StreamError::Truncated)
+                << "cut at " << cut << ": " << msg;
+            EXPECT_FALSE(msg.empty());
+        }
+    }
+    // The stream is dense with recorded points but unrecorded offsets
+    // must dominate a uniform draw.
+    EXPECT_GT(tested, 200);
+
+    // Below the floor every version dies the same typed way.
+    for (size_t cut : {size_t(0), size_t(3), floor - 1}) {
+        std::vector<uint8_t> prefix(v4.begin(),
+                                    v4.begin() +
+                                        static_cast<ptrdiff_t>(cut));
+        EncodedImage e;
+        StreamError err = EncodedImage::tryDeserialize(
+            prefix.data(), prefix.size(), e);
+        EXPECT_NE(err, StreamError::None) << "cut at " << cut;
+    }
+}
+
+/** Partial streams decode tiles independently, same as full ones. */
+TEST(Progressive, TruncatedStreamsServeTileQueries)
+{
+    raster::Plane img = testImage(200, 200, 9);
+    EncodeParams p;
+    p.tileSize = 96;
+    p.layers = 3;
+    p.bitsPerPixel = 1.5;
+    std::vector<uint8_t> v4 = encode(img, p).serialize();
+
+    std::vector<uint8_t> half = truncateStream(v4, v4.size() / 2);
+    EncodedImage e;
+    ASSERT_EQ(EncodedImage::tryDeserialize(half.data(), half.size(), e),
+              StreamError::None);
+    raster::Plane whole = decode(e);
+    std::vector<raster::Plane> tiles = decodeTiles(e, {0, 2});
+    ASSERT_EQ(tiles.size(), 2u);
+    // Tile decode of the truncated stream matches the corresponding
+    // region of the whole-plane decode of the same truncated stream.
+    EXPECT_EQ(tiles[0].at(10, 10), whole.at(10, 10));
+    EXPECT_EQ(tiles[1].at(5, 5), whole.at(2 * 96 + 5, 5));
+}
+
+/** A truncated image refuses to re-serialize (no silent data loss). */
+TEST(ProgressiveDeath, TruncatedImagesCannotReserialize)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    raster::Plane img = testImage(96, 96, 10);
+    EncodeParams p;
+    p.tileSize = 96;
+    std::vector<uint8_t> v4 = encode(img, p).serialize();
+    std::vector<size_t> pts = truncationPoints(v4);
+    ASSERT_GE(pts.size(), 3u);
+    size_t cut = pts[pts.size() / 2];
+    std::vector<uint8_t> prefix(v4.begin(),
+                                v4.begin() +
+                                    static_cast<ptrdiff_t>(cut));
+    EncodedImage e;
+    ASSERT_EQ(EncodedImage::tryDeserialize(prefix.data(), prefix.size(),
+                                           e),
+              StreamError::None);
+    ASSERT_TRUE(e.truncated);
+    EXPECT_EXIT(e.serialize(), ::testing::KilledBySignal(SIGABRT),
+                "truncated");
+    EXPECT_EXIT(truncateStream(v4, streamHeaderFloor(v4) - 1),
+                ::testing::KilledBySignal(SIGABRT), "floor");
+}
+
+/** Non-progressive streams have no truncation points to offer. */
+TEST(ProgressiveDeath, NonProgressiveStreamsRejectTruncation)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    raster::Plane img = testImage(96, 96, 11);
+    EncodeParams p;
+    p.tileSize = 96;
+    p.progressive = false;
+    std::vector<uint8_t> v3 = encode(img, p).serialize();
+    EXPECT_EXIT(truncationPoints(v3), ::testing::ExitedWithCode(1),
+                "not progressive");
+    EXPECT_EXIT(truncateStream(v3, v3.size() / 2),
+                ::testing::ExitedWithCode(1), "not progressive");
+}
+
+/**
+ * Concurrency: truncation and prefix decode are pure functions over
+ * const bytes — many threads cutting and decoding the same stream at
+ * different budgets must race nowhere (TSan suite runs this).
+ */
+TEST(Progressive, ConcurrentTruncateAndDecode)
+{
+    raster::Plane img = testImage(200, 140, 12);
+    EncodeParams p;
+    p.tileSize = 96;
+    p.layers = 3;
+    p.bitsPerPixel = 1.0;
+    const std::vector<uint8_t> v4 = encode(img, p).serialize();
+    const size_t floor = streamHeaderFloor(v4);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&, t] {
+            Rng rng(1000 + t);
+            for (int i = 0; i < 8; ++i) {
+                size_t budget = static_cast<size_t>(rng.uniformInt(
+                    static_cast<int64_t>(floor),
+                    static_cast<int64_t>(v4.size())));
+                std::vector<uint8_t> cut = truncateStream(v4, budget);
+                ASSERT_LE(cut.size(), budget);
+                EncodedImage e;
+                ASSERT_EQ(EncodedImage::tryDeserialize(cut.data(),
+                                                       cut.size(), e),
+                          StreamError::None);
+                raster::Plane dec = decode(e);
+                ASSERT_EQ(dec.width(), img.width());
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+}
